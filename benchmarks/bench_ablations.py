@@ -1,0 +1,139 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. Zone-signing cost vs NSEC3 iteration count (why zones should use 0).
+2. NSEC vs NSEC3 signing cost (Item 1's operational argument).
+3. Opt-out vs full chains on delegation-heavy zones (Item 5's rationale).
+4. Salt length's effect on signing (Item 3: the salt buys nothing).
+5. Shared-resolver cache effect on authoritative load (ethics appendix).
+"""
+
+import random
+
+import pytest
+
+from repro.dnssec.costmodel import meter
+from repro.resolver.policy import VENDOR_POLICIES
+from repro.scanner.engine import ScanEngine
+from repro.zone.builder import ZoneBuilder
+from repro.zone.nsec3chain import Nsec3Params
+from repro.zone.signing import SigningPolicy, sign_zone
+
+
+def _zone(n_names=30, n_delegations=0, prefix="ablate"):
+    builder = (
+        ZoneBuilder(f"{prefix}.test")
+        .soa(f"ns1.{prefix}.test", f"h.{prefix}.test")
+        .ns(f"ns1.{prefix}.test.")
+        .a("ns1", "192.0.2.1")
+    )
+    for index in range(n_names):
+        builder.a(f"host-{index}", f"198.18.0.{index % 250 + 1}")
+    for index in range(n_delegations):
+        builder.delegate(f"child-{index}", "ns.elsewhere.net.")
+    return builder.build()
+
+
+class TestIterationCostAblation:
+    @pytest.mark.parametrize("iterations", [0, 10, 100, 500])
+    def test_signing_hash_cost(self, benchmark, iterations):
+        def build_and_chain():
+            zone = _zone(20, prefix=f"it{iterations}")
+            meter.reset()
+            sign_zone(
+                zone,
+                SigningPolicy(nsec3=Nsec3Params(iterations=iterations)),
+                rng=random.Random(1),
+            )
+            return meter.sha1_compressions
+
+        compressions = benchmark.pedantic(build_and_chain, rounds=3, iterations=1)
+        print(f"\niterations={iterations}: {compressions} SHA-1 compressions to sign")
+
+
+class TestDenialMechanismAblation:
+    def test_nsec_signing(self, benchmark):
+        benchmark.pedantic(
+            lambda: sign_zone(_zone(40, prefix="nsec"), SigningPolicy(nsec3=None),
+                              rng=random.Random(2)),
+            rounds=3,
+            iterations=1,
+        )
+
+    def test_nsec3_signing(self, benchmark):
+        benchmark.pedantic(
+            lambda: sign_zone(
+                _zone(40, prefix="nsec3"),
+                SigningPolicy(nsec3=Nsec3Params(iterations=0)),
+                rng=random.Random(2),
+            ),
+            rounds=3,
+            iterations=1,
+        )
+
+
+class TestOptOutAblation:
+    def test_chain_size_reduction(self, benchmark):
+        """Opt-out shrinks the chain by the number of insecure delegations."""
+        full = sign_zone(
+            _zone(5, n_delegations=50, prefix="full"),
+            SigningPolicy(nsec3=Nsec3Params(iterations=0, opt_out=False)),
+            rng=random.Random(3),
+        )
+        optout = benchmark.pedantic(
+            lambda: sign_zone(
+                _zone(5, n_delegations=50, prefix="optout"),
+                SigningPolicy(nsec3=Nsec3Params(iterations=0, opt_out=True)),
+                rng=random.Random(3),
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        print(
+            f"\nchain size: full={len(full.nsec3_chain)} "
+            f"opt-out={len(optout.nsec3_chain)} "
+            f"(saved {len(full.nsec3_chain) - len(optout.nsec3_chain)} records)"
+        )
+        assert len(optout.nsec3_chain) == len(full.nsec3_chain) - 50
+
+
+class TestSaltAblation:
+    @pytest.mark.parametrize("salt_length", [0, 8, 160])
+    def test_salt_signing_cost(self, benchmark, salt_length):
+        salt = bytes(range(256))[:salt_length]
+        benchmark.pedantic(
+            lambda: sign_zone(
+                _zone(20, prefix=f"salt{salt_length}"),
+                SigningPolicy(nsec3=Nsec3Params(iterations=0, salt=salt)),
+                rng=random.Random(4),
+            ),
+            rounds=3,
+            iterations=1,
+        )
+
+
+class TestCacheAblation:
+    """The ethics argument: one shared resolver absorbs most scan load."""
+
+    def test_shared_resolver_cache_reduces_authoritative_load(
+        self, benchmark, bench_internet
+    ):
+        inet = bench_internet["inet"]
+        domains = [d.name for d in bench_internet["domains"][:150]]
+        upstream = inet.make_resolver(VENDOR_POLICIES["cloudflare"], name="cache-ablate")
+        engine = ScanEngine(inet.network, inet.allocator.next_v4(), upstream.ip)
+
+        def sweep():
+            before = upstream.engine.queries_sent
+            for name in domains:
+                engine.query(name, 48, checking_disabled=True)  # DNSKEY
+            return upstream.engine.queries_sent - before
+
+        cold_upstream_queries = sweep()
+        warm_upstream_queries = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+        print(
+            f"\nauthoritative-side queries for {len(domains)} DNSKEY lookups: "
+            f"cold={cold_upstream_queries} warm={warm_upstream_queries} "
+            f"(cache hit rate {upstream.cache.hit_rate:.2f})"
+        )
+        assert warm_upstream_queries < cold_upstream_queries * 0.2

@@ -1,0 +1,75 @@
+"""CVE-2023-50868: resolver CPU amplification from NSEC3 iterations.
+
+Gruza et al. (cited as the paper's motivation) measured up to a 72×
+increase in resolver CPU instructions. Here the cost meter counts real
+SHA-1 compression invocations during validation of closest-encloser
+proofs, so the amplification curve is measured, not modelled.
+"""
+
+import pytest
+
+from repro.dns.rcode import Rcode
+from repro.dns.types import RdataType
+from repro.dnssec.costmodel import meter
+from repro.dnssec.nsec3hash import nsec3_hash_name
+from repro.resolver.policy import VENDOR_POLICIES
+from repro.resolver.stub import StubClient
+
+SWEEP = (1, 25, 50, 100, 150, 300, 500)
+
+
+@pytest.fixture(scope="module")
+def victim(bench_internet):
+    inet = bench_internet["inet"]
+    resolver = inet.make_resolver(VENDOR_POLICIES["legacy"], name="cve-victim")
+    stub = StubClient(inet.network, inet.allocator.next_v4())
+    return resolver, stub
+
+
+def _denial_cost(stub, resolver, probes, key, unique):
+    before = meter.snapshot()
+    answer = stub.ask(resolver.ip, probes.probe_name(key, unique), RdataType.A)
+    assert answer.rcode == Rcode.NXDOMAIN
+    return (meter.snapshot() - before).sha1_compressions
+
+
+def test_cve_amplification_curve(benchmark, bench_internet, victim):
+    resolver, stub = victim
+    probes = bench_internet["probes"]
+    baseline = benchmark.pedantic(
+        _denial_cost, args=(stub, resolver, probes, 1, "amp-base"),
+        rounds=1, iterations=1,
+    )
+    print("\n=== CVE-2023-50868 amplification (SHA-1 compressions per NXDOMAIN) ===")
+    print(f"{'it-N':>6s} {'compressions':>14s} {'vs it-1':>9s}")
+    print(f"{1:6d} {baseline:14d} {'1.0x':>9s}")
+    amplification = {}
+    for count in SWEEP[1:]:
+        cost = _denial_cost(stub, resolver, probes, count, f"amp-{count}")
+        amplification[count] = cost / baseline
+        print(f"{count:6d} {cost:14d} {amplification[count]:8.1f}x")
+
+    # The paper's motivation: high iteration counts amplify CPU massively.
+    assert amplification[500] > 30.0
+    assert amplification[500] > amplification[150] > amplification[50]
+
+
+def test_nsec3_hash_throughput(benchmark):
+    """Microbenchmark: one NSEC3 hash at the RFC 5155 ceiling (2,500 it)."""
+    benchmark(nsec3_hash_name, "some-name.example.com", b"\xab\xcd" * 4, 2500)
+
+
+def test_resolver_validation_cost_per_query(benchmark, bench_internet, victim):
+    """Macrobenchmark: full resolve+validate of an it-150 denial."""
+    resolver, stub = victim
+    probes = bench_internet["probes"]
+    counter = {"n": 0}
+
+    def resolve_once():
+        counter["n"] += 1
+        return stub.ask(
+            resolver.ip, probes.probe_name(150, f"macro-{counter['n']}"), RdataType.A
+        )
+
+    result = benchmark(resolve_once)
+    assert result.rcode == Rcode.NXDOMAIN

@@ -1,0 +1,88 @@
+"""Microbenchmarks for the protocol substrate.
+
+Not paper artifacts — these size the building blocks every experiment
+stands on (codec, hashing, signing, verification), so regressions in the
+substrate show up before they distort experiment wall-times.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto.keys import (
+    ALG_ECDSAP256SHA256,
+    ALG_RSASHA256,
+    generate_keypair,
+    verify_signature,
+)
+from repro.crypto.keys import _verify_signature_uncached
+from repro.dns.message import Message, make_query
+from repro.dns.name import Name
+from repro.dns.rdata import A
+from repro.dns.rrset import RRset
+from repro.dns.types import RdataType
+
+
+@pytest.fixture(scope="module")
+def sample_response():
+    msg = make_query("www.example.com", RdataType.A, want_dnssec=True)
+    for index in range(4):
+        msg.add_rrset(
+            msg.answer,
+            RRset("www.example.com", RdataType.A, 300, [A(f"192.0.2.{index + 1}")]),
+        )
+    return msg
+
+
+def test_message_encode(benchmark, sample_response):
+    benchmark(sample_response.to_wire)
+
+
+def test_message_decode(benchmark, sample_response):
+    wire = sample_response.to_wire()
+    benchmark(Message.from_wire, wire)
+
+
+def test_name_parse(benchmark):
+    benchmark(Name.from_text, "deeply.nested.sub.domain.example.com")
+
+
+def test_name_canonical_order(benchmark):
+    names = [Name.from_text(f"host-{i}.example.com") for i in range(64)]
+    benchmark(sorted, names)
+
+
+@pytest.fixture(scope="module")
+def rsa_pair():
+    return generate_keypair(ALG_RSASHA256, rsa_bits=512, rng=random.Random(1))
+
+
+@pytest.fixture(scope="module")
+def ecdsa_pair():
+    return generate_keypair(ALG_ECDSAP256SHA256, rng=random.Random(2))
+
+
+def test_rsa512_sign(benchmark, rsa_pair):
+    benchmark(rsa_pair.sign, b"benchmark message")
+
+
+def test_rsa512_verify_uncached(benchmark, rsa_pair):
+    signature = rsa_pair.sign(b"benchmark message")
+    benchmark(_verify_signature_uncached, rsa_pair.dnskey, b"benchmark message", signature)
+
+
+def test_ecdsa_sign(benchmark, ecdsa_pair):
+    benchmark(ecdsa_pair.sign, b"benchmark message")
+
+
+def test_ecdsa_verify_uncached(benchmark, ecdsa_pair):
+    signature = ecdsa_pair.sign(b"benchmark message")
+    benchmark(
+        _verify_signature_uncached, ecdsa_pair.dnskey, b"benchmark message", signature
+    )
+
+
+def test_verify_memoized(benchmark, ecdsa_pair):
+    signature = ecdsa_pair.sign(b"benchmark message")
+    verify_signature(ecdsa_pair.dnskey, b"benchmark message", signature)  # warm
+    benchmark(verify_signature, ecdsa_pair.dnskey, b"benchmark message", signature)

@@ -1,0 +1,188 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``study``  — run both measurement pipelines on a synthetic Internet and
+  print the full report (domains, TLDs, resolvers);
+- ``scan``   — the domain pipeline only;
+- ``survey`` — the resolver survey only;
+- ``timeline`` — the modelled longitudinal view of RFC 9276 adoption;
+- ``guidance`` — print the twelve RFC 9276 items (paper Table 1).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro import __version__
+from repro.analysis.longitudinal import compliance_timeline, paper_anchor
+from repro.core.guidance import GUIDANCE
+from repro.core.report import render_study_report
+from repro.resolver.policy import VENDOR_POLICIES
+from repro.scanner.atlas import AtlasCampaign
+from repro.scanner.dnskey_scan import dnskey_scan
+from repro.scanner.engine import ScanEngine
+from repro.scanner.nsec3_scan import nsec3_scan, scan_tlds
+from repro.scanner.resolver_scan import ResolverSurvey
+from repro.testbed.internet import build_internet
+from repro.testbed.population import (
+    PopulationConfig,
+    generate_population,
+    generate_tlds,
+    inject_tail_domains,
+)
+from repro.testbed.resolvers import deploy_resolvers
+from repro.testbed.rfc9276_wild import build_probe_zones
+
+
+def _scaled_config(n_domains, n_tlds):
+    scale = n_tlds / 1449.0
+    return PopulationConfig(
+        n_domains=n_domains,
+        n_tlds=n_tlds,
+        tld_dnssec=round(1354 * scale),
+        tld_nsec3=round(1302 * scale),
+        tld_zero_iterations=round(688 * scale),
+        tld_identity_digital=round(447 * scale),
+        tld_saltless=round(672 * scale),
+        tld_salt8=round(558 * scale),
+        tld_salt10=max(1, round(7 * scale)),
+    )
+
+
+def _build(args, with_probes):
+    config = _scaled_config(args.domains, args.tlds)
+    tlds = generate_tlds(config)
+    domains = inject_tail_domains(generate_population(config, tlds=tlds))
+    started = time.perf_counter()
+    inet = build_internet(domains, tlds, seed=args.seed)
+    probes = build_probe_zones(inet) if with_probes else None
+    print(
+        f"[testbed] {len(inet.domain_zones)} domains, {len(tlds)} TLDs "
+        f"({time.perf_counter() - started:.1f}s)",
+        file=sys.stderr,
+    )
+    return inet, probes, domains, tlds
+
+
+def _run_domain_scan(inet, domains):
+    upstream = inet.make_resolver(VENDOR_POLICIES["cloudflare"], name="cli-upstream")
+    engine = ScanEngine(
+        inet.network, inet.allocator.next_v4(), upstream.ip, max_qps=14_700
+    )
+    enabled = dnskey_scan(engine, [d.name for d in domains])
+    return engine, nsec3_scan(engine, enabled)
+
+
+def _run_survey(inet, probes, args):
+    deployment = deploy_resolvers(
+        inet,
+        open_v4=args.resolvers,
+        open_v6=max(2, args.resolvers // 4),
+        closed_v4=max(2, args.resolvers // 5),
+        closed_v6=max(1, args.resolvers // 8),
+        seed=args.seed,
+    )
+    survey = ResolverSurvey(inet.network, probes, inet.allocator.next_v4())
+    entries = survey.run(deployment)
+    atlas = AtlasCampaign(inet.network, probes)
+    entries += atlas.run(deployment)
+    return entries
+
+
+def cmd_study(args):
+    """Run both pipelines and print the combined study report."""
+    inet, probes, domains, tlds = _build(args, with_probes=True)
+    engine, results = _run_domain_scan(inet, domains)
+    tld_results = scan_tlds(engine, tlds)
+    entries = _run_survey(inet, probes, args)
+    print(render_study_report(results, len(domains), tld_results, entries))
+
+
+def cmd_scan(args):
+    """Run the §4.1 domain pipeline and print its report."""
+    inet, __, domains, __tlds = _build(args, with_probes=False)
+    __, results = _run_domain_scan(inet, domains)
+    print(render_study_report(results, len(domains)))
+
+
+def cmd_survey(args):
+    """Run the §4.2 resolver survey and print the headline numbers."""
+    args.domains = min(args.domains, 20)
+    inet, probes, __, __tlds = _build(args, with_probes=True)
+    entries = _run_survey(inet, probes, args)
+    from repro.analysis.stats import resolver_headline_stats
+
+    headline = resolver_headline_stats([e.classification for e in entries])
+    print("validating resolver survey (paper §5.2):")
+    for label, paper, measured in headline.rows():
+        print(f"  {label:40s} paper={paper:>6}  measured={measured}")
+
+
+def cmd_timeline(args):
+    """Print the modelled RFC 9276 adoption timeline."""
+    states = compliance_timeline()
+    print("modelled RFC 9276 adoption timeline (paper §6 future work):")
+    print(f"{'year':>7s} {'0-iter share':>13s} {'NSEC3 share':>12s} "
+          f"{'vendor limit':>13s} {'limit adoption':>15s}")
+    for state in states:
+        limit = state.vendor_limit if state.vendor_limit is not None else "-"
+        print(
+            f"{state.year:7.1f} {state.zero_iteration_share:12.1%} "
+            f"{state.nsec3_share:11.1%} {str(limit):>13s} "
+            f"{state.resolver_limit_adoption:14.1%}"
+        )
+        for event in state.events:
+            print(f"        ← {event.actor}: {event.description}")
+    anchor = paper_anchor(states)
+    print(
+        f"\nat the paper's measurement point ({anchor.year}): "
+        f"{1 - anchor.zero_iteration_share:.1%} non-compliant "
+        f"(paper measured 87.8 %)"
+    )
+
+
+def cmd_guidance(args):
+    """Print the twelve guidance items (paper Table 1)."""
+    print("RFC 9276 guidance (paper Table 1):")
+    for item in GUIDANCE:
+        print(f"  Item {item.number:2d} [{item.keyword.value:15s}] "
+              f"({item.audience.value}) {item.summary}")
+
+
+def main(argv=None):
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Zeros Are Heroes: NSEC3 Parameter "
+        "Settings in the Wild' (IMC 2024)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, handler, help_text in (
+        ("study", cmd_study, "full study: domains + TLDs + resolvers"),
+        ("scan", cmd_scan, "domain pipeline only (§4.1/§5.1)"),
+        ("survey", cmd_survey, "resolver survey only (§4.2/§5.2)"),
+    ):
+        command = sub.add_parser(name, help=help_text)
+        command.add_argument("--domains", type=int, default=400)
+        command.add_argument("--tlds", type=int, default=120)
+        command.add_argument("--resolvers", type=int, default=40)
+        command.add_argument("--seed", type=int, default=7)
+        command.set_defaults(handler=handler)
+
+    timeline = sub.add_parser("timeline", help="modelled adoption timeline")
+    timeline.set_defaults(handler=cmd_timeline)
+    guidance = sub.add_parser("guidance", help="print the twelve items")
+    guidance.set_defaults(handler=cmd_guidance)
+
+    args = parser.parse_args(argv)
+    args.handler(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Analysis: turning scan output into the paper's tables and figures."""
+
+from repro.analysis.cdf import Cdf
+from repro.analysis.stats import domain_headline_stats, resolver_headline_stats
+from repro.analysis.tables import operator_table
+from repro.analysis.figures import figure1_series, figure2_series, figure3_series
+from repro.analysis.longitudinal import compliance_timeline
+from repro.analysis.export import (
+    classifications_from_jsonl,
+    classifications_to_jsonl,
+    domain_results_from_jsonl,
+    domain_results_to_jsonl,
+)
+
+__all__ = [
+    "Cdf",
+    "domain_headline_stats",
+    "resolver_headline_stats",
+    "operator_table",
+    "figure1_series",
+    "figure2_series",
+    "figure3_series",
+    "compliance_timeline",
+    "classifications_from_jsonl",
+    "classifications_to_jsonl",
+    "domain_results_from_jsonl",
+    "domain_results_to_jsonl",
+]

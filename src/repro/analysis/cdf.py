@@ -1,0 +1,51 @@
+"""Empirical cumulative distribution functions for the figures."""
+
+from __future__ import annotations
+
+import bisect
+import math
+
+
+class Cdf:
+    """An empirical CDF over numeric samples."""
+
+    def __init__(self, samples):
+        self.samples = sorted(samples)
+
+    def __len__(self):
+        return len(self.samples)
+
+    def fraction_at_or_below(self, value):
+        """P(X ≤ value), in [0, 1]."""
+        if not self.samples:
+            return 0.0
+        return bisect.bisect_right(self.samples, value) / len(self.samples)
+
+    def percentile(self, fraction):
+        """The smallest sample x with P(X ≤ x) ≥ fraction."""
+        if not self.samples:
+            raise ValueError("empty CDF")
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        rank = math.ceil(fraction * len(self.samples))
+        return self.samples[max(0, rank - 1)]
+
+    def points(self, max_points=None):
+        """(x, P(X ≤ x)) step points suitable for plotting or tabulation."""
+        points = []
+        n = len(self.samples)
+        previous = object()
+        for index, value in enumerate(self.samples, start=1):
+            if value != previous:
+                points.append((value, index / n))
+                previous = value
+            else:
+                points[-1] = (value, index / n)
+        if max_points is not None and len(points) > max_points:
+            step = len(points) / max_points
+            points = [points[int(i * step)] for i in range(max_points)]
+        return points
+
+    def series_at(self, xs):
+        """The CDF evaluated at each x in *xs* (for fixed-grid tables)."""
+        return [(x, self.fraction_at_or_below(x)) for x in xs]

@@ -1,0 +1,173 @@
+"""Result serialisation: zdns-style JSONL and figure CSVs.
+
+The real pipeline's glue is files: zdns emits JSON lines, the analysis
+notebooks read them, and the figures are plotted from CSV series. This
+module provides the same seams so downstream users can run the scan once
+and analyse offline:
+
+- :func:`domain_results_to_jsonl` / :func:`domain_results_from_jsonl` —
+  lossless round-trip of stage-2 scan results;
+- :func:`classifications_to_jsonl` / :func:`classifications_from_jsonl` —
+  resolver survey classifications;
+- :func:`figure_to_csv` — any figure series as CSV text.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.resolver_compliance import ResolverClassification
+from repro.core.zone_compliance import Nsec3Observation, check_zone_compliance
+from repro.scanner.nsec3_scan import DomainScanResult
+
+
+def _params_to_json(params):
+    return [
+        {"algorithm": alg, "iterations": iterations, "salt": salt.hex()}
+        for alg, iterations, salt in params
+    ]
+
+
+def _params_from_json(entries):
+    return tuple(
+        (entry["algorithm"], entry["iterations"], bytes.fromhex(entry["salt"]))
+        for entry in entries
+    )
+
+
+def domain_result_to_dict(result):
+    """One stage-2 result as a JSON-serialisable dict (zdns-style record)."""
+    observation = result.observation
+    record = {
+        "domain": result.domain,
+        "denial": result.denial,
+        "ns_targets": list(result.ns_targets),
+        "observation": None,
+    }
+    if observation is not None:
+        record["observation"] = {
+            "dnssec_enabled": observation.dnssec_enabled,
+            "nsec3param_records": _params_to_json(observation.nsec3param_records),
+            "nsec3_records": _params_to_json(observation.nsec3_records),
+            "opt_out_seen": observation.opt_out_seen,
+            "delegation_count": observation.delegation_count,
+            "zone_published_openly": observation.zone_published_openly,
+        }
+    return record
+
+
+def domain_result_from_dict(record):
+    """Rebuild a result (reports are recomputed, not stored)."""
+    result = DomainScanResult(domain=record["domain"])
+    result.denial = record.get("denial", "")
+    result.ns_targets = tuple(record.get("ns_targets", ()))
+    observation = record.get("observation")
+    if observation is not None:
+        result.observation = Nsec3Observation(
+            domain=record["domain"],
+            dnssec_enabled=observation["dnssec_enabled"],
+            nsec3param_records=_params_from_json(observation["nsec3param_records"]),
+            nsec3_records=_params_from_json(observation["nsec3_records"]),
+            opt_out_seen=observation["opt_out_seen"],
+            delegation_count=observation["delegation_count"],
+            zone_published_openly=observation["zone_published_openly"],
+        )
+        result.report = check_zone_compliance(result.observation)
+    return result
+
+
+def domain_results_to_jsonl(results):
+    """All results as JSON-lines text."""
+    return "\n".join(
+        json.dumps(domain_result_to_dict(result), sort_keys=True)
+        for result in results
+    )
+
+
+def domain_results_from_jsonl(text):
+    """Parse JSON-lines text back into scan results."""
+    return [
+        domain_result_from_dict(json.loads(line))
+        for line in text.splitlines()
+        if line.strip()
+    ]
+
+
+def classification_to_dict(cls):
+    """One resolver classification as a JSON-serialisable dict."""
+    return {
+        "resolver": cls.resolver,
+        "is_validating": cls.is_validating,
+        "limits_iterations": cls.limits_iterations,
+        "implements_item6": cls.implements_item6,
+        "insecure_threshold": cls.insecure_threshold,
+        "implements_item8": cls.implements_item8,
+        "servfail_threshold": cls.servfail_threshold,
+        "ede27_support": cls.ede27_support,
+        "item7_violation": cls.item7_violation,
+        "item12_gap": cls.item12_gap,
+        "notes": list(cls.notes),
+    }
+
+
+def classification_from_dict(record):
+    """Rebuild a classification from its dict form."""
+    return ResolverClassification(
+        resolver=record.get("resolver", ""),
+        is_validating=record["is_validating"],
+        limits_iterations=record["limits_iterations"],
+        implements_item6=record["implements_item6"],
+        insecure_threshold=record["insecure_threshold"],
+        implements_item8=record["implements_item8"],
+        servfail_threshold=record["servfail_threshold"],
+        ede27_support=record["ede27_support"],
+        item7_violation=record["item7_violation"],
+        item12_gap=record["item12_gap"],
+        notes=list(record.get("notes", [])),
+    )
+
+
+def classifications_to_jsonl(classifications):
+    """All classifications as JSON-lines text."""
+    return "\n".join(
+        json.dumps(classification_to_dict(cls), sort_keys=True)
+        for cls in classifications
+    )
+
+
+def classifications_from_jsonl(text):
+    """Parse JSON-lines text back into classifications."""
+    return [
+        classification_from_dict(json.loads(line))
+        for line in text.splitlines()
+        if line.strip()
+    ]
+
+
+def figure_to_csv(header, rows):
+    """Render a figure series as CSV text (no quoting needed: numbers only)."""
+    lines = [",".join(header)]
+    for row in rows:
+        lines.append(
+            ",".join(
+                f"{value:.4f}" if isinstance(value, float) else str(value)
+                for value in row
+            )
+        )
+    return "\n".join(lines)
+
+
+def figure1_csv(figure1, xs=(0, 1, 2, 5, 8, 10, 16, 25, 50, 100, 150, 500)):
+    """Figure 1's two CDFs as CSV evaluated on the grid *xs*."""
+    return figure_to_csv(
+        ("x", "iterations_at_or_below_pct", "salt_at_or_below_pct"),
+        figure1.rows(xs),
+    )
+
+
+def figure3_csv(figure3):
+    """One Figure 3 subfigure as CSV."""
+    return figure_to_csv(
+        ("iterations", "nxdomain_pct", "ad_nxdomain_pct", "servfail_pct"),
+        figure3.rows(),
+    )

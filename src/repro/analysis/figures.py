@@ -1,0 +1,149 @@
+"""Figure regeneration: the data series behind the paper's Figures 1–3."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.analysis.cdf import Cdf
+
+
+@dataclass
+class Figure1:
+    """CDFs of additional iterations and salt length (Figure 1)."""
+
+    iterations_cdf: Cdf
+    salt_length_cdf: Cdf
+
+    def rows(self, xs=(0, 1, 2, 5, 8, 10, 16, 25, 50, 100, 150, 500)):
+        """(x, %domains with iterations ≤ x, %domains with salt ≤ x B)."""
+        return [
+            (
+                x,
+                100.0 * self.iterations_cdf.fraction_at_or_below(x),
+                100.0 * self.salt_length_cdf.fraction_at_or_below(x),
+            )
+            for x in xs
+        ]
+
+
+def figure1_series(scan_results):
+    """Figure 1 from stage-2 scan results (NSEC3-enabled domains only)."""
+    iterations = []
+    salts = []
+    for result in scan_results:
+        if not result.nsec3_enabled:
+            continue
+        iterations.append(result.report.iterations)
+        salts.append(result.report.salt_length)
+    return Figure1(Cdf(iterations), Cdf(salts))
+
+
+@dataclass
+class Figure2:
+    """CDFs over popularity ranks (Figure 2)."""
+
+    #: Ranks of all NSEC3-enabled ranked domains.
+    nsec3_rank_cdf: Cdf
+    #: Ranks of NSEC3-enabled ranked domains with zero iterations.
+    zero_it_rank_cdf: Cdf
+    #: Ranks of NSEC3-enabled ranked domains without salt.
+    no_salt_rank_cdf: Cdf
+    list_size: int
+    counts: dict
+
+    def rows(self, buckets=10):
+        """Rank-bucket rows: (upper rank, % of each curve at or below)."""
+        rows = []
+        for bucket in range(1, buckets + 1):
+            upper = self.list_size * bucket // buckets
+            rows.append(
+                (
+                    upper,
+                    100.0 * self.nsec3_rank_cdf.fraction_at_or_below(upper),
+                    100.0 * self.zero_it_rank_cdf.fraction_at_or_below(upper),
+                    100.0 * self.no_salt_rank_cdf.fraction_at_or_below(upper),
+                )
+            )
+        return rows
+
+
+def figure2_series(scan_results, specs, list_size):
+    """Figure 2: intersect scan results with the synthetic Tranco list.
+
+    *specs* supply the rank assignment (scan results identify domains by
+    name); *list_size* is the ranking's length.
+    """
+    rank_of = {spec.name: spec.tranco_rank for spec in specs if spec.tranco_rank}
+    nsec3_ranks, zero_ranks, nosalt_ranks = [], [], []
+    ranked_dnssec = 0
+    for result in scan_results:
+        rank = rank_of.get(result.domain)
+        if rank is None:
+            continue
+        ranked_dnssec += 1
+        if not result.nsec3_enabled:
+            continue
+        nsec3_ranks.append(rank)
+        if result.report.iterations == 0:
+            zero_ranks.append(rank)
+        if result.report.salt_length == 0:
+            nosalt_ranks.append(rank)
+    counts = {
+        "ranked_dnssec": ranked_dnssec,
+        "ranked_nsec3": len(nsec3_ranks),
+        "zero_iterations": len(zero_ranks),
+        "no_salt": len(nosalt_ranks),
+        "both": 0,
+    }
+    return Figure2(
+        Cdf(nsec3_ranks), Cdf(zero_ranks), Cdf(nosalt_ranks), list_size, counts
+    )
+
+
+@dataclass
+class Figure3Category:
+    """One subfigure of Figure 3 (e.g. open IPv4)."""
+
+    category: str
+    validators: int
+    #: iteration count -> (nxdomain %, ad+nxdomain %, servfail %).
+    series: dict
+
+    def rows(self):
+        return [
+            (count, *self.series[count]) for count in sorted(self.series)
+        ]
+
+
+def figure3_series(entries, category):
+    """Build one Figure 3 subfigure from survey entries.
+
+    *entries* are :class:`repro.scanner.resolver_scan.SurveyEntry` for one
+    (open/closed, v4/v6) category; only validating resolvers contribute,
+    as in the paper.
+    """
+    validators = [e for e in entries if e.classification.is_validating]
+    tallies = defaultdict(lambda: [0, 0, 0])
+    for entry in validators:
+        for key, result in entry.matrix.items():
+            if not isinstance(key, int):
+                continue
+            if result.is_nxdomain:
+                tallies[key][0] += 1
+                if result.ad:
+                    tallies[key][1] += 1
+            elif result.is_servfail:
+                tallies[key][2] += 1
+    total = len(validators)
+    series = {}
+    for count, (nx, adnx, servfail) in tallies.items():
+        if total:
+            series[count] = (
+                100.0 * nx / total,
+                100.0 * adnx / total,
+                100.0 * servfail / total,
+            )
+        else:
+            series[count] = (0.0, 0.0, 0.0)
+    return Figure3Category(category=category, validators=total, series=series)

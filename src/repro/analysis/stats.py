@@ -1,0 +1,157 @@
+"""Headline statistics — the numbers quoted in the paper's §5 prose."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.resolver_compliance import summarize as summarize_resolvers
+from repro.core.zone_compliance import summarize as summarize_zones
+
+
+def _pct(part, whole):
+    return 100.0 * part / whole if whole else 0.0
+
+
+@dataclass
+class DomainHeadline:
+    """§5.1 headline numbers, computed from scan results."""
+
+    total_domains: int
+    dnssec_enabled: int
+    nsec3_enabled: int
+    zero_iterations: int
+    no_salt: int
+    both_compliant: int
+    opt_out: int
+    max_iterations: int
+    over_150_iterations: int
+
+    @property
+    def dnssec_pct(self):
+        return _pct(self.dnssec_enabled, self.total_domains)
+
+    @property
+    def nsec3_given_dnssec_pct(self):
+        return _pct(self.nsec3_enabled, self.dnssec_enabled)
+
+    @property
+    def zero_iterations_pct(self):
+        return _pct(self.zero_iterations, self.nsec3_enabled)
+
+    @property
+    def non_compliant_pct(self):
+        """The paper's 87.8 %: NSEC3-enabled domains failing Item 2."""
+        return 100.0 - self.zero_iterations_pct
+
+    @property
+    def no_salt_pct(self):
+        return _pct(self.no_salt, self.nsec3_enabled)
+
+    @property
+    def opt_out_pct(self):
+        return _pct(self.opt_out, self.nsec3_enabled)
+
+    def rows(self):
+        """(label, paper value, measured value) rows for reports."""
+        return [
+            ("DNSSEC-enabled / registered (%)", 8.8, round(self.dnssec_pct, 1)),
+            ("NSEC3-enabled / DNSSEC (%)", 58.9, round(self.nsec3_given_dnssec_pct, 1)),
+            ("zero additional iterations (%)", 12.2, round(self.zero_iterations_pct, 1)),
+            ("non-compliant with Item 2 (%)", 87.8, round(self.non_compliant_pct, 1)),
+            ("no salt (%)", 8.6, round(self.no_salt_pct, 1)),
+            ("opt-out flag set (%)", 6.4, round(self.opt_out_pct, 1)),
+            ("max additional iterations", 500, self.max_iterations),
+        ]
+
+
+def domain_headline_stats(scan_results, total_domains, dnssec_enabled=None):
+    """Compute §5.1 headlines from stage-2 scan results.
+
+    *total_domains* is the size of the registered-domain universe the scan
+    started from (the 302 M equivalent); *dnssec_enabled* defaults to the
+    number of scanned domains (stage 1 output).
+    """
+    reports = [r.report for r in scan_results if r.report is not None]
+    totals = summarize_zones(reports)
+    iteration_values = [
+        r.report.iterations
+        for r in scan_results
+        if r.nsec3_enabled and r.report.iterations is not None
+    ]
+    return DomainHeadline(
+        total_domains=total_domains,
+        dnssec_enabled=dnssec_enabled if dnssec_enabled is not None else len(scan_results),
+        nsec3_enabled=totals["nsec3_enabled"],
+        zero_iterations=totals["item2_compliant"],
+        no_salt=totals["item3_compliant"],
+        both_compliant=totals["both_compliant"],
+        opt_out=totals["opt_out"],
+        max_iterations=max(iteration_values, default=0),
+        over_150_iterations=sum(1 for v in iteration_values if v > 150),
+    )
+
+
+@dataclass
+class ResolverHeadline:
+    """§5.2 headline numbers, computed from resolver classifications."""
+
+    resolvers_probed: int
+    validators: int
+    limit_iterations: int
+    item6: int
+    item8: int
+    servfail_at_one: int
+    ede27: int
+    item7_violations: int
+    item12_gaps: int
+
+    @property
+    def limit_pct(self):
+        return _pct(self.limit_iterations, self.validators)
+
+    @property
+    def item6_pct(self):
+        return _pct(self.item6, self.validators)
+
+    @property
+    def item8_pct(self):
+        return _pct(self.item8, self.validators)
+
+    @property
+    def ede27_pct(self):
+        return _pct(self.ede27, self.limit_iterations)
+
+    @property
+    def item7_violation_pct(self):
+        return _pct(self.item7_violations, self.item6)
+
+    @property
+    def item12_gap_pct(self):
+        return _pct(self.item12_gaps, self.validators)
+
+    def rows(self):
+        return [
+            ("validators limiting iterations (%)", 78.3, round(self.limit_pct, 1)),
+            ("Item 6: insecure above a limit (%)", 59.9, round(self.item6_pct, 1)),
+            ("Item 8: SERVFAIL above a limit (%)", 18.4, round(self.item8_pct, 1)),
+            ("SERVFAIL from it-1 (count)", 418, self.servfail_at_one),
+            ("EDE 27 among limiters (%)", 18.0, round(self.ede27_pct, 1)),
+            ("Item 7 violations (%)", 0.2, round(self.item7_violation_pct, 1)),
+            ("Item 12 gaps (%)", 4.3, round(self.item12_gap_pct, 1)),
+        ]
+
+
+def resolver_headline_stats(classifications):
+    """Compute §5.2 headlines from a set of resolver classifications."""
+    totals = summarize_resolvers(classifications)
+    return ResolverHeadline(
+        resolvers_probed=totals["resolvers"],
+        validators=totals["validating"],
+        limit_iterations=totals["limit_iterations"],
+        item6=totals["item6"],
+        item8=totals["item8"],
+        servfail_at_one=totals["servfail_at_one"],
+        ede27=totals["ede27"],
+        item7_violations=totals["item7_violations"],
+        item12_gaps=totals["item12_gaps"],
+    )

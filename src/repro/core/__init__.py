@@ -1,0 +1,34 @@
+"""The paper's primary contribution: an RFC 9276 compliance engine.
+
+- :mod:`repro.core.guidance` — Table 1 of the paper (the twelve guidance
+  items of RFC 9276) encoded as first-class rule objects.
+- :mod:`repro.core.zone_compliance` — Items 1–5 audits for zones/domains,
+  plus the RFC 5155 consistency checks of paper §4.1.
+- :mod:`repro.core.resolver_compliance` — Items 6–12 classification of a
+  resolver from its observed responses to the ``it-N`` probe zones
+  (paper §4.2/§5.2).
+"""
+
+from repro.core.guidance import GUIDANCE, GuidanceItem, Requirement
+from repro.core.zone_compliance import (
+    Nsec3Observation,
+    ZoneComplianceReport,
+    check_zone_compliance,
+)
+from repro.core.resolver_compliance import (
+    ProbeResult,
+    ResolverClassification,
+    classify_resolver,
+)
+
+__all__ = [
+    "GUIDANCE",
+    "GuidanceItem",
+    "Requirement",
+    "Nsec3Observation",
+    "ZoneComplianceReport",
+    "check_zone_compliance",
+    "ProbeResult",
+    "ResolverClassification",
+    "classify_resolver",
+]

@@ -1,0 +1,138 @@
+"""RFC 9276 guidance items — Table 1 of the paper, as data.
+
+Items 1–5 address authoritative name servers (zone-side settings); Items
+6–12 address validating resolvers. Each item carries its RFC 2119
+requirement keyword so reports can distinguish MUST violations from
+ignored recommendations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Requirement(enum.Enum):
+    """RFC 2119 requirement levels as used in RFC 9276."""
+
+    MUST = "MUST"
+    MUST_NOT = "MUST NOT"
+    SHOULD = "SHOULD"
+    SHOULD_NOT = "SHOULD NOT"
+    RECOMMENDED = "RECOMMENDED"
+    NOT_RECOMMENDED = "NOT RECOMMENDED"
+    MAY = "MAY"
+
+
+class Audience(enum.Enum):
+    """Whom a guidance item addresses."""
+
+    AUTHORITATIVE = "authoritative name server"
+    RESOLVER = "validating resolver"
+
+
+@dataclass(frozen=True)
+class GuidanceItem:
+    """One row of the paper's Table 1."""
+
+    number: int
+    keyword: Requirement
+    audience: Audience
+    summary: str
+
+    def __str__(self):
+        return f"Item {self.number} ({self.keyword.value}): {self.summary}"
+
+
+#: The twelve items of RFC 9276 as summarised in the paper's Table 1.
+GUIDANCE = (
+    GuidanceItem(
+        1,
+        Requirement.SHOULD,
+        Audience.AUTHORITATIVE,
+        "prefer NSEC over NSEC3, if the NSEC3 operational or security "
+        "features are not needed",
+    ),
+    GuidanceItem(
+        2,
+        Requirement.MUST,
+        Audience.AUTHORITATIVE,
+        "set the number of additional iterations to 0",
+    ),
+    GuidanceItem(
+        3,
+        Requirement.SHOULD_NOT,
+        Audience.AUTHORITATIVE,
+        "use a salt",
+    ),
+    GuidanceItem(
+        4,
+        Requirement.NOT_RECOMMENDED,
+        Audience.AUTHORITATIVE,
+        "set the opt-out flag for small zones",
+    ),
+    GuidanceItem(
+        5,
+        Requirement.MAY,
+        Audience.AUTHORITATIVE,
+        "set the opt-out flag for very large and sparsely signed zones with "
+        "the majority of records insecure delegations",
+    ),
+    GuidanceItem(
+        6,
+        Requirement.MAY,
+        Audience.RESOLVER,
+        "return an insecure response if a queried name server returns NSEC3 "
+        "resource records not complying with Item 2",
+    ),
+    GuidanceItem(
+        7,
+        Requirement.MUST,
+        Audience.RESOLVER,
+        "verify the RRSIG RRs for NSEC3 RRs in the answer of the "
+        "authoritative server to ensure integrity of the number of "
+        "additional iterations, if Item 6 is implemented",
+    ),
+    GuidanceItem(
+        8,
+        Requirement.MAY,
+        Audience.RESOLVER,
+        "set RCODE to SERVFAIL in the response to the client, if a queried "
+        "name server returns NSEC3 RRs not complying with Item 2",
+    ),
+    GuidanceItem(
+        9,
+        Requirement.MAY,
+        Audience.RESOLVER,
+        "ignore the response of the queried name server, if it returns "
+        "NSEC3 RRs not complying with Item 2, likely resulting in SERVFAIL",
+    ),
+    GuidanceItem(
+        10,
+        Requirement.SHOULD,
+        Audience.RESOLVER,
+        "return EDE information with INFO-CODE set to 27, if Item 6 or "
+        "Item 8 are implemented",
+    ),
+    GuidanceItem(
+        11,
+        Requirement.MUST_NOT,
+        Audience.RESOLVER,
+        "return EDE information as in Item 10, if Item 9 is implemented",
+    ),
+    GuidanceItem(
+        12,
+        Requirement.SHOULD,
+        Audience.RESOLVER,
+        "set the number of iterations starting from which Item 6 and Item 8 "
+        "are implemented to the same value if both are implemented",
+    ),
+)
+
+
+def item(number):
+    """Look up a guidance item by its Table 1 number."""
+    for entry in GUIDANCE:
+        if entry.number == number:
+            return entry
+    raise KeyError(f"no guidance item {number}")

@@ -1,0 +1,126 @@
+"""RSA key generation and PKCS#1 v1.5 signatures (RFC 8017 subset).
+
+DNSSEC algorithms 5 (RSASHA1) and 8 (RSASHA256) use this scheme
+(RFC 3110 / RFC 5702). The DNSKEY public-key wire format is implemented in
+:func:`encode_public_key` / :func:`decode_public_key`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+from repro.crypto.primes import generate_prime
+
+# DigestInfo DER prefixes for EMSA-PKCS1-v1_5 (RFC 8017 §9.2 notes).
+_DIGEST_PREFIX = {
+    "sha1": bytes.fromhex("3021300906052b0e03021a05000414"),
+    "sha256": bytes.fromhex("3031300d060960864801650304020105000420"),
+}
+
+
+class RsaPrivateKey:
+    """An RSA private key (n, e, d)."""
+
+    __slots__ = ("n", "e", "d", "bits")
+
+    def __init__(self, n, e, d):
+        self.n = n
+        self.e = e
+        self.d = d
+        self.bits = n.bit_length()
+
+    def public(self):
+        return RsaPublicKey(self.n, self.e)
+
+    def sign(self, message, hash_name="sha256"):
+        """EMSA-PKCS1-v1_5 signature over *message*."""
+        em = _pkcs1_encode(message, (self.bits + 7) // 8, hash_name)
+        signature = pow(int.from_bytes(em, "big"), self.d, self.n)
+        return signature.to_bytes((self.bits + 7) // 8, "big")
+
+
+class RsaPublicKey:
+    """An RSA public key (n, e)."""
+
+    __slots__ = ("n", "e", "bits")
+
+    def __init__(self, n, e):
+        self.n = n
+        self.e = e
+        self.bits = n.bit_length()
+
+    def verify(self, message, signature, hash_name="sha256"):
+        """True iff *signature* is a valid PKCS#1 v1.5 signature of *message*."""
+        k = (self.bits + 7) // 8
+        if len(signature) != k:
+            return False
+        decrypted = pow(int.from_bytes(signature, "big"), self.e, self.n)
+        expected = _pkcs1_encode(message, k, hash_name)
+        return decrypted.to_bytes(k, "big") == expected
+
+
+def _pkcs1_encode(message, em_len, hash_name):
+    prefix = _DIGEST_PREFIX[hash_name]
+    digest = hashlib.new(hash_name, message).digest()
+    t = prefix + digest
+    if em_len < len(t) + 11:
+        raise ValueError("RSA modulus too small for this digest")
+    padding = b"\xff" * (em_len - len(t) - 3)
+    return b"\x00\x01" + padding + b"\x00" + t
+
+
+def generate_rsa_key(bits=1024, rng=None):
+    """Generate an RSA key. 1024-bit keys keep the simulation fast.
+
+    e is fixed to 65537; p and q are regenerated until the modulus has
+    exactly *bits* bits and e is invertible mod λ(n).
+    """
+    rng = rng or random
+    e = 65537
+    while True:
+        p = generate_prime(bits // 2, rng=rng)
+        q = generate_prime(bits - bits // 2, rng=rng)
+        if p == q:
+            continue
+        n = p * q
+        if n.bit_length() != bits:
+            continue
+        phi = (p - 1) * (q - 1)
+        try:
+            d = pow(e, -1, phi)
+        except ValueError:
+            continue
+        return RsaPrivateKey(n, e, d)
+
+
+def encode_public_key(key):
+    """DNSKEY public key field for RSA (RFC 3110 §2)."""
+    exponent = key.e.to_bytes((key.e.bit_length() + 7) // 8, "big")
+    modulus = key.n.to_bytes((key.n.bit_length() + 7) // 8, "big")
+    if len(exponent) <= 255:
+        header = bytes([len(exponent)])
+    else:
+        header = b"\x00" + len(exponent).to_bytes(2, "big")
+    return header + exponent + modulus
+
+
+def decode_public_key(data):
+    """Parse an RFC 3110 public key field into :class:`RsaPublicKey`."""
+    if not data:
+        raise ValueError("empty RSA public key")
+    if data[0] != 0:
+        exp_len = data[0]
+        offset = 1
+    else:
+        if len(data) < 3:
+            raise ValueError("truncated RSA exponent length")
+        exp_len = int.from_bytes(data[1:3], "big")
+        offset = 3
+    if len(data) < offset + exp_len + 1:
+        raise ValueError("truncated RSA public key")
+    e = int.from_bytes(data[offset : offset + exp_len], "big")
+    n = int.from_bytes(data[offset + exp_len :], "big")
+    if n == 0 or e == 0:
+        raise ValueError("degenerate RSA public key")
+    return RsaPublicKey(n, e)

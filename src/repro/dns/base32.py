@@ -1,0 +1,47 @@
+"""Base32hex without padding (RFC 4648 §7), as used for NSEC3 owner names.
+
+NSEC3 (RFC 5155 §3.3) encodes hashed owner names with the *extended hex*
+alphabet ``0-9A-V`` so that the encoding preserves the hash ordering, which
+the NSEC3 chain relies on. Python's :mod:`base64` module offers b32hexencode
+only from 3.10 and always pads; DNS never pads, so we implement it directly.
+"""
+
+_ALPHABET = "0123456789ABCDEFGHIJKLMNOPQRSTUV"
+_DECODE = {ch: i for i, ch in enumerate(_ALPHABET)}
+_DECODE.update({ch.lower(): i for i, ch in enumerate(_ALPHABET)})
+
+
+def b32hex_encode(data):
+    """Encode *data* as unpadded base32hex text (uppercase)."""
+    bits = 0
+    acc = 0
+    out = []
+    for byte in data:
+        acc = (acc << 8) | byte
+        bits += 8
+        while bits >= 5:
+            bits -= 5
+            out.append(_ALPHABET[(acc >> bits) & 0x1F])
+    if bits:
+        out.append(_ALPHABET[(acc << (5 - bits)) & 0x1F])
+    return "".join(out)
+
+
+def b32hex_decode(text):
+    """Decode unpadded base32hex text (case-insensitive) to bytes."""
+    acc = 0
+    bits = 0
+    out = bytearray()
+    for ch in text:
+        if ch == "=":
+            continue
+        try:
+            value = _DECODE[ch]
+        except KeyError:
+            raise ValueError(f"invalid base32hex character: {ch!r}") from None
+        acc = (acc << 5) | value
+        bits += 5
+        if bits >= 8:
+            bits -= 8
+            out.append((acc >> bits) & 0xFF)
+    return bytes(out)

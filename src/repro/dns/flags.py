@@ -1,0 +1,27 @@
+"""DNS header flag bits (RFC 1035, RFC 4035)."""
+
+import enum
+
+
+class Flag(enum.IntFlag):
+    """Header flag bits in their wire positions within the 16-bit flags word.
+
+    ``AD`` (Authenticated Data) and ``CD`` (Checking Disabled) come from
+    DNSSEC (RFC 4035 §3.1.6, §3.2.2) and are central to the paper's
+    resolver measurements: a validating resolver sets AD on responses whose
+    data it has cryptographically verified.
+    """
+
+    QR = 0x8000
+    AA = 0x0400
+    TC = 0x0200
+    RD = 0x0100
+    RA = 0x0080
+    AD = 0x0020
+    CD = 0x0010
+
+    @classmethod
+    def to_text(cls, flags):
+        """Render set flags as space-separated mnemonics, e.g. ``"QR RD RA AD"``."""
+        names = [f.name for f in cls if flags & f]
+        return " ".join(names)

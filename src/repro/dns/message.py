@@ -1,0 +1,289 @@
+"""DNS message encoding and decoding (RFC 1035 §4, RFC 6891 for EDNS)."""
+
+from __future__ import annotations
+
+import os
+
+from repro.dns.edns import Edns
+from repro.dns.flags import Flag
+from repro.dns.name import Name
+from repro.dns.rcode import Rcode
+from repro.dns.rdata import parse_rdata
+from repro.dns.rdata.opt import OPT
+from repro.dns.rrset import RRset
+from repro.dns.types import Opcode, RdataClass, RdataType
+from repro.dns.wire import Reader, WireError, Writer
+
+HEADER_LENGTH = 12
+
+
+class Question:
+    """A question section entry."""
+
+    __slots__ = ("name", "rrtype", "rdclass")
+
+    def __init__(self, name, rrtype, rdclass=RdataClass.IN):
+        self.name = Name.from_text(name)
+        self.rrtype = int(rrtype)
+        self.rdclass = RdataClass(int(rdclass))
+
+    def __eq__(self, other):
+        if not isinstance(other, Question):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.rrtype == other.rrtype
+            and self.rdclass == other.rdclass
+        )
+
+    def __hash__(self):
+        return hash((self.name, self.rrtype, self.rdclass))
+
+    def __repr__(self):
+        return (
+            f"Question({self.name.to_text()!r}, "
+            f"{RdataType.to_text(self.rrtype)}, {self.rdclass.name})"
+        )
+
+
+class Message:
+    """A complete DNS message.
+
+    Sections hold :class:`~repro.dns.rrset.RRset` objects. EDNS state, if
+    any, lives in :attr:`edns`; the OPT pseudo-record is synthesised into
+    the additional section at encode time and lifted out at decode time.
+    """
+
+    def __init__(self, msg_id=None):
+        self.id = int.from_bytes(os.urandom(2), "big") if msg_id is None else int(msg_id)
+        self.flags = Flag(0)
+        self.opcode = Opcode.QUERY
+        self.rcode = Rcode.NOERROR
+        self.question = []
+        self.answer = []
+        self.authority = []
+        self.additional = []
+        self.edns = None
+
+    # -- flag helpers -----------------------------------------------------
+
+    def set_flag(self, flag, value=True):
+        if value:
+            self.flags |= flag
+        else:
+            self.flags &= ~flag
+        return self
+
+    def has_flag(self, flag):
+        return bool(self.flags & flag)
+
+    @property
+    def is_response(self):
+        return self.has_flag(Flag.QR)
+
+    @property
+    def authenticated(self):
+        """The AD bit: data was validated by the responding resolver."""
+        return self.has_flag(Flag.AD)
+
+    # -- EDNS helpers -----------------------------------------------------
+
+    def use_edns(self, payload_size=1232, dnssec_ok=False):
+        self.edns = Edns(payload_size=payload_size, dnssec_ok=dnssec_ok)
+        return self.edns
+
+    @property
+    def dnssec_ok(self):
+        return bool(self.edns and self.edns.dnssec_ok)
+
+    def extended_errors(self):
+        """Extended DNS Errors attached to this message (RFC 8914)."""
+        return self.edns.extended_errors() if self.edns else []
+
+    # -- section access ---------------------------------------------------
+
+    def find_rrset(self, section, name, rrtype):
+        """First RRset in *section* matching owner name and type, or None."""
+        name = Name.from_text(name)
+        for rrset in section:
+            if rrset.name == name and int(rrset.rrtype) == int(rrtype):
+                return rrset
+        return None
+
+    def get_rrsets(self, section, rrtype):
+        """All RRsets of the given type in *section*."""
+        return [rrset for rrset in section if int(rrset.rrtype) == int(rrtype)]
+
+    def all_rrsets(self):
+        return self.answer + self.authority + self.additional
+
+    def add_rrset(self, section, rrset):
+        """Merge *rrset* into *section*, coalescing with an existing RRset."""
+        existing = self.find_rrset(section, rrset.name, rrset.rrtype)
+        if existing is None:
+            section.append(rrset.copy())
+        else:
+            for rdata in rrset:
+                existing.add(rdata)
+        return self
+
+    # -- wire format --------------------------------------------------------
+
+    def to_wire(self, max_size=None):
+        """Encode to wire bytes; sets TC and truncates if *max_size* exceeded."""
+        writer = Writer()
+        flags_word = (
+            int(self.flags)
+            | ((int(self.opcode) & 0xF) << 11)
+            | (int(self.rcode) & 0xF)
+        )
+        writer.write_u16(self.id)
+        writer.write_u16(flags_word)
+        writer.write_u16(len(self.question))
+        additional = list(self.additional)
+        if self.edns is not None:
+            additional.append(self._opt_rrset())
+        # Section counts are per-RR, not per-RRset.
+        writer.write_u16(sum(len(r) for r in self.answer))
+        writer.write_u16(sum(len(r) for r in self.authority))
+        writer.write_u16(sum(len(r) for r in additional))
+        for question in self.question:
+            writer.write_name(question.name)
+            writer.write_u16(question.rrtype)
+            writer.write_u16(int(question.rdclass))
+        for section in (self.answer, self.authority, additional):
+            for rrset in section:
+                self._write_rrset(writer, rrset)
+        wire = writer.getvalue()
+        if max_size is not None and len(wire) > max_size:
+            wire = self._truncated_wire(max_size)
+        return wire
+
+    def _truncated_wire(self, max_size):
+        """Re-encode with answers dropped and TC set (good enough for UDP sim)."""
+        clone = Message(self.id)
+        clone.flags = self.flags | Flag.TC
+        clone.opcode = self.opcode
+        clone.rcode = self.rcode
+        clone.question = list(self.question)
+        clone.edns = self.edns
+        return clone.to_wire()
+
+    def _opt_rrset(self):
+        rrset = RRset(
+            Name(()),
+            RdataType.OPT,
+            self.edns.ttl_field(int(self.rcode)),
+            [self.edns.to_opt_rdata()],
+            # OPT abuses CLASS for payload size; bypass RdataClass enum.
+        )
+        rrset.rdclass = self.edns.payload_size
+        return rrset
+
+    @staticmethod
+    def _write_rrset(writer, rrset):
+        for rdata in rrset.rdatas:
+            writer.write_name(rrset.name)
+            writer.write_u16(int(rrset.rrtype))
+            writer.write_u16(int(rrset.rdclass))
+            writer.write_u32(rrset.ttl)
+            length_at = len(writer)
+            writer.write_u16(0)
+            start = len(writer)
+            rdata.write_wire(writer)
+            writer.set_u16(length_at, len(writer) - start)
+
+    @classmethod
+    def from_wire(cls, wire):
+        """Decode a message; raises :class:`WireError` on malformed input."""
+        reader = Reader(wire)
+        if reader.remaining() < HEADER_LENGTH:
+            raise WireError("message shorter than header")
+        msg = cls(reader.read_u16())
+        flags_word = reader.read_u16()
+        msg.flags = Flag(flags_word & 0x87B0)
+        opcode_value = (flags_word >> 11) & 0xF
+        try:
+            msg.opcode = Opcode(opcode_value)
+        except ValueError:
+            raise WireError(f"unknown opcode {opcode_value}") from None
+        rcode_low = flags_word & 0xF
+        qdcount = reader.read_u16()
+        ancount = reader.read_u16()
+        nscount = reader.read_u16()
+        arcount = reader.read_u16()
+        for __ in range(qdcount):
+            name = reader.read_name()
+            rrtype = reader.read_u16()
+            rdclass = reader.read_u16()
+            msg.question.append(Question(name, rrtype, rdclass))
+        msg.answer = cls._read_section(reader, ancount, msg)
+        msg.authority = cls._read_section(reader, nscount, msg)
+        msg.additional = cls._read_section(reader, arcount, msg)
+        high = msg.edns.ext_rcode_high if msg.edns else 0
+        msg.rcode = Rcode((high << 4) | rcode_low) if ((high << 4) | rcode_low) in Rcode._value2member_map_ else (high << 4) | rcode_low
+        return msg
+
+    @staticmethod
+    def _read_section(reader, count, msg):
+        section = []
+        for __ in range(count):
+            name = reader.read_name()
+            rrtype = reader.read_u16()
+            rdclass = reader.read_u16()
+            ttl = reader.read_u32()
+            rdlength = reader.read_u16()
+            rdata = parse_rdata(rrtype, reader, rdlength)
+            if rrtype == RdataType.OPT:
+                msg.edns = Edns.from_opt(rdata, rdclass, ttl)
+                continue
+            merged = False
+            for rrset in section:
+                if (
+                    rrset.name == name
+                    and int(rrset.rrtype) == rrtype
+                    and int(rrset.rdclass) == rdclass
+                ):
+                    rrset.add(rdata)
+                    merged = True
+                    break
+            if not merged:
+                rrset = RRset(name, rrtype, ttl, [rdata], RdataClass(rdclass) if rdclass in RdataClass._value2member_map_ else RdataClass.IN)
+                section.append(rrset)
+        return section
+
+    def __repr__(self):
+        q = self.question[0] if self.question else None
+        return (
+            f"<Message id={self.id} {Rcode.to_text(self.rcode)} "
+            f"[{Flag.to_text(self.flags)}] q={q!r} "
+            f"an={len(self.answer)} ns={len(self.authority)} ar={len(self.additional)}>"
+        )
+
+
+def make_query(name, rrtype, rdclass=RdataClass.IN, want_dnssec=False, payload_size=1232, recursion_desired=True, msg_id=None):
+    """Build a standard query message.
+
+    ``want_dnssec=True`` attaches EDNS with the DO bit so that signed
+    responses include RRSIG/NSEC3 material — exactly what the paper's
+    scanners send.
+    """
+    msg = Message(msg_id)
+    msg.set_flag(Flag.RD, recursion_desired)
+    msg.question.append(Question(name, rrtype, rdclass))
+    if want_dnssec or payload_size:
+        msg.use_edns(payload_size=payload_size, dnssec_ok=want_dnssec)
+    return msg
+
+
+def make_response(query, recursion_available=False):
+    """Build an empty response mirroring *query*'s id, question, and RD."""
+    msg = Message(query.id)
+    msg.set_flag(Flag.QR)
+    msg.set_flag(Flag.RD, query.has_flag(Flag.RD))
+    msg.set_flag(Flag.RA, recursion_available)
+    msg.opcode = query.opcode
+    msg.question = list(query.question)
+    if query.edns is not None:
+        msg.use_edns(dnssec_ok=query.edns.dnssec_ok)
+    return msg

@@ -1,0 +1,27 @@
+"""DNS response codes (RFC 1035, RFC 6895)."""
+
+import enum
+
+
+class Rcode(enum.IntEnum):
+    """Response codes, including the EDNS-extended range."""
+
+    NOERROR = 0
+    FORMERR = 1
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    NOTIMP = 4
+    REFUSED = 5
+    YXDOMAIN = 6
+    YXRRSET = 7
+    NXRRSET = 8
+    NOTAUTH = 9
+    NOTZONE = 10
+    BADVERS = 16
+
+    @classmethod
+    def to_text(cls, value):
+        try:
+            return cls(value).name
+        except ValueError:
+            return f"RCODE{int(value)}"

@@ -1,0 +1,199 @@
+"""Rdata classes, one per supported RR type.
+
+Every concrete rdata class registers itself against its
+:class:`~repro.dns.types.RdataType` code and implements:
+
+- ``write_wire(writer)`` — append wire-format rdata (names may be compressed
+  only for types RFC 3597 permits; DNSSEC-era types never compress),
+- ``from_wire(reader, rdlength)`` — classmethod parser,
+- ``to_text()`` / ``from_text(text)`` — presentation format,
+- ``canonical_wire()`` — RFC 4034 §6.2 canonical form used for signing,
+  ordering within an RRset, and RRSIG computation.
+
+Unknown types round-trip through :class:`GenericRdata` (RFC 3597 style).
+"""
+
+from __future__ import annotations
+
+from repro.dns.types import RdataType
+from repro.dns.wire import Writer
+
+_REGISTRY = {}
+
+
+def register(rrtype):
+    """Class decorator tying an rdata class to a TYPE code."""
+
+    def wrap(cls):
+        cls.rrtype = RdataType(rrtype)
+        _REGISTRY[int(rrtype)] = cls
+        return cls
+
+    return wrap
+
+
+def class_for(rrtype):
+    """The rdata class for *rrtype*, or :class:`GenericRdata` if unknown."""
+    return _REGISTRY.get(int(rrtype), GenericRdata)
+
+
+class Rdata:
+    """Base class for all rdata. Instances are treated as immutable."""
+
+    rrtype = None
+    __slots__ = ()
+
+    def write_wire(self, writer):
+        raise NotImplementedError
+
+    @classmethod
+    def from_wire(cls, reader, rdlength):
+        raise NotImplementedError
+
+    def to_text(self):
+        raise NotImplementedError
+
+    @classmethod
+    def from_text(cls, text):
+        raise NotImplementedError
+
+    def to_wire(self):
+        """Standalone (uncompressed) wire-format rdata bytes."""
+        writer = Writer(enable_compression=False)
+        self.write_wire(writer)
+        return writer.getvalue()
+
+    def canonical_wire(self):
+        """Canonical form per RFC 4034 §6.2.
+
+        The default is the plain uncompressed wire form; types that embed
+        domain names override this to lowercase them.
+        """
+        return self.to_wire()
+
+    def __eq__(self, other):
+        if not isinstance(other, Rdata):
+            return NotImplemented
+        return (
+            int(self.rrtype) == int(other.rrtype)
+            and self.canonical_wire() == other.canonical_wire()
+        )
+
+    def __lt__(self, other):
+        """RFC 4034 §6.3 canonical rdata ordering (within an RRset)."""
+        if not isinstance(other, Rdata):
+            return NotImplemented
+        return self.canonical_wire() < other.canonical_wire()
+
+    def __hash__(self):
+        return hash((int(self.rrtype), self.canonical_wire()))
+
+    def __repr__(self):
+        return f"<{type(self).__name__} {self.to_text()}>"
+
+
+class GenericRdata(Rdata):
+    """Opaque rdata for types without a dedicated class (RFC 3597)."""
+
+    __slots__ = ("data", "_rrtype")
+
+    def __init__(self, rrtype, data):
+        object.__setattr__(self, "_rrtype", int(rrtype))
+        object.__setattr__(self, "data", bytes(data))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("rdata objects are immutable")
+
+    @property
+    def rrtype(self):
+        return self._rrtype
+
+    def write_wire(self, writer):
+        writer.write(self.data)
+
+    @classmethod
+    def from_wire(cls, reader, rdlength, rrtype=None):
+        return cls(rrtype if rrtype is not None else 0, reader.read(rdlength))
+
+    def to_text(self):
+        return f"\\# {len(self.data)} {self.data.hex()}"
+
+    @classmethod
+    def from_text(cls, text, rrtype=0):
+        parts = text.split()
+        if len(parts) < 2 or parts[0] != "\\#":
+            raise ValueError(f"not RFC 3597 generic rdata: {text!r}")
+        payload = bytes.fromhex("".join(parts[2:]))
+        if len(payload) != int(parts[1]):
+            raise ValueError("generic rdata length mismatch")
+        return cls(rrtype, payload)
+
+
+def parse_rdata(rrtype, reader, rdlength):
+    """Parse rdata of *rrtype* from *reader*, consuming exactly *rdlength*."""
+    start = reader.pos
+    cls = _REGISTRY.get(int(rrtype))
+    if cls is None:
+        rdata = GenericRdata(rrtype, reader.read(rdlength))
+    else:
+        rdata = cls.from_wire(reader, rdlength)
+    consumed = reader.pos - start
+    if consumed != rdlength:
+        raise ValueError(
+            f"rdata length mismatch for {RdataType.to_text(rrtype)}: "
+            f"declared {rdlength}, consumed {consumed}"
+        )
+    return rdata
+
+
+def rdata_from_text(rrtype, text):
+    """Parse presentation-format rdata for *rrtype*."""
+    cls = _REGISTRY.get(int(rrtype))
+    if cls is None:
+        return GenericRdata.from_text(text, rrtype=int(rrtype))
+    return cls.from_text(text)
+
+
+# Import concrete types for registration side effects (keep at end).
+from repro.dns.rdata import address as _address  # noqa: E402,F401
+from repro.dns.rdata import hostlike as _hostlike  # noqa: E402,F401
+from repro.dns.rdata import soa as _soa  # noqa: E402,F401
+from repro.dns.rdata import txt as _txt  # noqa: E402,F401
+from repro.dns.rdata import dnssec as _dnssec  # noqa: E402,F401
+from repro.dns.rdata import nsec as _nsec  # noqa: E402,F401
+from repro.dns.rdata import nsec3 as _nsec3  # noqa: E402,F401
+from repro.dns.rdata import opt as _opt  # noqa: E402,F401
+
+from repro.dns.rdata.address import A, AAAA  # noqa: E402
+from repro.dns.rdata.hostlike import NS, CNAME, PTR, MX, SRV  # noqa: E402
+from repro.dns.rdata.soa import SOA  # noqa: E402
+from repro.dns.rdata.txt import TXT  # noqa: E402
+from repro.dns.rdata.dnssec import DNSKEY, RRSIG, DS  # noqa: E402
+from repro.dns.rdata.nsec import NSEC  # noqa: E402
+from repro.dns.rdata.nsec3 import NSEC3, NSEC3PARAM  # noqa: E402
+from repro.dns.rdata.opt import OPT  # noqa: E402
+
+__all__ = [
+    "Rdata",
+    "GenericRdata",
+    "register",
+    "class_for",
+    "parse_rdata",
+    "rdata_from_text",
+    "A",
+    "AAAA",
+    "NS",
+    "CNAME",
+    "PTR",
+    "MX",
+    "SRV",
+    "SOA",
+    "TXT",
+    "DNSKEY",
+    "RRSIG",
+    "DS",
+    "NSEC",
+    "NSEC3",
+    "NSEC3PARAM",
+    "OPT",
+]

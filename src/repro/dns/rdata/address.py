@@ -1,0 +1,66 @@
+"""A and AAAA rdata (RFC 1035 §3.4.1, RFC 3596)."""
+
+from __future__ import annotations
+
+import ipaddress
+
+from repro.dns.rdata import Rdata, register
+from repro.dns.types import RdataType
+
+
+@register(RdataType.A)
+class A(Rdata):
+    """An IPv4 address record."""
+
+    __slots__ = ("address",)
+
+    def __init__(self, address):
+        object.__setattr__(self, "address", ipaddress.IPv4Address(address))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("rdata objects are immutable")
+
+    def write_wire(self, writer):
+        writer.write(self.address.packed)
+
+    @classmethod
+    def from_wire(cls, reader, rdlength):
+        if rdlength != 4:
+            raise ValueError(f"A rdata must be 4 bytes, got {rdlength}")
+        return cls(reader.read(4))
+
+    def to_text(self):
+        return str(self.address)
+
+    @classmethod
+    def from_text(cls, text):
+        return cls(text.strip())
+
+
+@register(RdataType.AAAA)
+class AAAA(Rdata):
+    """An IPv6 address record."""
+
+    __slots__ = ("address",)
+
+    def __init__(self, address):
+        object.__setattr__(self, "address", ipaddress.IPv6Address(address))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("rdata objects are immutable")
+
+    def write_wire(self, writer):
+        writer.write(self.address.packed)
+
+    @classmethod
+    def from_wire(cls, reader, rdlength):
+        if rdlength != 16:
+            raise ValueError(f"AAAA rdata must be 16 bytes, got {rdlength}")
+        return cls(reader.read(16))
+
+    def to_text(self):
+        return str(self.address)
+
+    @classmethod
+    def from_text(cls, text):
+        return cls(text.strip())

@@ -1,0 +1,170 @@
+"""NSEC3 and NSEC3PARAM rdata (RFC 5155).
+
+These are the records at the heart of the paper. An NSEC3 record's rdata
+carries the hash parameters (algorithm, flags with the opt-out bit,
+*additional iterations*, salt), the hashed next owner, and a type bitmap.
+NSEC3PARAM mirrors the parameters so that authoritative servers know which
+chain to serve.
+
+RFC 9276 mandates ``iterations == 0`` (Item 2) and recommends an empty salt
+(Item 3); this module only *represents* the records — the compliance logic
+lives in :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from repro.dns.base32 import b32hex_decode, b32hex_encode
+from repro.dns.bitmap import bitmap_to_text, decode_bitmap, encode_bitmap
+from repro.dns.rdata import Rdata, register
+from repro.dns.types import RdataType
+
+#: The only hash algorithm defined for NSEC3 (SHA-1, RFC 5155 §11).
+NSEC3_HASH_SHA1 = 1
+
+#: NSEC3 flags field: opt-out bit (RFC 5155 §3.1.2.1).
+NSEC3_FLAG_OPTOUT = 0x01
+
+
+def _encode_params(writer, hash_algorithm, flags, iterations, salt):
+    writer.write_u8(hash_algorithm)
+    writer.write_u8(flags)
+    writer.write_u16(iterations)
+    writer.write_u8(len(salt))
+    writer.write(salt)
+
+
+def _salt_to_text(salt):
+    return salt.hex().upper() if salt else "-"
+
+
+def _salt_from_text(text):
+    return b"" if text == "-" else bytes.fromhex(text)
+
+
+@register(RdataType.NSEC3)
+class NSEC3(Rdata):
+    """A hashed authenticated denial record."""
+
+    __slots__ = ("hash_algorithm", "flags", "iterations", "salt", "next_hash", "types")
+
+    def __init__(self, hash_algorithm, flags, iterations, salt, next_hash, types):
+        iterations = int(iterations)
+        if not 0 <= iterations <= 0xFFFF:
+            raise ValueError(f"iterations out of range: {iterations}")
+        salt = bytes(salt)
+        if len(salt) > 255:
+            raise ValueError("salt exceeds 255 bytes")
+        object.__setattr__(self, "hash_algorithm", int(hash_algorithm))
+        object.__setattr__(self, "flags", int(flags))
+        object.__setattr__(self, "iterations", iterations)
+        object.__setattr__(self, "salt", salt)
+        object.__setattr__(self, "next_hash", bytes(next_hash))
+        object.__setattr__(self, "types", tuple(sorted(set(int(t) for t in types))))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("rdata objects are immutable")
+
+    @property
+    def opt_out(self):
+        """True when the opt-out flag (Item 4/5 of RFC 9276) is set."""
+        return bool(self.flags & NSEC3_FLAG_OPTOUT)
+
+    def covers_type(self, rrtype):
+        return int(rrtype) in self.types
+
+    def parameters(self):
+        """The ``(hash_algorithm, iterations, salt)`` triple for comparisons."""
+        return (self.hash_algorithm, self.iterations, self.salt)
+
+    def write_wire(self, writer):
+        _encode_params(writer, self.hash_algorithm, self.flags, self.iterations, self.salt)
+        writer.write_u8(len(self.next_hash))
+        writer.write(self.next_hash)
+        writer.write(encode_bitmap(self.types))
+
+    @classmethod
+    def from_wire(cls, reader, rdlength):
+        end = reader.pos + rdlength
+        hash_algorithm = reader.read_u8()
+        flags = reader.read_u8()
+        iterations = reader.read_u16()
+        salt = reader.read(reader.read_u8())
+        next_hash = reader.read(reader.read_u8())
+        bitmap = reader.read(end - reader.pos)
+        return cls(hash_algorithm, flags, iterations, salt, next_hash, decode_bitmap(bitmap))
+
+    def to_text(self):
+        types_text = bitmap_to_text(self.types)
+        base = (
+            f"{self.hash_algorithm} {self.flags} {self.iterations} "
+            f"{_salt_to_text(self.salt)} {b32hex_encode(self.next_hash)}"
+        )
+        return f"{base} {types_text}".rstrip()
+
+    @classmethod
+    def from_text(cls, text):
+        fields = text.split()
+        if len(fields) < 5:
+            raise ValueError(f"NSEC3 needs ≥5 fields, got {len(fields)}")
+        return cls(
+            int(fields[0]),
+            int(fields[1]),
+            int(fields[2]),
+            _salt_from_text(fields[3]),
+            b32hex_decode(fields[4]),
+            [RdataType.from_text(t) for t in fields[5:]],
+        )
+
+
+@register(RdataType.NSEC3PARAM)
+class NSEC3PARAM(Rdata):
+    """The zone-apex record advertising the NSEC3 chain parameters.
+
+    Per RFC 5155 §4.1.2 the flags field of NSEC3PARAM must be zero (the
+    opt-out bit is meaningful only on NSEC3 records themselves).
+    """
+
+    __slots__ = ("hash_algorithm", "flags", "iterations", "salt")
+
+    def __init__(self, hash_algorithm, flags, iterations, salt):
+        iterations = int(iterations)
+        if not 0 <= iterations <= 0xFFFF:
+            raise ValueError(f"iterations out of range: {iterations}")
+        salt = bytes(salt)
+        if len(salt) > 255:
+            raise ValueError("salt exceeds 255 bytes")
+        object.__setattr__(self, "hash_algorithm", int(hash_algorithm))
+        object.__setattr__(self, "flags", int(flags))
+        object.__setattr__(self, "iterations", iterations)
+        object.__setattr__(self, "salt", salt)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("rdata objects are immutable")
+
+    def parameters(self):
+        """The ``(hash_algorithm, iterations, salt)`` triple for comparisons."""
+        return (self.hash_algorithm, self.iterations, self.salt)
+
+    def write_wire(self, writer):
+        _encode_params(writer, self.hash_algorithm, self.flags, self.iterations, self.salt)
+
+    @classmethod
+    def from_wire(cls, reader, rdlength):
+        hash_algorithm = reader.read_u8()
+        flags = reader.read_u8()
+        iterations = reader.read_u16()
+        salt = reader.read(reader.read_u8())
+        return cls(hash_algorithm, flags, iterations, salt)
+
+    def to_text(self):
+        return (
+            f"{self.hash_algorithm} {self.flags} {self.iterations} "
+            f"{_salt_to_text(self.salt)}"
+        )
+
+    @classmethod
+    def from_text(cls, text):
+        fields = text.split()
+        if len(fields) != 4:
+            raise ValueError(f"NSEC3PARAM needs 4 fields, got {len(fields)}")
+        return cls(int(fields[0]), int(fields[1]), int(fields[2]), _salt_from_text(fields[3]))

@@ -1,0 +1,75 @@
+"""SOA rdata (RFC 1035 §3.3.13)."""
+
+from __future__ import annotations
+
+from repro.dns.name import Name
+from repro.dns.rdata import Rdata, register
+from repro.dns.types import RdataType
+from repro.dns.wire import Writer
+
+
+@register(RdataType.SOA)
+class SOA(Rdata):
+    """A start-of-authority record.
+
+    The ``minimum`` field doubles as the negative-caching TTL (RFC 2308),
+    which the resolver cache honours for NXDOMAIN/NODATA entries.
+    """
+
+    __slots__ = ("mname", "rname", "serial", "refresh", "retry", "expire", "minimum")
+
+    def __init__(self, mname, rname, serial, refresh, retry, expire, minimum):
+        object.__setattr__(self, "mname", Name.from_text(mname))
+        object.__setattr__(self, "rname", Name.from_text(rname))
+        object.__setattr__(self, "serial", int(serial))
+        object.__setattr__(self, "refresh", int(refresh))
+        object.__setattr__(self, "retry", int(retry))
+        object.__setattr__(self, "expire", int(expire))
+        object.__setattr__(self, "minimum", int(minimum))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("rdata objects are immutable")
+
+    def write_wire(self, writer):
+        writer.write_name(self.mname)
+        writer.write_name(self.rname)
+        writer.write_u32(self.serial)
+        writer.write_u32(self.refresh)
+        writer.write_u32(self.retry)
+        writer.write_u32(self.expire)
+        writer.write_u32(self.minimum)
+
+    @classmethod
+    def from_wire(cls, reader, rdlength):
+        mname = reader.read_name()
+        rname = reader.read_name()
+        serial = reader.read_u32()
+        refresh = reader.read_u32()
+        retry = reader.read_u32()
+        expire = reader.read_u32()
+        minimum = reader.read_u32()
+        return cls(mname, rname, serial, refresh, retry, expire, minimum)
+
+    def to_text(self):
+        return (
+            f"{self.mname.to_text()} {self.rname.to_text()} {self.serial} "
+            f"{self.refresh} {self.retry} {self.expire} {self.minimum}"
+        )
+
+    @classmethod
+    def from_text(cls, text):
+        fields = text.split()
+        if len(fields) != 7:
+            raise ValueError(f"SOA needs 7 fields, got {len(fields)}")
+        return cls(*fields)
+
+    def canonical_wire(self):
+        writer = Writer(enable_compression=False)
+        writer.write(self.mname.canonical_wire())
+        writer.write(self.rname.canonical_wire())
+        writer.write_u32(self.serial)
+        writer.write_u32(self.refresh)
+        writer.write_u32(self.retry)
+        writer.write_u32(self.expire)
+        writer.write_u32(self.minimum)
+        return writer.getvalue()

@@ -1,0 +1,139 @@
+"""Low-level wire reading and writing, including RFC 1035 name compression."""
+
+from __future__ import annotations
+
+import struct
+
+from repro.dns.name import Name, NameError_, MAX_NAME_WIRE_LENGTH
+
+
+class WireError(ValueError):
+    """Raised when a DNS message cannot be parsed from wire bytes."""
+
+
+class Writer:
+    """Accumulates wire bytes and performs name compression.
+
+    Compression targets are remembered per canonical (lowercased) suffix;
+    pointers may only reference offsets below 0x4000 per RFC 1035.
+    """
+
+    def __init__(self, enable_compression=True):
+        self._buf = bytearray()
+        self._targets = {}
+        self._compress = enable_compression
+
+    def __len__(self):
+        return len(self._buf)
+
+    def getvalue(self):
+        return bytes(self._buf)
+
+    def write(self, data):
+        self._buf.extend(data)
+
+    def write_u8(self, value):
+        self._buf.append(value & 0xFF)
+
+    def write_u16(self, value):
+        self._buf.extend(struct.pack("!H", value & 0xFFFF))
+
+    def write_u32(self, value):
+        self._buf.extend(struct.pack("!I", value & 0xFFFFFFFF))
+
+    def set_u16(self, offset, value):
+        """Patch a previously written 16-bit field (e.g. RDLENGTH)."""
+        self._buf[offset : offset + 2] = struct.pack("!H", value & 0xFFFF)
+
+    def write_name(self, name, compress=None):
+        """Write *name*, emitting a compression pointer when a suffix matches."""
+        if compress is None:
+            compress = self._compress
+        labels = name.labels
+        for index in range(len(labels) + 1):
+            suffix_key = tuple(label.lower() for label in labels[index:])
+            if compress and suffix_key in self._targets:
+                pointer = self._targets[suffix_key]
+                self.write_u16(0xC000 | pointer)
+                return
+            if index == len(labels):
+                self.write_u8(0)
+                return
+            if len(self._buf) < 0x4000 and suffix_key:
+                self._targets[suffix_key] = len(self._buf)
+            label = labels[index]
+            self.write_u8(len(label))
+            self.write(label)
+
+
+class Reader:
+    """Sequential reader over a full DNS message with pointer chasing."""
+
+    def __init__(self, data):
+        self.data = bytes(data)
+        self.pos = 0
+
+    def remaining(self):
+        return len(self.data) - self.pos
+
+    def _need(self, count):
+        if self.pos + count > len(self.data):
+            raise WireError(
+                f"truncated message: need {count} bytes at offset {self.pos}"
+            )
+
+    def read(self, count):
+        self._need(count)
+        chunk = self.data[self.pos : self.pos + count]
+        self.pos += count
+        return chunk
+
+    def read_u8(self):
+        return self.read(1)[0]
+
+    def read_u16(self):
+        return struct.unpack("!H", self.read(2))[0]
+
+    def read_u32(self):
+        return struct.unpack("!I", self.read(4))[0]
+
+    def read_name(self):
+        """Read a (possibly compressed) name starting at the current offset."""
+        labels = []
+        pos = self.pos
+        jumped = False
+        seen = set()
+        total = 0
+        while True:
+            if pos >= len(self.data):
+                raise WireError("name runs past end of message")
+            length = self.data[pos]
+            if length & 0xC0 == 0xC0:
+                if pos + 1 >= len(self.data):
+                    raise WireError("truncated compression pointer")
+                target = ((length & 0x3F) << 8) | self.data[pos + 1]
+                if target in seen:
+                    raise WireError("compression pointer loop")
+                seen.add(target)
+                if not jumped:
+                    self.pos = pos + 2
+                    jumped = True
+                pos = target
+            elif length & 0xC0:
+                raise WireError(f"reserved label type 0x{length:02x}")
+            elif length == 0:
+                if not jumped:
+                    self.pos = pos + 1
+                break
+            else:
+                if pos + 1 + length > len(self.data):
+                    raise WireError("label runs past end of message")
+                labels.append(self.data[pos + 1 : pos + 1 + length])
+                total += length + 1
+                if total > MAX_NAME_WIRE_LENGTH:
+                    raise WireError("name exceeds 255 octets")
+                pos += 1 + length
+        try:
+            return Name(labels)
+        except NameError_ as exc:
+            raise WireError(str(exc)) from exc

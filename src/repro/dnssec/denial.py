@@ -1,0 +1,239 @@
+"""NSEC3 authenticated denial of existence (RFC 5155 §7/§8).
+
+Shared logic between the authoritative server (which must *assemble*
+closest-encloser proofs for negative answers) and the validating resolver
+(which must *verify* them — the CPU work CVE-2023-50868 amplifies).
+
+Verification of an NXDOMAIN requires hashing, per candidate ancestor, the
+query name with the zone's (iterations, salt): exactly why RFC 9276 caps
+iterations at zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dns.base32 import b32hex_decode
+from repro.dns.name import Name
+from repro.dns.types import RdataType
+from repro.dnssec.nsec3hash import nsec3_hash
+
+
+class DenialError(ValueError):
+    """Raised when an NSEC3 proof is structurally unusable."""
+
+
+def hash_covers(owner_hash, next_hash, target_hash):
+    """True iff *target_hash* falls in the open interval (owner, next).
+
+    The NSEC3 chain is circular: the last record points back to the first,
+    so when ``owner >= next`` the interval wraps around zero.
+    """
+    if owner_hash < next_hash:
+        return owner_hash < target_hash < next_hash
+    # Wrap-around record (or a single-record chain covering everything else).
+    return target_hash > owner_hash or target_hash < next_hash
+
+
+def owner_hash_of(nsec3_owner, zone):
+    """Decode the hashed first label of an NSEC3 record owner name."""
+    zone = Name.from_text(zone)
+    if not nsec3_owner.is_subdomain_of(zone) or nsec3_owner.label_count != zone.label_count + 1:
+        raise DenialError(
+            f"NSEC3 owner {nsec3_owner} is not a direct child of zone {zone}"
+        )
+    label = nsec3_owner.labels[0].decode("ascii", "strict")
+    try:
+        return b32hex_decode(label)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise DenialError(f"bad NSEC3 owner label {label!r}") from exc
+
+
+@dataclass
+class Nsec3ProofRecord:
+    """One NSEC3 record prepared for proof checking."""
+
+    owner_hash: bytes
+    rdata: object  # repro.dns.rdata.nsec3.NSEC3
+
+    def matches(self, target_hash):
+        return self.owner_hash == target_hash
+
+    def covers(self, target_hash):
+        return hash_covers(self.owner_hash, self.rdata.next_hash, target_hash)
+
+
+def collect_proof_records(message_section, zone):
+    """Extract NSEC3 records from an authority section, keyed for proofs.
+
+    Raises :class:`DenialError` if records disagree on parameters, which
+    RFC 5155 §8.2 forbids (the paper's §4.1 consistency filter).
+    """
+    records = []
+    params = None
+    for rrset in message_section:
+        if int(rrset.rrtype) != int(RdataType.NSEC3):
+            continue
+        for rdata in rrset:
+            if params is None:
+                params = rdata.parameters()
+            elif params != rdata.parameters():
+                raise DenialError("inconsistent NSEC3 parameters in one response")
+            records.append(
+                Nsec3ProofRecord(owner_hash_of(rrset.name, zone), rdata)
+            )
+    return records, params
+
+
+@dataclass
+class Nsec3Proof:
+    """Verification outcome for a negative response."""
+
+    valid: bool
+    reason: str = ""
+    closest_encloser: Name | None = None
+    opt_out: bool = False
+    iterations: int = 0
+    salt: bytes = b""
+
+
+def verify_nxdomain(qname, zone, records, params, require_wildcard=True):
+    """Verify the RFC 5155 §8.4 closest-encloser proof for an NXDOMAIN.
+
+    *records* and *params* come from :func:`collect_proof_records`. The
+    verifier hashes each candidate ancestor of *qname* (charging the cost
+    meter) until it finds the closest encloser, then checks that the next
+    closer name and the wildcard at the closest encloser are both covered.
+    Opt-out no-DS proofs (§7.2.4) set ``require_wildcard=False``: only the
+    closest-provable-encloser part applies there.
+    """
+    qname = Name.from_text(qname)
+    zone = Name.from_text(zone)
+    if params is None or not records:
+        return Nsec3Proof(False, "no NSEC3 records in the response")
+    hash_algorithm, iterations, salt = params
+    if not qname.is_subdomain_of(zone):
+        return Nsec3Proof(False, f"{qname} is not within zone {zone}")
+
+    def hash_name(name):
+        return nsec3_hash(name.canonical_wire(), salt, iterations, hash_algorithm)
+
+    # Walk ancestors from qname towards the apex; the first (deepest) one
+    # whose hash MATCHES an NSEC3 record is the closest encloser
+    # (RFC 5155 §8.3). The next-closer covering check below is what makes
+    # a replayed shallower match unusable.
+    closest_encloser = None
+    next_closer = None
+    chain = []
+    candidate = qname
+    while candidate.label_count >= zone.label_count:
+        chain.append(candidate)
+        if candidate.is_root():
+            break
+        candidate = candidate.parent()
+    # chain[0] = qname ... chain[-1] = zone apex
+    for index, ancestor in enumerate(chain):
+        digest = hash_name(ancestor)
+        if any(record.matches(digest) for record in records):
+            if index == 0:
+                return Nsec3Proof(
+                    False,
+                    "query name itself matched an NSEC3 record (name exists)",
+                    closest_encloser=ancestor,
+                    iterations=iterations,
+                    salt=salt,
+                )
+            closest_encloser = ancestor
+            next_closer = chain[index - 1]
+            break
+    if closest_encloser is None:
+        return Nsec3Proof(
+            False,
+            "no closest encloser: not even the zone apex has a matching NSEC3",
+            iterations=iterations,
+            salt=salt,
+        )
+    next_closer_hash = hash_name(next_closer)
+    covering = [record for record in records if record.covers(next_closer_hash)]
+    if not covering:
+        return Nsec3Proof(
+            False,
+            "next closer name not covered by any NSEC3 record",
+            closest_encloser=closest_encloser,
+            iterations=iterations,
+            salt=salt,
+        )
+    opt_out = any(record.rdata.opt_out for record in covering)
+
+    if not require_wildcard:
+        return Nsec3Proof(
+            True,
+            closest_encloser=closest_encloser,
+            opt_out=opt_out,
+            iterations=iterations,
+            salt=salt,
+        )
+    wildcard = closest_encloser.prepend(b"*")
+    wildcard_hash = hash_name(wildcard)
+    wildcard_denied = any(record.covers(wildcard_hash) for record in records)
+    if not wildcard_denied:
+        return Nsec3Proof(
+            False,
+            "wildcard at the closest encloser not proven absent",
+            closest_encloser=closest_encloser,
+            opt_out=opt_out,
+            iterations=iterations,
+            salt=salt,
+        )
+    return Nsec3Proof(
+        True,
+        closest_encloser=closest_encloser,
+        opt_out=opt_out,
+        iterations=iterations,
+        salt=salt,
+    )
+
+
+def verify_nodata(qname, qtype, zone, records, params):
+    """Verify an RFC 5155 §8.5 NODATA proof: matching NSEC3 lacking *qtype*."""
+    qname = Name.from_text(qname)
+    if params is None or not records:
+        return Nsec3Proof(False, "no NSEC3 records in the response")
+    hash_algorithm, iterations, salt = params
+    digest = nsec3_hash(qname.canonical_wire(), salt, iterations, hash_algorithm)
+    for record in records:
+        if record.matches(digest):
+            if record.rdata.covers_type(qtype):
+                return Nsec3Proof(
+                    False,
+                    f"NSEC3 bitmap asserts type {RdataType.to_text(qtype)} exists",
+                    iterations=iterations,
+                    salt=salt,
+                )
+            if record.rdata.covers_type(RdataType.CNAME):
+                return Nsec3Proof(
+                    False,
+                    "NSEC3 bitmap asserts a CNAME exists at the name",
+                    iterations=iterations,
+                    salt=salt,
+                )
+            return Nsec3Proof(True, iterations=iterations, salt=salt)
+    # Fall back to an opt-out style proof: covered, not matched (insecure
+    # delegation may exist below an opt-out span). The wildcard denial is
+    # not part of this proof (RFC 5155 §7.2.4).
+    nx = verify_nxdomain(qname, zone, records, params, require_wildcard=False)
+    if nx.valid and nx.opt_out:
+        return Nsec3Proof(
+            True,
+            "covered by an opt-out span (insecure delegation possible)",
+            closest_encloser=nx.closest_encloser,
+            opt_out=True,
+            iterations=iterations,
+            salt=salt,
+        )
+    return Nsec3Proof(
+        False,
+        "no NSEC3 record matches the query name",
+        iterations=iterations,
+        salt=salt,
+    )

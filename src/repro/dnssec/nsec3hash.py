@@ -1,0 +1,49 @@
+"""The NSEC3 hash of RFC 5155 §5.
+
+::
+
+    IH(salt, x, 0)   = H(x || salt)
+    IH(salt, x, k)   = H(IH(salt, x, k-1) || salt)   for k > 0
+    hash(name)       = IH(salt, canonical-owner-name, iterations)
+
+with H = SHA-1 (the only algorithm ever defined). The *iterations* field
+counts **additional** applications — the value RFC 9276 Item 2 requires to
+be zero, and the lever of CVE-2023-50868.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.dns.base32 import b32hex_encode
+from repro.dns.name import Name
+from repro.dns.rdata.nsec3 import NSEC3_HASH_SHA1
+from repro.dnssec.costmodel import meter
+
+
+class UnknownHashAlgorithm(ValueError):
+    """Raised for NSEC3 hash algorithm numbers other than 1 (SHA-1)."""
+
+
+def nsec3_hash(owner_wire, salt, iterations, hash_algorithm=NSEC3_HASH_SHA1):
+    """Hash a canonical wire-format owner name; returns the 20-byte digest."""
+    if hash_algorithm != NSEC3_HASH_SHA1:
+        raise UnknownHashAlgorithm(f"NSEC3 hash algorithm {hash_algorithm}")
+    digest = hashlib.sha1(owner_wire + salt).digest()
+    for __ in range(iterations):
+        digest = hashlib.sha1(digest + salt).digest()
+    meter.charge_nsec3(iterations, len(owner_wire), len(salt))
+    return digest
+
+
+def nsec3_hash_name(name, salt, iterations, hash_algorithm=NSEC3_HASH_SHA1):
+    """Hash a :class:`~repro.dns.name.Name` (canonicalised first)."""
+    name = Name.from_text(name)
+    return nsec3_hash(name.canonical_wire(), salt, iterations, hash_algorithm)
+
+
+def nsec3_owner_name(name, zone, salt, iterations, hash_algorithm=NSEC3_HASH_SHA1):
+    """The NSEC3 record owner for *name* in *zone*: ``base32hex(hash).zone``."""
+    digest = nsec3_hash_name(name, salt, iterations, hash_algorithm)
+    zone = Name.from_text(zone)
+    return zone.prepend(b32hex_encode(digest).encode("ascii"))

@@ -1,0 +1,162 @@
+"""DNSSEC validation primitives (RFC 4035 §5).
+
+This module validates individual RRsets against DNSKEY RRsets and DNSKEYs
+against DS records; walking the chain of trust from the root anchor is the
+resolver's job (:mod:`repro.resolver.validating`), which composes these
+primitives.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.crypto.keys import (
+    SUPPORTED_ALGORITHMS,
+    ds_matches_dnskey,
+    verify_signature,
+)
+from repro.dns.name import Name
+from repro.dns.types import RdataType
+from repro.dnssec.costmodel import meter
+from repro.dnssec.signer import SIMULATION_NOW, rrsig_signed_data
+
+
+class SecurityStatus(enum.Enum):
+    """RFC 4035 §4.3 security states."""
+
+    SECURE = "secure"
+    INSECURE = "insecure"
+    BOGUS = "bogus"
+    INDETERMINATE = "indeterminate"
+
+
+@dataclass
+class ValidationResult:
+    """Outcome of validating one RRset."""
+
+    status: SecurityStatus
+    reason: str = ""
+    rrsig: object = None
+
+    @property
+    def secure(self):
+        return self.status is SecurityStatus.SECURE
+
+
+@dataclass
+class ValidationContext:
+    """Validation-time configuration shared across one resolution."""
+
+    now: int = SIMULATION_NOW
+    #: Names of zones whose keys have already been chained to the trust
+    #: anchor, mapped to their validated DNSKEY RRsets.
+    trusted_keys: dict = field(default_factory=dict)
+
+    def trust_zone_keys(self, zone, dnskey_rrset):
+        self.trusted_keys[Name.from_text(zone)] = dnskey_rrset
+
+    def keys_for(self, zone):
+        return self.trusted_keys.get(Name.from_text(zone))
+
+
+def _candidate_keys(dnskey_rrset, rrsig):
+    for dnskey in dnskey_rrset:
+        if (
+            dnskey.protocol == 3
+            and dnskey.is_zone_key()
+            and not dnskey.is_revoked()
+            and dnskey.algorithm == rrsig.algorithm
+            and dnskey.key_tag() == rrsig.key_tag
+        ):
+            yield dnskey
+
+
+def validate_rrset(rrset, rrsig_rrset, dnskey_rrset, now=SIMULATION_NOW):
+    """Validate *rrset* against one of the signatures in *rrsig_rrset*.
+
+    Returns SECURE on the first signature that verifies; BOGUS if
+    signatures exist but none verifies (or all are outside their validity
+    window); INDETERMINATE when no covering signature is present at all.
+    """
+    if rrsig_rrset is None or not rrsig_rrset:
+        return ValidationResult(
+            SecurityStatus.INDETERMINATE, "no RRSIG covering the RRset"
+        )
+    relevant = [
+        sig for sig in rrsig_rrset if sig.type_covered == int(rrset.rrtype)
+    ]
+    if not relevant:
+        return ValidationResult(
+            SecurityStatus.INDETERMINATE,
+            f"no RRSIG covers type {RdataType.to_text(rrset.rrtype)}",
+        )
+    last_reason = "no signature verified"
+    for rrsig in relevant:
+        if not rrset.name.is_subdomain_of(rrsig.signer):
+            last_reason = "signer is not an ancestor of the owner name"
+            continue
+        if rrsig.labels > rrset.name.label_count:
+            last_reason = "RRSIG labels field exceeds owner label count"
+            continue
+        if not rrsig.is_valid_at(now):
+            last_reason = (
+                "signature outside validity window "
+                f"({rrsig.inception}..{rrsig.expiration}, now {now})"
+            )
+            continue
+        if rrsig.algorithm not in SUPPORTED_ALGORITHMS:
+            last_reason = f"unsupported algorithm {rrsig.algorithm}"
+            continue
+        signed = rrsig_signed_data(rrsig, rrset)
+        for dnskey in _candidate_keys(dnskey_rrset, rrsig):
+            meter.charge_verification()
+            if verify_signature(dnskey, signed, rrsig.signature):
+                return ValidationResult(SecurityStatus.SECURE, rrsig=rrsig)
+        last_reason = "signature did not verify under any candidate key"
+    return ValidationResult(SecurityStatus.BOGUS, last_reason)
+
+
+def validate_dnskey_with_ds(zone, dnskey_rrset, dnskey_rrsigs, ds_rrset, now=SIMULATION_NOW):
+    """Establish trust in a zone's DNSKEY RRset via a validated DS RRset.
+
+    Per RFC 4035 §5.2: some DS must match some SEP-capable DNSKEY, and the
+    DNSKEY RRset must be self-signed by that key. *dnskey_rrsigs* is the
+    RRSIG RRset accompanying the DNSKEY RRset.
+    """
+    zone = Name.from_text(zone)
+    if ds_rrset is None or not ds_rrset:
+        return ValidationResult(
+            SecurityStatus.INDETERMINATE, "no DS RRset for the zone"
+        )
+    for ds in ds_rrset:
+        for dnskey in dnskey_rrset:
+            if not ds_matches_dnskey(zone, ds, dnskey):
+                continue
+            result = _validate_self_signature(dnskey_rrset, dnskey_rrsigs, dnskey, now)
+            if result.secure:
+                return result
+    return ValidationResult(
+        SecurityStatus.BOGUS, "no DS record matches a self-signing DNSKEY"
+    )
+
+
+def _validate_self_signature(dnskey_rrset, dnskey_rrsigs, anchor_key, now):
+    if dnskey_rrsigs is None or not dnskey_rrsigs:
+        return ValidationResult(
+            SecurityStatus.INDETERMINATE, "DNSKEY RRset carries no RRSIGs"
+        )
+    for rrsig in dnskey_rrsigs:
+        if rrsig.type_covered != int(RdataType.DNSKEY):
+            continue
+        if rrsig.key_tag != anchor_key.key_tag():
+            continue
+        if not rrsig.is_valid_at(now):
+            continue
+        signed = rrsig_signed_data(rrsig, dnskey_rrset)
+        meter.charge_verification()
+        if verify_signature(anchor_key, signed, rrsig.signature):
+            return ValidationResult(SecurityStatus.SECURE, rrsig=rrsig)
+    return ValidationResult(
+        SecurityStatus.BOGUS, "DNSKEY RRset not signed by the DS-matched key"
+    )

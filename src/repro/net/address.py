@@ -1,0 +1,47 @@
+"""Synthetic address allocation for the simulated Internet."""
+
+from __future__ import annotations
+
+import ipaddress
+
+
+class AddressAllocator:
+    """Hands out unique, deterministic IPv4 and IPv6 addresses.
+
+    IPv4 comes from documentation + benchmark style space spread over
+    distinct /16s so per-AS grouping looks realistic; IPv6 from a /32.
+    Determinism matters: the same testbed seed yields the same addresses,
+    keeping benchmark output stable run-to-run.
+    """
+
+    def __init__(self, v4_base="10.0.0.0", v6_base="2001:db8::"):
+        self._v4_next = int(ipaddress.IPv4Address(v4_base)) + 1
+        self._v6_next = int(ipaddress.IPv6Address(v6_base)) + 1
+
+    def next_v4(self):
+        address = ipaddress.IPv4Address(self._v4_next)
+        self._v4_next += 1
+        return str(address)
+
+    def next_v6(self):
+        address = ipaddress.IPv6Address(self._v6_next)
+        self._v6_next += 1
+        return str(address)
+
+    def next_v4_block(self, count):
+        return [self.next_v4() for __ in range(count)]
+
+    def next_v6_block(self, count):
+        return [self.next_v6() for __ in range(count)]
+
+
+def is_ipv6(address):
+    """True for IPv6 literals; raises ValueError for non-addresses."""
+    return isinstance(
+        ipaddress.ip_address(address), ipaddress.IPv6Address
+    )
+
+
+def normalize(address):
+    """Canonical text form (collapses IPv6, strips leading zeros)."""
+    return str(ipaddress.ip_address(address))

@@ -1,0 +1,132 @@
+"""The datagram fabric connecting simulated hosts.
+
+Delivery is synchronous (a query returns its response), but every exchange
+moves a simulated clock by the path latency and is subject to loss, so
+resolvers and scanners experience timeouts and retries exactly as their
+real counterparts do.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.net.address import is_ipv6, normalize
+
+#: The public network id: hosts here are reachable from anywhere.
+PUBLIC = "public"
+
+
+class Host:
+    """Interface for anything with an IP address.
+
+    Subclasses implement :meth:`handle_datagram`, returning response wire
+    bytes (or ``None`` to drop). ``via_tcp`` distinguishes the retry path
+    after truncation.
+    """
+
+    def handle_datagram(self, wire, src_ip, via_tcp=False):
+        raise NotImplementedError
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate counters for traffic observation and the ethics ablation."""
+
+    datagrams: int = 0
+    tcp_queries: int = 0
+    dropped: int = 0
+    refused_closed: int = 0
+    bytes_sent: int = 0
+
+    def reset(self):
+        self.datagrams = 0
+        self.tcp_queries = 0
+        self.dropped = 0
+        self.refused_closed = 0
+        self.bytes_sent = 0
+
+
+class Network:
+    """IP registry plus delivery with loss, latency, and closed networks."""
+
+    def __init__(self, loss_rate=0.0, base_latency_ms=10.0, seed=0):
+        self._hosts = {}
+        #: host ip -> network id; queries to a non-public network id are
+        #: only delivered when the source is in the same network.
+        self._network_of = {}
+        self._rng = random.Random(seed)
+        self.loss_rate = loss_rate
+        self.base_latency_ms = base_latency_ms
+        self.clock_ms = 0.0
+        self.stats = NetworkStats()
+
+    # -- registration -------------------------------------------------------
+
+    def attach(self, ip, host, network_id=PUBLIC):
+        """Register *host* at *ip*; non-public network ids are closed."""
+        ip = normalize(ip)
+        if ip in self._hosts:
+            raise ValueError(f"address {ip} already attached")
+        self._hosts[ip] = host
+        self._network_of[ip] = network_id
+        return ip
+
+    def detach(self, ip):
+        ip = normalize(ip)
+        self._hosts.pop(ip, None)
+        self._network_of.pop(ip, None)
+
+    def host_at(self, ip):
+        """The host attached at *ip*, or None."""
+        return self._hosts.get(normalize(ip))
+
+    def network_of(self, ip):
+        """The network segment an address belongs to (default: public)."""
+        return self._network_of.get(normalize(ip), PUBLIC)
+
+    def addresses(self, ipv6=None):
+        """All attached addresses, optionally filtered by family."""
+        result = []
+        for ip in self._hosts:
+            if ipv6 is None or is_ipv6(ip) == ipv6:
+                result.append(ip)
+        return sorted(result)
+
+    # -- delivery -------------------------------------------------------------
+
+    def send(self, src_ip, dst_ip, wire, via_tcp=False):
+        """Deliver *wire* from *src_ip* to *dst_ip*; returns response bytes.
+
+        ``None`` models packet loss or an unreachable / refusing host.
+        """
+        src_ip = normalize(src_ip)
+        dst_ip = normalize(dst_ip)
+        self.stats.datagrams += 1
+        self.stats.bytes_sent += len(wire)
+        if via_tcp:
+            self.stats.tcp_queries += 1
+        self.clock_ms += self._path_latency()
+
+        host = self._hosts.get(dst_ip)
+        if host is None:
+            self.stats.dropped += 1
+            return None
+        dst_network = self._network_of.get(dst_ip, PUBLIC)
+        if dst_network != PUBLIC and self.network_of(src_ip) != dst_network:
+            # Closed resolver: silently unreachable from the outside, the
+            # reason the paper needed RIPE Atlas probes.
+            self.stats.refused_closed += 1
+            return None
+        if not via_tcp and self.loss_rate and self._rng.random() < self.loss_rate:
+            self.stats.dropped += 1
+            return None
+        response = host.handle_datagram(wire, src_ip, via_tcp=via_tcp)
+        if response is not None:
+            self.clock_ms += self._path_latency()
+            self.stats.bytes_sent += len(response)
+        return response
+
+    def _path_latency(self):
+        jitter = self._rng.random() * self.base_latency_ms * 0.2
+        return self.base_latency_ms + jitter

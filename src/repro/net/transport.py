@@ -1,0 +1,67 @@
+"""Client-side query transport: encode, send, retry, TCP fallback."""
+
+from __future__ import annotations
+
+from repro.dns.flags import Flag
+from repro.dns.message import Message
+from repro.dns.wire import WireError
+
+#: Default EDNS payload ceiling; responses above it are truncated on "UDP".
+DEFAULT_PAYLOAD = 1232
+
+
+class QueryFailure(Exception):
+    """Raised when a query exhausts its retries without a usable response."""
+
+    def __init__(self, reason, qname=None):
+        super().__init__(reason)
+        self.reason = reason
+        self.qname = qname
+
+
+class Transport:
+    """Sends DNS messages between simulated hosts with realistic semantics.
+
+    - UDP first; on TC=1, retry over "TCP" (no size limit);
+    - up to *retries* resends on loss;
+    - mismatched message ids are treated as drops (off-path garbage).
+    """
+
+    def __init__(self, network, source_ip, retries=2):
+        self.network = network
+        self.source_ip = source_ip
+        self.retries = retries
+
+    def query(self, dst_ip, message):
+        """Send *message*; returns the parsed response :class:`Message`.
+
+        Raises :class:`QueryFailure` on timeout-equivalent outcomes.
+        """
+        wire = message.to_wire()
+        qname = message.question[0].name if message.question else None
+        for __ in range(self.retries + 1):
+            raw = self.network.send(self.source_ip, dst_ip, wire)
+            if raw is None:
+                continue
+            try:
+                response = Message.from_wire(raw)
+            except WireError:
+                continue
+            if response.id != message.id:
+                continue
+            if response.has_flag(Flag.TC):
+                return self._query_tcp(dst_ip, message)
+            return response
+        raise QueryFailure(f"no response from {dst_ip}", qname=qname)
+
+    def _query_tcp(self, dst_ip, message):
+        raw = self.network.send(self.source_ip, dst_ip, message.to_wire(), via_tcp=True)
+        if raw is None:
+            raise QueryFailure(f"TCP retry to {dst_ip} failed")
+        try:
+            response = Message.from_wire(raw)
+        except WireError as exc:
+            raise QueryFailure(f"malformed TCP response from {dst_ip}: {exc}") from exc
+        if response.id != message.id:
+            raise QueryFailure(f"TCP response id mismatch from {dst_ip}")
+        return response

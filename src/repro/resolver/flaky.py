@@ -1,0 +1,45 @@
+"""A flaky resolver: intermittent SERVFAILs on top of a real resolver.
+
+Paper §5.2, on the apparent Item 12 violators: "querying these resolvers
+again often results in different response patterns, rather indicating a
+problem with the resolvers than an actual violation". This wrapper
+reproduces that phenomenon so the survey's stability check has something
+real to detect.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.dns.message import Message, make_response
+from repro.dns.rcode import Rcode
+from repro.dns.wire import WireError
+from repro.net.network import Host
+
+
+class FlakyResolver(Host):
+    """Wraps another resolver host; randomly SERVFAILs or drops queries."""
+
+    def __init__(self, inner, servfail_rate=0.25, drop_rate=0.05, seed=0):
+        self.inner = inner
+        self.servfail_rate = servfail_rate
+        self.drop_rate = drop_rate
+        self._rng = random.Random(seed)
+
+    @property
+    def ip(self):
+        return self.inner.ip
+
+    def handle_datagram(self, wire, src_ip, via_tcp=False):
+        roll = self._rng.random()
+        if roll < self.drop_rate:
+            return None
+        if roll < self.drop_rate + self.servfail_rate:
+            try:
+                query = Message.from_wire(wire)
+            except WireError:
+                return None
+            response = make_response(query, recursion_available=True)
+            response.rcode = Rcode.SERVFAIL
+            return response.to_wire()
+        return self.inner.handle_datagram(wire, src_ip, via_tcp=via_tcp)

@@ -1,0 +1,89 @@
+"""Forwarding resolvers.
+
+Two kinds appear in the paper's measurements:
+
+- :class:`ForwardingResolver` — a proper forwarder: relays client queries
+  to an upstream recursive resolver (e.g. a CPE box pointing at
+  Cloudflare) and relays answers back, re-stamping the message id. The
+  paper identified these from server-side logs: the source contacting the
+  authoritative zone differs from the probed address.
+- :class:`QueryCopyingForwarder` — the broken middlebox behaviour behind
+  most ``SERVFAIL at it-1`` observations: it builds responses by copying
+  the query's flags, so RA is set only when the client set it.
+"""
+
+from __future__ import annotations
+
+from repro.dns.flags import Flag
+from repro.dns.message import Message, make_response
+from repro.dns.rcode import Rcode
+from repro.dns.wire import WireError
+from repro.net.network import Host
+from repro.net.transport import QueryFailure, Transport
+
+
+class ForwardingResolver(Host):
+    """Relays queries to an upstream resolver address."""
+
+    def __init__(self, network, ip, upstream_ip, name="forwarder"):
+        self.network = network
+        self.ip = ip
+        self.upstream_ip = upstream_ip
+        self.name = name
+        self.transport = Transport(network, ip)
+
+    def handle_datagram(self, wire, src_ip, via_tcp=False):
+        try:
+            query = Message.from_wire(wire)
+        except WireError:
+            return None
+        try:
+            upstream_response = self.transport.query(self.upstream_ip, query)
+        except QueryFailure:
+            response = make_response(query, recursion_available=True)
+            response.rcode = Rcode.SERVFAIL
+            return response.to_wire()
+        upstream_response.id = query.id
+        return upstream_response.to_wire()
+
+
+class QueryCopyingForwarder(Host):
+    """A broken device that answers SERVFAIL by echoing the query envelope.
+
+    Matches the paper's observation for resolvers SERVFAILing from
+    ``it-1``: "Most resolvers returning the SERVFAIL starting from it-1
+    only set the Recursion Available (RA) bit in responses if also set in
+    queries. This indicates that they simply copy the query content to
+    the response." For compliant (zero-iteration) zones it forwards
+    normally, which is what makes it look like a strict RFC 9276 resolver.
+    """
+
+    def __init__(self, network, ip, upstream_ip, name="query-copier"):
+        self.network = network
+        self.ip = ip
+        self.upstream_ip = upstream_ip
+        self.name = name
+        self.transport = Transport(network, ip)
+
+    def handle_datagram(self, wire, src_ip, via_tcp=False):
+        try:
+            query = Message.from_wire(wire)
+        except WireError:
+            return None
+        try:
+            upstream_response = self.transport.query(self.upstream_ip, query)
+        except QueryFailure:
+            upstream_response = None
+        if upstream_response is not None and upstream_response.rcode == Rcode.NOERROR:
+            upstream_response.id = query.id
+            return upstream_response.to_wire()
+        # Broken path: echo the query with QR and SERVFAIL — flags (and
+        # notably the absent RA bit) come straight from the client query.
+        echoed = Message(query.id)
+        echoed.flags = query.flags | Flag.QR
+        echoed.opcode = query.opcode
+        echoed.question = list(query.question)
+        echoed.rcode = Rcode.SERVFAIL
+        if query.edns is not None:
+            echoed.use_edns(dnssec_ok=query.edns.dnssec_ok)
+        return echoed.to_wire()

@@ -1,0 +1,118 @@
+"""NSEC3 iteration-limit policies, modelled on real resolver software.
+
+RFC 9276 leaves resolvers two levers (paper Table 1):
+
+- *Item 6*: treat responses whose NSEC3 records exceed an iteration limit
+  as **insecure** — answer without the AD bit;
+- *Item 8*: return **SERVFAIL** above a limit.
+
+Vendors differ only in the two thresholds, the EDE signalling (Items
+10/11), and whether they verify NSEC3 RRSIGs before honouring the limit
+(Item 7). The same :class:`ValidatingResolver` core runs every vendor
+behaviour by injecting one of these policy objects — mirroring how the
+patched implementations differ from the unpatched ones by a constant.
+
+Threshold provenance (paper §4.2):
+
+- BIND9, Knot Resolver, PowerDNS Recursor, Unbound moved to
+  insecure-above-150 in 2021; all but Unbound lowered to 50 by end 2023
+  (CVE-2023-50868 patches);
+- Google Public DNS: insecure above 100;
+- Quad9: insecure above 150;
+- Cloudflare 1.1.1.1 and Cisco OpenDNS: SERVFAIL above 150;
+- Technitium: SERVFAIL above 100 with EDE 27 and EXTRA-TEXT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dns.edns import (
+    EDE_DNSSEC_INDETERMINATE,
+    EDE_NSEC_MISSING,
+    EDE_UNSUPPORTED_NSEC3_ITERATIONS,
+)
+
+#: RFC 5155 §10.3 cap for the largest key size; iterations above this are
+#: treated as insecure even by pre-RFC 9276 resolvers.
+RFC5155_MAX_ITERATIONS = 2500
+
+
+@dataclass(frozen=True)
+class Nsec3Policy:
+    """How a resolver reacts to NSEC3 records with many iterations."""
+
+    name: str = "legacy"
+    #: Item 6: treat responses as insecure when iterations exceed this.
+    insecure_above: int | None = None
+    #: Item 8: SERVFAIL when iterations exceed this.
+    servfail_above: int | None = None
+    #: Item 10: attach EDE 27 to limiting responses.
+    ede27: bool = False
+    #: Some vendors attach a different EDE code instead (Google: 5 and 12).
+    substitute_ede: tuple = ()
+    #: EXTRA-TEXT accompanying EDE 27 (Technitium style).
+    ede_extra_text: str = ""
+    #: Item 7: verify NSEC3 RRSIGs before acting on the iteration count.
+    #: Violators skip validation once the limit is exceeded.
+    verify_before_limit: bool = True
+
+    def exceeds_insecure(self, iterations):
+        """True when *iterations* triggers the Item 6 insecure downgrade."""
+        if iterations > RFC5155_MAX_ITERATIONS:
+            return True
+        return self.insecure_above is not None and iterations > self.insecure_above
+
+    def exceeds_servfail(self, iterations):
+        """True when *iterations* triggers the Item 8 SERVFAIL."""
+        return self.servfail_above is not None and iterations > self.servfail_above
+
+    def limit_ede_options(self):
+        """The EDE (code, text) pairs to attach to a limiting response."""
+        if self.ede27:
+            return ((EDE_UNSUPPORTED_NSEC3_ITERATIONS, self.ede_extra_text),)
+        return tuple((code, "") for code in self.substitute_ede)
+
+
+#: Named policies covering the software landscape the paper observed.
+VENDOR_POLICIES = {
+    # Pre-2021 software, no RFC 9276 handling (only the RFC 5155 ceiling).
+    "legacy": Nsec3Policy(name="legacy"),
+    # The 2021 coordinated change: insecure above 150.
+    "bind9-2021": Nsec3Policy(name="bind9-2021", insecure_above=150, ede27=True),
+    "unbound": Nsec3Policy(name="unbound", insecure_above=150, ede27=False),
+    "knot-2021": Nsec3Policy(name="knot-2021", insecure_above=150, ede27=True),
+    "powerdns-2021": Nsec3Policy(name="powerdns-2021", insecure_above=150, ede27=False),
+    # CVE-2023-50868 patches: limit lowered to 50.
+    "bind9-2023": Nsec3Policy(name="bind9-2023", insecure_above=50, ede27=True),
+    "knot-2023": Nsec3Policy(name="knot-2023", insecure_above=50, ede27=True),
+    "powerdns-2023": Nsec3Policy(name="powerdns-2023", insecure_above=50, ede27=False),
+    # Public resolver behaviours measured by the paper.
+    "google": Nsec3Policy(
+        name="google",
+        insecure_above=100,
+        ede27=False,
+        substitute_ede=(EDE_DNSSEC_INDETERMINATE, EDE_NSEC_MISSING),
+    ),
+    "quad9": Nsec3Policy(name="quad9", insecure_above=150, ede27=False),
+    "cloudflare": Nsec3Policy(name="cloudflare", servfail_above=150, ede27=True),
+    "opendns": Nsec3Policy(name="opendns", servfail_above=150, ede27=False),
+    "technitium": Nsec3Policy(
+        name="technitium",
+        servfail_above=100,
+        ede27=True,
+        ede_extra_text="NSEC3 iterations count higher than 100",
+    ),
+    # Strict reading of RFC 9276: any non-zero iteration count fails.
+    "strict-rfc9276": Nsec3Policy(
+        name="strict-rfc9276", servfail_above=0, ede27=True
+    ),
+    # An Item 7 violator: honours the 150 limit without checking RRSIGs.
+    "sloppy-150": Nsec3Policy(
+        name="sloppy-150", insecure_above=150, verify_before_limit=False
+    ),
+    # An Item 12 violator: insecure band (>50) below the SERVFAIL band (>150).
+    "gapped": Nsec3Policy(
+        name="gapped", insecure_above=50, servfail_above=150, ede27=False
+    ),
+}

@@ -1,0 +1,545 @@
+"""The validating recursive resolver.
+
+Composes the iterative engine, the DNSSEC validation primitives, and an
+:class:`~repro.resolver.policy.Nsec3Policy`. This is the system under
+measurement in the paper's §5.2: depending on the policy thresholds it
+answers the ``it-N`` probes with NXDOMAIN+AD, NXDOMAIN (insecure), or
+SERVFAIL — optionally with Extended DNS Error 27.
+
+Chain of trust is established per zone and memoised: the root DNSKEY RRset
+is checked against the configured trust anchor (a DS-style digest), each
+child zone via the parent's DS RRset. Negative answers from signed zones
+are accepted only with a verified NSEC/NSEC3 proof — and verifying an
+NSEC3 proof is exactly where high iteration counts burn CPU
+(CVE-2023-50868); the work is charged to :data:`repro.dnssec.costmodel.meter`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dns.edns import (
+    EDE_DNSSEC_BOGUS,
+    EDE_SIGNATURE_EXPIRED,
+)
+from repro.dns.flags import Flag
+from repro.dns.message import Message, make_response
+from repro.dns.name import Name, root
+from repro.dns.rcode import Rcode
+from repro.dns.types import Opcode, RdataType
+from repro.dns.wire import WireError
+from repro.dnssec.denial import (
+    DenialError,
+    collect_proof_records,
+    verify_nodata,
+    verify_nxdomain,
+)
+from repro.dnssec.signer import SIMULATION_NOW
+from repro.dnssec.validator import (
+    SecurityStatus,
+    validate_dnskey_with_ds,
+    validate_rrset,
+)
+from repro.net.network import Host
+from repro.resolver.cache import Cache, negative_key
+from repro.resolver.iterative import IterativeResolver
+from repro.resolver.policy import Nsec3Policy
+
+#: Fallback cache TTL for client-facing verdicts (seconds); actual TTLs
+#: follow the records (RFC 2308: negative entries use the SOA minimum).
+VERDICT_TTL = 300
+VERDICT_TTL_CAP = 86_400
+
+
+@dataclass
+class Verdict:
+    """The resolver's conclusion for one client question."""
+
+    rcode: int
+    answer: list
+    authority: list
+    ad: bool = False
+    ede: tuple = ()
+
+    def apply(self, response):
+        """Copy this verdict's sections, flags, and EDE into *response*."""
+        response.rcode = self.rcode
+        response.answer = [rrset.copy() for rrset in self.answer]
+        response.authority = [rrset.copy() for rrset in self.authority]
+        response.set_flag(Flag.AD, self.ad)
+        if response.edns is not None:
+            for code, text in self.ede:
+                response.edns.add_extended_error(code, text)
+        return response
+
+
+def _verdict_ttl(verdict):
+    """Cache lifetime for a verdict (RFC 2308 semantics).
+
+    Positive answers live as long as their shortest RRset TTL; negative
+    answers as long as the SOA ``minimum`` field (the negative-caching
+    TTL), capped; SERVFAILs only briefly.
+    """
+    if verdict.rcode == Rcode.SERVFAIL:
+        return 30
+    if verdict.answer:
+        return min(
+            min(rrset.ttl for rrset in verdict.answer), VERDICT_TTL_CAP
+        )
+    for rrset in verdict.authority:
+        if int(rrset.rrtype) == int(RdataType.SOA) and rrset.rdatas:
+            return min(rrset.rdatas[0].minimum, rrset.ttl, VERDICT_TTL_CAP)
+    return VERDICT_TTL
+
+
+class ValidatingResolver(Host):
+    """A recursive resolver with DNSSEC validation and an NSEC3 policy."""
+
+    def __init__(
+        self,
+        network,
+        ip,
+        root_addresses,
+        trust_anchor_ds,
+        policy=None,
+        validate=True,
+        name="resolver",
+        now=SIMULATION_NOW,
+    ):
+        self.network = network
+        self.ip = ip
+        self.name = name
+        self.policy = policy or Nsec3Policy()
+        self.validate = validate
+        self.now = now
+        self.trust_anchor_ds = trust_anchor_ds
+        self.cache = Cache(clock=lambda: network.clock_ms)
+        self.engine = IterativeResolver(network, ip, root_addresses, cache=self.cache)
+        #: zone Name -> (SecurityStatus, dnskey_rrset or None)
+        self._zone_security = {}
+
+    # -- datagram entry point ---------------------------------------------------
+
+    def handle_datagram(self, wire, src_ip, via_tcp=False):
+        """Serve one client query arriving as wire bytes."""
+        try:
+            query = Message.from_wire(wire)
+        except WireError:
+            return None
+        if query.is_response or query.opcode != Opcode.QUERY or not query.question:
+            return None
+        response = make_response(query, recursion_available=True)
+        if not query.has_flag(Flag.RD):
+            response.rcode = Rcode.REFUSED
+            return response.to_wire()
+        question = query.question[0]
+        verdict = self.resolve_and_validate(
+            question.name, question.rrtype, checking_disabled=query.has_flag(Flag.CD)
+        )
+        verdict.apply(response)
+        if not query.dnssec_ok:
+            response.answer = [
+                r for r in response.answer if int(r.rrtype) != int(RdataType.RRSIG)
+            ]
+            response.authority = [
+                r
+                for r in response.authority
+                if int(r.rrtype)
+                not in (int(RdataType.RRSIG), int(RdataType.NSEC), int(RdataType.NSEC3))
+            ]
+        max_size = query.edns.payload_size if query.edns else 512
+        return response.to_wire(max_size=None if via_tcp else max_size)
+
+    # -- main resolution path ------------------------------------------------------
+
+    def resolve_and_validate(self, qname, qtype, checking_disabled=False):
+        """Resolve one question and return the validated :class:`Verdict`."""
+        qname = Name.from_text(qname)
+        qtype = int(qtype)
+        cached = self.cache.get(negative_key(qname, qtype))
+        if cached is not None:
+            return cached.value
+
+        outcome = self.engine.resolve(qname, qtype, want_dnssec=True)
+        if not outcome.ok:
+            verdict = Verdict(Rcode.SERVFAIL, [], [])
+            return verdict
+        response = outcome.response
+        if response.rcode not in (Rcode.NOERROR, Rcode.NXDOMAIN):
+            verdict = Verdict(response.rcode, [], list(response.authority))
+            return verdict
+
+        if not self.validate or checking_disabled:
+            verdict = Verdict(
+                response.rcode, list(response.answer), list(response.authority)
+            )
+            self._cache_verdict(qname, qtype, verdict)
+            return verdict
+
+        verdict = self._validated_verdict(qname, qtype, outcome)
+        self._cache_verdict(qname, qtype, verdict)
+        return verdict
+
+    def _cache_verdict(self, qname, qtype, verdict):
+        self.cache.put(negative_key(qname, qtype), verdict, _verdict_ttl(verdict))
+
+    # -- chain of trust --------------------------------------------------------------
+
+    def zone_security(self, zone, _depth=0):
+        """Security status of *zone*: (SecurityStatus, validated DNSKEY RRset).
+
+        Memoised. INSECURE propagates downward from the first unsigned
+        delegation; BOGUS from the first broken link.
+        """
+        zone = Name.from_text(zone)
+        if zone in self._zone_security:
+            return self._zone_security[zone]
+        if _depth > 32:
+            return SecurityStatus.BOGUS, None
+        if zone == root:
+            result = self._root_security()
+        else:
+            result = self._child_security(zone, _depth)
+        self._zone_security[zone] = result
+        return result
+
+    def _root_security(self):
+        keys, rrsigs = self._fetch_dnskey(root)
+        if keys is None:
+            return SecurityStatus.BOGUS, None
+        result = validate_dnskey_with_ds(
+            root, keys, rrsigs, self.trust_anchor_ds, now=self.now
+        )
+        if result.secure:
+            return SecurityStatus.SECURE, keys
+        return SecurityStatus.BOGUS, None
+
+    def _child_security(self, zone, _depth):
+        ds_outcome = self.engine.resolve(zone, RdataType.DS, want_dnssec=True)
+        if not ds_outcome.ok:
+            return SecurityStatus.INDETERMINATE, None
+        response = ds_outcome.response
+
+        ds_rrset = response.find_rrset(response.answer, zone, RdataType.DS)
+        if ds_rrset is not None:
+            ds_sigs = self._covering_sigs(response.answer, zone, RdataType.DS)
+            parent = ds_sigs[0].signer if ds_sigs else ds_outcome.auth_zone
+            parent_status, parent_keys = self.zone_security(parent, _depth + 1)
+            if parent_status is not SecurityStatus.SECURE:
+                return parent_status, None
+            ds_valid = validate_rrset(
+                ds_rrset,
+                self._sig_rrset(response.answer, zone, RdataType.DS),
+                parent_keys,
+                now=self.now,
+            )
+            if not ds_valid.secure:
+                return SecurityStatus.BOGUS, None
+            keys, rrsigs = self._fetch_dnskey(zone)
+            if keys is None:
+                return SecurityStatus.BOGUS, None
+            result = validate_dnskey_with_ds(zone, keys, rrsigs, ds_rrset, now=self.now)
+            if result.secure:
+                return SecurityStatus.SECURE, keys
+            return SecurityStatus.BOGUS, None
+
+        # No DS in the answer: the delegation may be insecure, but a signed
+        # parent must prove it (otherwise an attacker could strip DS records).
+        parent = ds_outcome.auth_zone or zone.parent()
+        parent_status, parent_keys = self.zone_security(parent, _depth + 1)
+        if parent_status is not SecurityStatus.SECURE:
+            return parent_status, None
+        proof_status = self._check_no_ds_proof(zone, parent, response, parent_keys)
+        return proof_status, None
+
+    def _check_no_ds_proof(self, zone, parent, response, parent_keys):
+        """Verify the parent's proof that no DS exists (insecure delegation)."""
+        try:
+            records, params = collect_proof_records(response.authority, parent)
+        except DenialError:
+            return SecurityStatus.BOGUS
+        if params is not None:
+            iterations = params[1]
+            if self.policy.exceeds_servfail(iterations) or self.policy.exceeds_insecure(iterations):
+                # Parent proof unusable under the policy: treat the child as
+                # insecure (the RFC 9276 Item 6 downgrade).
+                return SecurityStatus.INSECURE
+            if not self._nsec3_sigs_valid(response.authority, parent, parent_keys):
+                return SecurityStatus.BOGUS
+            proof = verify_nodata(zone, RdataType.DS, parent, records, params)
+            if proof.valid:
+                if not proof.opt_out and not self._matching_nsec3_has_ns_bit(
+                    zone, records, params
+                ):
+                    # A no-DS proof must describe a real delegation (NS bit
+                    # set); otherwise stripping signatures from ordinary
+                    # names would downgrade them to insecure.
+                    return SecurityStatus.BOGUS
+                return SecurityStatus.INSECURE
+            return SecurityStatus.BOGUS
+        # Plain NSEC parent (or no proof at all).
+        nsec = [
+            rrset
+            for rrset in response.authority
+            if int(rrset.rrtype) == int(RdataType.NSEC)
+        ]
+        for rrset in nsec:
+            sigs = self._sig_rrset(response.authority, rrset.name, RdataType.NSEC)
+            result = validate_rrset(rrset, sigs, parent_keys, now=self.now)
+            if not result.secure:
+                return SecurityStatus.BOGUS
+            if rrset.name == zone and not rrset[0].covers_type(RdataType.DS):
+                return SecurityStatus.INSECURE
+            if rrset.name != zone:
+                return SecurityStatus.INSECURE  # covering NSEC (opt-out style)
+        return SecurityStatus.BOGUS
+
+    def _fetch_dnskey(self, zone):
+        outcome = self.engine.resolve(zone, RdataType.DNSKEY, want_dnssec=True)
+        if not outcome.ok or outcome.response.rcode != Rcode.NOERROR:
+            return None, None
+        keys = outcome.response.find_rrset(
+            outcome.response.answer, zone, RdataType.DNSKEY
+        )
+        sigs = self._sig_rrset(outcome.response.answer, zone, RdataType.DNSKEY)
+        if keys is None:
+            return None, None
+        return keys, sigs
+
+    # -- helpers over message sections ---------------------------------------------
+
+    @staticmethod
+    def _sig_rrset(section, name, covered):
+        for rrset in section:
+            if rrset.name == name and int(rrset.rrtype) == int(RdataType.RRSIG):
+                matching = [r for r in rrset if r.type_covered == int(covered)]
+                if matching:
+                    clone = rrset.copy()
+                    clone.rdatas = matching
+                    return clone
+        return None
+
+    @staticmethod
+    def _covering_sigs(section, name, covered):
+        sigs = []
+        for rrset in section:
+            if rrset.name == name and int(rrset.rrtype) == int(RdataType.RRSIG):
+                sigs.extend(r for r in rrset if r.type_covered == int(covered))
+        return sigs
+
+    @staticmethod
+    def _matching_nsec3_has_ns_bit(zone, records, params):
+        """True if the NSEC3 matching *zone* asserts a delegation (NS set)."""
+        from repro.dnssec.nsec3hash import nsec3_hash
+
+        hash_algorithm, iterations, salt = params
+        digest = nsec3_hash(
+            Name.from_text(zone).canonical_wire(), salt, iterations, hash_algorithm
+        )
+        for record in records:
+            if record.matches(digest):
+                return record.rdata.covers_type(RdataType.NS)
+        return False
+
+    def _nsec3_sigs_valid(self, section, zone, keys):
+        """Validate the RRSIGs over every NSEC3 RRset in *section* (Item 7)."""
+        for rrset in section:
+            if int(rrset.rrtype) != int(RdataType.NSEC3):
+                continue
+            sigs = self._sig_rrset(section, rrset.name, RdataType.NSEC3)
+            result = validate_rrset(rrset, sigs, keys, now=self.now)
+            if not result.secure:
+                return False
+        return True
+
+    # -- answer validation --------------------------------------------------------------
+
+    def _validated_verdict(self, qname, qtype, outcome):
+        response = outcome.response
+        zone = outcome.auth_zone or root
+        status, keys = self.zone_security(zone)
+
+        if status is SecurityStatus.INDETERMINATE:
+            return Verdict(Rcode.SERVFAIL, [], [])
+        if status is SecurityStatus.BOGUS:
+            return Verdict(
+                Rcode.SERVFAIL, [], [], ede=((EDE_DNSSEC_BOGUS, ""),)
+            )
+        if status is SecurityStatus.INSECURE:
+            return Verdict(
+                response.rcode, list(response.answer), list(response.authority)
+            )
+
+        # SECURE zone: every assertion must verify.
+        if response.rcode == Rcode.NXDOMAIN:
+            return self._validate_negative(
+                qname, qtype, zone, keys, response, nxdomain=True
+            )
+        if not response.answer:
+            return self._validate_negative(
+                qname, qtype, zone, keys, response, nxdomain=False
+            )
+        return self._validate_positive(qname, qtype, zone, keys, response)
+
+    def _validate_positive(self, qname, qtype, zone, keys, response):
+        wildcard_expanded = False
+        any_insecure = False
+        for rrset in response.answer:
+            if int(rrset.rrtype) == int(RdataType.RRSIG):
+                continue
+            sigs = self._sig_rrset(response.answer, rrset.name, rrset.rrtype)
+            if sigs is None:
+                # Unsigned data (e.g. a CNAME target in an unsigned zone):
+                # acceptable only if the name provably sits below an
+                # insecure delegation.
+                status, __ = self.zone_security(rrset.name)
+                if status is SecurityStatus.INSECURE:
+                    any_insecure = True
+                    continue
+                return Verdict(
+                    Rcode.SERVFAIL, [], [],
+                    ede=((EDE_DNSSEC_BOGUS, "unsigned RRset in a secure zone"),),
+                )
+            signer_keys = keys
+            if sigs[0].signer != zone:
+                signer_status, signer_keys = self.zone_security(sigs[0].signer)
+                if signer_status is not SecurityStatus.SECURE:
+                    return Verdict(Rcode.SERVFAIL, [], [], ede=((EDE_DNSSEC_BOGUS, ""),))
+            result = validate_rrset(rrset, sigs, signer_keys, now=self.now)
+            if not result.secure:
+                ede = (
+                    (EDE_SIGNATURE_EXPIRED, "")
+                    if "validity window" in result.reason
+                    else (EDE_DNSSEC_BOGUS, result.reason[:80])
+                )
+                return Verdict(Rcode.SERVFAIL, [], [], ede=(ede,))
+            if result.rrsig is not None and result.rrsig.labels < rrset.name.label_count:
+                wildcard_expanded = True
+
+        if wildcard_expanded:
+            # Must prove the concrete name does not exist (RFC 5155 §8.8).
+            verdict = self._check_wildcard_proof(qname, zone, keys, response)
+            if verdict is not None:
+                return verdict
+        return Verdict(
+            Rcode.NOERROR,
+            list(response.answer),
+            list(response.authority),
+            ad=not any_insecure,
+        )
+
+    def _check_wildcard_proof(self, qname, zone, keys, response):
+        """Returns a failure/downgrade Verdict, or None when the proof holds."""
+        try:
+            records, params = collect_proof_records(response.authority, zone)
+        except DenialError:
+            return Verdict(Rcode.SERVFAIL, [], [], ede=((EDE_DNSSEC_BOGUS, ""),))
+        if params is None:
+            if any(int(r.rrtype) == int(RdataType.NSEC) for r in response.authority):
+                return None  # NSEC wildcard proof accepted structurally
+            return Verdict(Rcode.SERVFAIL, [], [], ede=((EDE_DNSSEC_BOGUS, ""),))
+        iterations = params[1]
+        policy_verdict = self._policy_gate(
+            iterations, zone, keys, response, Rcode.NOERROR,
+            list(response.answer), list(response.authority),
+        )
+        if policy_verdict is not None:
+            return policy_verdict
+        if not self._nsec3_sigs_valid(response.authority, zone, keys):
+            return Verdict(Rcode.SERVFAIL, [], [], ede=((EDE_DNSSEC_BOGUS, ""),))
+        return None
+
+    def _policy_gate(self, iterations, zone, keys, response, rcode, answer, authority):
+        """Apply the NSEC3 iteration policy. None → proceed with validation."""
+        if self.policy.exceeds_servfail(iterations):
+            if self.policy.verify_before_limit and not self._nsec3_sigs_valid(
+                response.authority, zone, keys
+            ):
+                return Verdict(Rcode.SERVFAIL, [], [], ede=((EDE_DNSSEC_BOGUS, ""),))
+            return Verdict(
+                Rcode.SERVFAIL, [], [], ede=self.policy.limit_ede_options()
+            )
+        if self.policy.exceeds_insecure(iterations):
+            if self.policy.verify_before_limit and not self._nsec3_sigs_valid(
+                response.authority, zone, keys
+            ):
+                return Verdict(Rcode.SERVFAIL, [], [], ede=((EDE_DNSSEC_BOGUS, ""),))
+            return Verdict(
+                rcode, answer, authority, ad=False, ede=self.policy.limit_ede_options()
+            )
+        return None
+
+    def _validate_negative(self, qname, qtype, zone, keys, response, nxdomain):
+        rcode = Rcode.NXDOMAIN if nxdomain else Rcode.NOERROR
+        soa = None
+        for rrset in response.authority:
+            if int(rrset.rrtype) == int(RdataType.SOA):
+                soa = rrset
+                break
+        try:
+            records, params = collect_proof_records(response.authority, zone)
+        except DenialError:
+            return Verdict(Rcode.SERVFAIL, [], [], ede=((EDE_DNSSEC_BOGUS, ""),))
+
+        if params is not None:
+            iterations = params[1]
+            gated = self._policy_gate(
+                iterations, zone, keys, response, rcode, [], list(response.authority)
+            )
+            if gated is not None:
+                return gated
+            if not self._nsec3_sigs_valid(response.authority, zone, keys):
+                return Verdict(Rcode.SERVFAIL, [], [], ede=((EDE_DNSSEC_BOGUS, ""),))
+            if soa is not None:
+                soa_result = validate_rrset(
+                    soa,
+                    self._sig_rrset(response.authority, soa.name, RdataType.SOA),
+                    keys,
+                    now=self.now,
+                )
+                if not soa_result.secure:
+                    return Verdict(Rcode.SERVFAIL, [], [], ede=((EDE_DNSSEC_BOGUS, ""),))
+            if nxdomain:
+                proof = verify_nxdomain(qname, zone, records, params)
+            else:
+                proof = verify_nodata(qname, qtype, zone, records, params)
+            if not proof.valid:
+                return Verdict(Rcode.SERVFAIL, [], [], ede=((EDE_DNSSEC_BOGUS, proof.reason[:80]),))
+            ad = not proof.opt_out  # opt-out proofs are insecure by definition
+            return Verdict(rcode, [], list(response.authority), ad=ad)
+
+        # NSEC-based denial.
+        nsec_rrsets = [
+            r for r in response.authority if int(r.rrtype) == int(RdataType.NSEC)
+        ]
+        if not nsec_rrsets:
+            # A signed zone answering negatively without proof is bogus.
+            return Verdict(Rcode.SERVFAIL, [], [], ede=((EDE_DNSSEC_BOGUS, "no denial proof"),))
+        for rrset in nsec_rrsets:
+            sigs = self._sig_rrset(response.authority, rrset.name, RdataType.NSEC)
+            result = validate_rrset(rrset, sigs, keys, now=self.now)
+            if not result.secure:
+                return Verdict(Rcode.SERVFAIL, [], [], ede=((EDE_DNSSEC_BOGUS, ""),))
+        if not self._nsec_denies(qname, qtype, nsec_rrsets, nxdomain):
+            return Verdict(Rcode.SERVFAIL, [], [], ede=((EDE_DNSSEC_BOGUS, "NSEC proof mismatch"),))
+        return Verdict(rcode, [], list(response.authority), ad=True)
+
+    @staticmethod
+    def _nsec_denies(qname, qtype, nsec_rrsets, nxdomain):
+        """Structural NSEC denial check (RFC 4035 §5.4)."""
+        qname = Name.from_text(qname)
+        for rrset in nsec_rrsets:
+            nsec = rrset[0]
+            if rrset.name == qname:
+                if nxdomain:
+                    return False  # name exists, cannot be NXDOMAIN
+                return not nsec.covers_type(qtype)
+        if not nxdomain:
+            # NODATA via covering NSEC only valid for opt-out-like cases.
+            return False
+        for rrset in nsec_rrsets:
+            nsec = rrset[0]
+            owner, nxt = rrset.name, nsec.next_name
+            if (owner < qname < nxt) or (nxt <= owner and (qname > owner or qname < nxt)):
+                return True
+        return False

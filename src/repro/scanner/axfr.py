@@ -1,0 +1,65 @@
+"""AXFR client (RFC 5936): how the paper obtained ccTLD zone files.
+
+§4.1: "country-code TLD (ccTLD) zone files downloaded via AXFR zone
+transfers for .ch, .nu, .se, and .li". The client asks a zone's
+authoritative server for a full transfer; servers refuse unless the zone
+is explicitly transferable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dns.message import make_query
+from repro.dns.name import Name
+from repro.dns.rcode import Rcode
+from repro.dns.types import RdataType
+from repro.net.transport import QueryFailure, Transport
+
+
+class TransferRefused(Exception):
+    """The server declined the zone transfer (the common case)."""
+
+
+@dataclass
+class ZoneTransfer:
+    """The result of one AXFR."""
+
+    zone: Name
+    rrsets: list = field(default_factory=list)
+
+    def delegated_names(self):
+        """Registered domains in the zone: owners of non-apex NS RRsets."""
+        names = set()
+        for rrset in self.rrsets:
+            if int(rrset.rrtype) == int(RdataType.NS) and rrset.name != self.zone:
+                names.add(rrset.name.to_text().rstrip("."))
+        return sorted(names)
+
+    def record_count(self):
+        return sum(len(rrset) for rrset in self.rrsets)
+
+
+def axfr(network, source_ip, server_ip, zone):
+    """Transfer *zone* from *server_ip*; returns a :class:`ZoneTransfer`.
+
+    Raises :class:`TransferRefused` when the server says no, and
+    :class:`~repro.net.transport.QueryFailure` when it is unreachable.
+    """
+    zone = Name.from_text(zone)
+    transport = Transport(network, source_ip)
+    query = make_query(zone, RdataType.AXFR, recursion_desired=False)
+    response = transport.query(server_ip, query)
+    if response.rcode == Rcode.REFUSED:
+        raise TransferRefused(f"{server_ip} refused AXFR of {zone}")
+    if response.rcode != Rcode.NOERROR:
+        raise QueryFailure(f"AXFR rcode {Rcode.to_text(response.rcode)}", qname=zone)
+    rrsets = list(response.answer)
+    # Strip the trailing SOA duplicate (the transfer-complete marker).
+    if (
+        len(rrsets) >= 2
+        and int(rrsets[-1].rrtype) == int(RdataType.SOA)
+        and int(rrsets[0].rrtype) == int(RdataType.SOA)
+    ):
+        rrsets = rrsets[:-1]
+    return ZoneTransfer(zone=zone, rrsets=rrsets)

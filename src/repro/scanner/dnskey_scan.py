@@ -1,0 +1,27 @@
+"""Stage 1 of the domain pipeline (§4.1): which domains are DNSSEC-enabled.
+
+"We used zdns to query each domain for its DNSKEY records […]. If any
+DNSKEY records are returned, we consider the domain name DNSSEC-enabled."
+The paper deliberately keeps domains whose signatures are broken — so this
+scan runs with CD (checking disabled), exactly as a non-validating lookup
+tool would.
+"""
+
+from __future__ import annotations
+
+from repro.dns.rcode import Rcode
+from repro.dns.types import RdataType
+
+
+def dnskey_scan(engine, domain_names):
+    """Return the subset of *domain_names* that present DNSKEY records."""
+    enabled = []
+    for name in domain_names:
+        answer = engine.query(
+            name, RdataType.DNSKEY, want_dnssec=True, checking_disabled=True
+        )
+        if answer.rcode != Rcode.NOERROR:
+            continue
+        if any(int(rrset.rrtype) == int(RdataType.DNSKEY) for rrset in answer.answer):
+            enabled.append(name)
+    return enabled

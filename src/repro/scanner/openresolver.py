@@ -1,0 +1,56 @@
+"""Open resolver discovery (§4.2, step i-iv).
+
+The paper sent A queries for unique subdomains of a scan domain to every
+routable IPv4 address and kept the 1.4 M that answered NOERROR. Here the
+candidate set is every address attached to the simulated network (plus
+however many unattached addresses the caller wants, to exercise the
+timeout path); a responder counts as an open resolver when it returns
+NOERROR *with an answer* for a name only a recursive resolver could
+resolve.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.dns.rcode import Rcode
+from repro.dns.types import RdataType
+from repro.resolver.stub import StubClient
+
+
+def discover_open_resolvers(
+    network,
+    scan_domain_fn,
+    source_ip,
+    candidates=None,
+    ipv6=None,
+    extra_unrouted=0,
+    seed=18,
+):
+    """Scan candidate addresses; returns the list of open resolver IPs.
+
+    *scan_domain_fn(unique)* must return a resolvable FQDN unique to this
+    probe (the testbed's ``valid`` wildcard zone serves this purpose, like
+    the paper's scan domain).
+    """
+    rng = random.Random(seed)
+    client = StubClient(network, source_ip, retries=0)
+    if candidates is None:
+        candidates = network.addresses(ipv6=ipv6)
+    candidates = list(candidates)
+    for index in range(extra_unrouted):
+        candidates.append(f"172.31.{rng.randrange(256)}.{rng.randrange(1, 255)}")
+    rng.shuffle(candidates)
+
+    open_resolvers = []
+    for index, address in enumerate(candidates):
+        if address == source_ip:
+            continue
+        answer = client.ask(
+            address, scan_domain_fn(f"scan{index}"), RdataType.A, want_dnssec=False
+        )
+        if not answer.answered:
+            continue
+        if answer.rcode == Rcode.NOERROR and answer.answer:
+            open_resolvers.append(address)
+    return open_resolvers

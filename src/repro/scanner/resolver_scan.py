@@ -1,0 +1,160 @@
+"""The resolver survey (§4.2/§5.2): probe the 49 zones, classify Items 6–12.
+
+Each resolver is asked, with a unique cache-busting label, for a name
+under every probe zone. The response matrix — RCODE, AD bit, EDE codes —
+feeds :func:`repro.core.resolver_compliance.classify_resolver`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.resolver_compliance import ProbeResult, classify_resolver
+from repro.dns.types import RdataType
+from repro.resolver.stub import StubClient
+from repro.testbed.rfc9276_wild import PROBE_ZONE_ITERATIONS
+
+
+def _to_probe_result(answer, keep_ede=True):
+    return ProbeResult(
+        rcode=answer.rcode,
+        ad=answer.ad,
+        ede_codes=tuple(answer.ede_codes) if keep_ede else (),
+        ra=answer.ra,
+        answered=answer.answered,
+    )
+
+
+def probe_resolver(
+    network,
+    resolver_ip,
+    probe_set,
+    source_ip,
+    unique,
+    iterations=PROBE_ZONE_ITERATIONS,
+    keep_ede=True,
+):
+    """Probe one resolver; returns the matrix for classify_resolver()."""
+    client = StubClient(network, source_ip)
+    matrix = {}
+    matrix["valid"] = _to_probe_result(
+        client.ask(resolver_ip, probe_set.probe_name("valid", unique)), keep_ede
+    )
+    matrix["expired"] = _to_probe_result(
+        client.ask(resolver_ip, probe_set.probe_name("expired", unique)), keep_ede
+    )
+    for count in iterations:
+        if count == 0:
+            continue
+        answer = client.ask(
+            resolver_ip, probe_set.probe_name(count, unique), RdataType.A
+        )
+        matrix[count] = _to_probe_result(answer, keep_ede)
+    matrix["it-2501-expired"] = _to_probe_result(
+        client.ask(resolver_ip, probe_set.probe_name("it-2501-expired", unique)),
+        keep_ede,
+    )
+    return matrix
+
+
+def probe_stability(
+    network,
+    resolver_ip,
+    probe_set,
+    source_ip,
+    unique,
+    iterations=(1, 50, 100, 150, 151, 500),
+    attempts=2,
+):
+    """Re-probe a resolver and report whether its answers are stable.
+
+    The paper re-queried apparent Item 12 violators and found that
+    "different response patterns" usually meant a broken resolver, not a
+    real three-phase configuration. Returns ``(stable, matrices)``.
+    """
+    matrices = []
+    for attempt in range(attempts):
+        matrices.append(
+            probe_resolver(
+                network,
+                resolver_ip,
+                probe_set,
+                source_ip,
+                f"{unique}-a{attempt}",
+                iterations=iterations,
+            )
+        )
+    first = matrices[0]
+    stable = all(
+        all(
+            matrix[key].rcode == first[key].rcode and matrix[key].ad == first[key].ad
+            for key in first
+        )
+        for matrix in matrices[1:]
+    )
+    return stable, matrices
+
+
+@dataclass
+class SurveyEntry:
+    """One resolver's probe matrix plus its classification."""
+
+    resolver: object  # testbed.resolvers.DeployedResolver
+    matrix: dict
+    classification: object
+
+
+@dataclass
+class ResolverSurvey:
+    """Runs the full survey over a deployed resolver population."""
+
+    network: object
+    probe_set: object
+    scanner_source_ip: str
+    #: Restrict it-N probing to a subset for cheap smoke surveys.
+    iterations: tuple = PROBE_ZONE_ITERATIONS
+    #: Re-probe apparent Item 12 violators and discount unstable ones —
+    #: the paper's §5.2 verification step ("querying these resolvers again
+    #: often results in different response patterns").
+    verify_item12_stability: bool = False
+    entries: list = field(default_factory=list)
+
+    def run(self, deployed_resolvers):
+        """Probe every resolver (open from outside, closed from inside)."""
+        self.entries = []
+        for index, deployed in enumerate(deployed_resolvers):
+            if deployed.access == "closed":
+                # Unreachable from the scanner; the Atlas campaign covers it.
+                continue
+            unique = f"r{index}"
+            matrix = probe_resolver(
+                self.network,
+                deployed.ip,
+                self.probe_set,
+                self.scanner_source_ip,
+                unique,
+                iterations=self.iterations,
+            )
+            classification = classify_resolver(matrix, resolver=deployed.ip)
+            if self.verify_item12_stability and classification.item12_gap:
+                self._verify_gap(deployed, unique, classification)
+            self.entries.append(SurveyEntry(deployed, matrix, classification))
+        return self.entries
+
+    def _verify_gap(self, deployed, unique, classification):
+        stable, __ = probe_stability(
+            self.network,
+            deployed.ip,
+            self.probe_set,
+            self.scanner_source_ip,
+            f"{unique}-verify",
+            iterations=self.iterations,
+        )
+        if not stable:
+            classification.item12_gap = False
+            classification.notes.append(
+                "Item 12 gap discounted: responses unstable across re-probes"
+            )
+
+    def classifications(self):
+        return [entry.classification for entry in self.entries]

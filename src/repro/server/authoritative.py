@@ -1,0 +1,339 @@
+"""The authoritative name server.
+
+Serves one or more (possibly signed) zones over the simulated network:
+positive answers, CNAME chains, wildcard synthesis, referrals with glue,
+and DNSSEC-complete negative responses — the closest-encloser NSEC3 proofs
+whose verification cost the paper's resolver experiments measure.
+"""
+
+from __future__ import annotations
+
+from repro.dns.flags import Flag
+from repro.dns.message import Message, make_response
+from repro.dns.name import Name
+from repro.dns.rcode import Rcode
+from repro.dns.rrset import RRset
+from repro.dns.types import Opcode, RdataType
+from repro.dns.wire import WireError
+from repro.dnssec.nsec3hash import nsec3_hash
+from repro.net.network import Host
+from repro.server.querylog import QueryLog
+from repro.zone.zone import LookupStatus
+
+#: Hard cap on CNAME chain chasing within one response.
+MAX_CNAME_CHAIN = 8
+
+
+class AuthoritativeServer(Host):
+    """A name server authoritative for a set of zones."""
+
+    def __init__(self, name="auth", network=None):
+        self.name = name
+        self.network = network
+        self.zones = {}
+        self.log = QueryLog()
+        #: Zones (by origin Name) that may be transferred via AXFR. Real
+        #: registries rarely allow transfers; the paper could AXFR only
+        #: .ch/.nu/.se/.li.
+        self.axfr_allowed = set()
+
+    def add_zone(self, zone):
+        """Host *zone* (keyed by origin) on this server."""
+        self.zones[zone.origin] = zone
+        return self
+
+    def zone_for(self, qname):
+        """The most specific zone containing *qname*, or None."""
+        qname = Name.from_text(qname)
+        best = None
+        for origin, zone in self.zones.items():
+            if qname.is_subdomain_of(origin):
+                if best is None or origin.label_count > best.origin.label_count:
+                    best = zone
+        return best
+
+    # -- datagram entry point ------------------------------------------------
+
+    def handle_datagram(self, wire, src_ip, via_tcp=False):
+        """Parse wire bytes, dispatch AXFR or a normal query, encode the reply."""
+        try:
+            query = Message.from_wire(wire)
+        except WireError:
+            return None
+        if (
+            query.question
+            and int(query.question[0].rrtype) == int(RdataType.AXFR)
+        ):
+            response = self.handle_axfr(query, src_ip, via_tcp)
+        else:
+            response = self.handle_query(query, src_ip)
+        if response is None:
+            return None
+        max_size = None
+        if not via_tcp:
+            max_size = query.edns.payload_size if query.edns else 512
+        return response.to_wire(max_size=max_size)
+
+    def handle_axfr(self, query, src_ip, via_tcp):
+        """Zone transfer (RFC 5936, single-message form).
+
+        AXFR is TCP-only; over UDP the truncation bit sends the client to
+        the TCP retry path. Zones not in :attr:`axfr_allowed` are REFUSED,
+        as almost every registry does in practice.
+        """
+        question = query.question[0]
+        clock = self.network.clock_ms if self.network else 0.0
+        self.log.record(src_ip, question.name.to_text(), question.rrtype, clock)
+        response = make_response(query)
+        zone = self.zones.get(question.name)
+        if zone is None:
+            response.rcode = Rcode.NOTAUTH
+            return response
+        if zone.origin not in self.axfr_allowed:
+            response.rcode = Rcode.REFUSED
+            return response
+        if not via_tcp:
+            response.set_flag(Flag.TC)
+            return response
+        response.set_flag(Flag.AA)
+        soa = zone.soa
+        response.answer.append(soa)
+        for rrset in zone.all_rrsets():
+            if int(rrset.rrtype) == int(RdataType.SOA):
+                continue
+            response.answer.append(rrset)
+            sigs = zone.get_rrsigs(rrset.name, rrset.rrtype)
+            if sigs is not None:
+                response.answer.append(sigs)
+        response.answer.append(soa)  # AXFR ends with the SOA again
+        return response
+
+    # -- query processing -------------------------------------------------------
+
+    def handle_query(self, query, src_ip="?"):
+        """Answer one parsed query message authoritatively."""
+        if query.is_response or query.opcode != Opcode.QUERY or not query.question:
+            response = make_response(query)
+            response.rcode = Rcode.FORMERR
+            return response
+        question = query.question[0]
+        clock = self.network.clock_ms if self.network else 0.0
+        self.log.record(src_ip, question.name.to_text(), question.rrtype, clock)
+
+        response = make_response(query)
+        zone = self.zone_for(question.name)
+        if (
+            zone is not None
+            and int(question.rrtype) == int(RdataType.DS)
+            and zone.origin == question.name
+            and not question.name.is_root()
+        ):
+            # DS lives in the parent: when this server hosts both sides of
+            # the cut, answer from the delegating zone (as BIND does).
+            parent_zone = self.zone_for(question.name.parent())
+            if parent_zone is not None:
+                zone = parent_zone
+        if zone is None:
+            response.rcode = Rcode.REFUSED
+            return response
+        response.set_flag(Flag.AA)
+        dnssec = query.dnssec_ok
+        self._answer_from_zone(response, zone, question.name, question.rrtype, dnssec)
+        return response
+
+    def _answer_from_zone(self, response, zone, qname, qtype, dnssec, depth=0):
+        result = zone.lookup(qname, qtype)
+
+        if result.status is LookupStatus.ANSWER:
+            self._add_with_sigs(response, response.answer, zone, result.rrset)
+            if int(qtype) == int(RdataType.NS) and qname == zone.origin:
+                self._add_glue(response, zone, result.rrset)
+        elif result.status is LookupStatus.CNAME:
+            self._add_with_sigs(response, response.answer, zone, result.cname)
+            if depth < MAX_CNAME_CHAIN:
+                target = result.cname[0].target
+                target_zone = self.zone_for(target)
+                if target_zone is not None:
+                    self._answer_from_zone(
+                        response, target_zone, target, qtype, dnssec, depth + 1
+                    )
+        elif result.status is LookupStatus.WILDCARD:
+            rrset = result.rrset or result.cname
+            wildcard_sigs = zone.get_rrsigs(result.wildcard_owner, rrset.rrtype)
+            response.answer.append(rrset)
+            if dnssec and wildcard_sigs is not None:
+                retargeted = RRset(
+                    qname, RdataType.RRSIG, wildcard_sigs.ttl, list(wildcard_sigs.rdatas)
+                )
+                response.answer.append(retargeted)
+            if dnssec:
+                self._add_wildcard_proof(response, zone, qname)
+        elif result.status is LookupStatus.DELEGATION:
+            self._add_referral(response, zone, result.delegation, dnssec)
+        elif result.status is LookupStatus.NODATA:
+            response.rcode = Rcode.NOERROR
+            self._add_negative(response, zone, qname, dnssec, nxdomain=False)
+        elif result.status is LookupStatus.NXDOMAIN:
+            response.rcode = Rcode.NXDOMAIN
+            self._add_negative(response, zone, qname, dnssec, nxdomain=True)
+        else:  # NOT_IN_ZONE — zone selection bug or stale config
+            response.rcode = Rcode.SERVFAIL
+
+    # -- response assembly helpers ---------------------------------------------
+
+    def _add_with_sigs(self, response, section, zone, rrset):
+        section.append(rrset)
+        sigs = zone.get_rrsigs(rrset.name, rrset.rrtype)
+        if response.dnssec_ok and sigs is not None:
+            section.append(sigs)
+
+    def _add_glue(self, response, zone, ns_rrset):
+        for ns in ns_rrset:
+            for glue_type in (RdataType.A, RdataType.AAAA):
+                glue = zone.get_rrset(ns.target, glue_type) if ns.target.is_subdomain_of(zone.origin) else None
+                if glue is not None:
+                    response.add_rrset(response.additional, glue)
+
+    def _add_referral(self, response, zone, ns_rrset, dnssec):
+        response.set_flag(Flag.AA, False)
+        response.authority.append(ns_rrset)
+        cut = ns_rrset.name
+        if dnssec and zone.signed:
+            ds = zone.get_rrset(cut, RdataType.DS)
+            if ds is not None:
+                self._add_with_sigs(response, response.authority, zone, ds)
+            elif zone.nsec3_chain is not None:
+                # Prove the absence of DS: matching NSEC3 (or opt-out cover).
+                self._add_nsec3_for(response, zone, cut, prove_no_ds=True)
+            elif zone.nsec_chain is not None:
+                self._add_nsec_for(response, zone, cut)
+        self._add_glue(response, zone, ns_rrset)
+
+    def _add_soa(self, response, zone):
+        soa = zone.soa
+        if soa is not None:
+            self._add_with_sigs(response, response.authority, zone, soa)
+
+    def _add_negative(self, response, zone, qname, dnssec, nxdomain):
+        self._add_soa(response, zone)
+        if not (dnssec and zone.signed):
+            return
+        if zone.nsec3_chain is not None:
+            if nxdomain:
+                self._add_nsec3_closest_encloser_proof(response, zone, qname)
+            else:
+                self._add_nsec3_for(response, zone, qname)
+        elif zone.nsec_chain is not None:
+            if nxdomain:
+                self._add_nsec_proof(response, zone, qname)
+            else:
+                self._add_nsec_for(response, zone, qname)
+
+    # -- NSEC3 proofs -----------------------------------------------------------
+
+    def _chain_hash(self, zone, name):
+        params = zone.nsec3_chain.params
+        return nsec3_hash(
+            Name.from_text(name).canonical_wire(),
+            params.salt,
+            params.iterations,
+            params.hash_algorithm,
+        )
+
+    def _append_chain_entry(self, response, zone, entry):
+        if entry is None:
+            return
+        rrset = RRset(entry.owner_name, RdataType.NSEC3, 3600, [entry.rdata])
+        existing = response.find_rrset(response.authority, entry.owner_name, RdataType.NSEC3)
+        if existing is not None:
+            return
+        response.authority.append(rrset)
+        sigs = zone.get_rrsigs(entry.owner_name, RdataType.NSEC3)
+        if sigs is not None:
+            response.authority.append(sigs)
+
+    def _add_nsec3_for(self, response, zone, qname, prove_no_ds=False):
+        """Matching NSEC3 for an existing name (NODATA / no-DS proofs)."""
+        chain = zone.nsec3_chain
+        digest = self._chain_hash(zone, qname)
+        entry = chain.find_matching(digest)
+        if entry is not None:
+            self._append_chain_entry(response, zone, entry)
+        else:
+            # Opt-out zones carry no record for insecure delegations: send
+            # the closest-provable-encloser proof (RFC 5155 §7.2.4).
+            self._add_nsec3_closest_encloser_proof(response, zone, qname)
+
+    def _add_nsec3_closest_encloser_proof(self, response, zone, qname):
+        """RFC 5155 §7.2.1: CE match + next-closer cover + wildcard cover."""
+        chain = zone.nsec3_chain
+        qname = Name.from_text(qname)
+        closest = None
+        next_closer = qname
+        candidate = qname
+        while candidate.label_count > zone.origin.label_count:
+            parent = candidate.parent()
+            if zone._name_exists(parent) or parent == zone.origin:
+                closest = parent
+                next_closer = candidate
+                break
+            candidate = parent
+        if closest is None:
+            closest = zone.origin
+        self._append_chain_entry(
+            response, zone, chain.find_matching(self._chain_hash(zone, closest))
+        )
+        self._append_chain_entry(
+            response, zone, chain.find_covering(self._chain_hash(zone, next_closer))
+        )
+        wildcard = closest.prepend(b"*")
+        self._append_chain_entry(
+            response, zone, chain.find_covering(self._chain_hash(zone, wildcard))
+        )
+
+    def _add_wildcard_proof(self, response, zone, qname):
+        """For wildcard expansions: prove the query name does not exist."""
+        if zone.nsec3_chain is not None:
+            self._append_chain_entry(
+                response,
+                zone,
+                zone.nsec3_chain.find_covering(self._chain_hash(zone, qname)),
+            )
+        elif zone.nsec_chain is not None:
+            entry = zone.nsec_chain.find_covering(Name.from_text(qname))
+            self._append_nsec_entry(response, zone, entry)
+
+    # -- NSEC proofs ----------------------------------------------------------
+
+    def _append_nsec_entry(self, response, zone, entry):
+        if entry is None:
+            return
+        if response.find_rrset(response.authority, entry.owner_name, RdataType.NSEC):
+            return
+        response.authority.append(
+            RRset(entry.owner_name, RdataType.NSEC, 3600, [entry.rdata])
+        )
+        sigs = zone.get_rrsigs(entry.owner_name, RdataType.NSEC)
+        if sigs is not None:
+            response.authority.append(sigs)
+
+    def _add_nsec_for(self, response, zone, qname):
+        entry = zone.nsec_chain.find_matching(Name.from_text(qname))
+        if entry is None:
+            entry = zone.nsec_chain.find_covering(Name.from_text(qname))
+        self._append_nsec_entry(response, zone, entry)
+
+    def _add_nsec_proof(self, response, zone, qname):
+        qname = Name.from_text(qname)
+        self._append_nsec_entry(response, zone, zone.nsec_chain.find_covering(qname))
+        # Deny the wildcard at the closest encloser.
+        candidate = qname
+        closest = zone.origin
+        while candidate.label_count > zone.origin.label_count:
+            parent = candidate.parent()
+            if zone._name_exists(parent):
+                closest = parent
+                break
+            candidate = parent
+        wildcard = closest.prepend(b"*")
+        self._append_nsec_entry(response, zone, zone.nsec_chain.find_covering(wildcard))

@@ -1,0 +1,50 @@
+"""Server-side query logging.
+
+Paper §4.2: "We enable server-side logging to track source IP addresses
+interacting with our name server. If the query destination is a forwarder,
+this helps identify the forwarding target." The resolver survey uses this
+log to attribute responses to the resolver that actually contacted the
+authoritative infrastructure.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class QueryLogEntry:
+    """One query observed by the authoritative server."""
+
+    source_ip: str
+    qname: str
+    qtype: int
+    clock_ms: float
+
+
+class QueryLog:
+    """A bounded in-memory query log with per-source aggregation."""
+
+    def __init__(self, max_entries=200_000):
+        self.entries = []
+        self.max_entries = max_entries
+        self.by_source = Counter()
+
+    def record(self, source_ip, qname, qtype, clock_ms=0.0):
+        self.by_source[source_ip] += 1
+        if len(self.entries) < self.max_entries:
+            self.entries.append(QueryLogEntry(source_ip, qname, qtype, clock_ms))
+
+    def sources_for(self, qname_substring):
+        """Source IPs that queried names containing *qname_substring*."""
+        return sorted(
+            {e.source_ip for e in self.entries if qname_substring in e.qname}
+        )
+
+    def __len__(self):
+        return len(self.entries)
+
+    def clear(self):
+        self.entries.clear()
+        self.by_source.clear()

@@ -1,0 +1,273 @@
+"""Assembles the simulated Internet: root, TLDs, domains, operators.
+
+Every zone is genuinely DNSSEC-signed (per its spec) and hosted on an
+authoritative server attached to the simulated network, so the scanners in
+:mod:`repro.scanner` measure real protocol behaviour end to end.
+
+Key material comes from a seeded RSA-512 pool: RSA verification is two
+orders of magnitude cheaper than signing in pure Python, which matches the
+asymmetry real resolvers enjoy via OpenSSL and keeps large testbeds fast.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.crypto.keys import ALG_RSASHA256, generate_keypair, make_ds
+from repro.dns.name import Name
+from repro.dns.rrset import RRset
+from repro.dns.types import RdataType
+from repro.net.address import AddressAllocator
+from repro.net.network import Network
+from repro.resolver.policy import Nsec3Policy
+from repro.resolver.validating import ValidatingResolver
+from repro.server.authoritative import AuthoritativeServer
+from repro.testbed.operators import OPERATORS_BY_KEY
+from repro.zone.builder import ZoneBuilder
+from repro.zone.nsec3chain import Nsec3Params
+from repro.zone.signing import SigningPolicy, sign_zone
+
+
+class KeyPool:
+    """A pool of pre-generated signing keys, cycled across zones.
+
+    Sharing keys across synthetic zones collapses key-generation cost from
+    O(zones) to O(1) while leaving every signature and validation real.
+    Real operators do reuse infrastructure-wide keys far less aggressively;
+    nothing in the measured behaviour depends on key uniqueness.
+    """
+
+    def __init__(self, size=16, algorithm=ALG_RSASHA256, rsa_bits=512, seed=42):
+        rng = random.Random(seed)
+        self._ksks = [
+            generate_keypair(algorithm, ksk=True, rsa_bits=rsa_bits, rng=rng)
+            for __ in range(size)
+        ]
+        self._zsks = [
+            generate_keypair(algorithm, ksk=False, rsa_bits=rsa_bits, rng=rng)
+            for __ in range(size)
+        ]
+        self._index = 0
+
+    def next_pair(self):
+        ksk = self._ksks[self._index % len(self._ksks)]
+        zsk = self._zsks[self._index % len(self._zsks)]
+        self._index += 1
+        return ksk, zsk
+
+
+@dataclass
+class Internet:
+    """Handles to everything the testbed built."""
+
+    network: Network
+    allocator: AddressAllocator
+    root_addresses: list
+    trust_anchor_ds: RRset
+    root_zone: object
+    tld_zones: dict
+    tld_specs: list
+    domain_specs: list
+    domain_zones: dict
+    operator_servers: dict
+    operator_ips: dict
+    key_pool: KeyPool
+    resolvers: list = field(default_factory=list)
+
+    def make_resolver(
+        self,
+        policy=None,
+        validate=True,
+        network_id="public",
+        ipv6=False,
+        name=None,
+    ):
+        """Attach a new recursive resolver to the network and return it."""
+        ip = self.allocator.next_v6() if ipv6 else self.allocator.next_v4()
+        resolver = ValidatingResolver(
+            self.network,
+            ip,
+            self.root_addresses,
+            self.trust_anchor_ds,
+            policy=policy or Nsec3Policy(),
+            validate=validate,
+            name=name or f"resolver-{len(self.resolvers)}",
+        )
+        self.network.attach(ip, resolver, network_id=network_id)
+        self.resolvers.append(resolver)
+        return resolver
+
+    def zone_of(self, domain):
+        return self.domain_zones.get(Name.from_text(domain))
+
+
+def _nsec3_params_for(spec, rng):
+    salt = bytes(rng.randrange(256) for __ in range(spec.salt_length))
+    return Nsec3Params(iterations=spec.iterations, salt=salt, opt_out=spec.opt_out)
+
+
+def _sign_from_spec(zone, spec, pool, rng):
+    ksk, zsk = pool.next_pair()
+    if spec.denial == "nsec3":
+        policy = SigningPolicy(nsec3=_nsec3_params_for(spec, rng))
+    else:
+        policy = SigningPolicy(nsec3=None)
+    sign_zone(zone, policy, ksk=ksk, zsk=zsk, rng=rng)
+    return zone
+
+
+def build_internet(
+    domain_specs,
+    tld_specs,
+    seed=7,
+    network=None,
+    host_domains=True,
+    domains_per_zone_extra=1,
+):
+    """Build and wire up the whole simulated Internet.
+
+    *domain_specs* / *tld_specs* come from :mod:`repro.testbed.population`.
+    With ``host_domains=False`` only the root/TLD/operator infrastructure
+    is hosted (useful when an experiment needs the tree but not the
+    population).
+    """
+    rng = random.Random(seed)
+    network = network or Network(seed=seed)
+    allocator = AddressAllocator()
+    pool = KeyPool(seed=seed + 1)
+
+    # --- servers -----------------------------------------------------------
+    root_server = AuthoritativeServer("root-servers", network)
+    root_v4, root_v6 = allocator.next_v4(), allocator.next_v6()
+    network.attach(root_v4, root_server)
+    network.attach(root_v6, root_server)
+
+    registry_server = AuthoritativeServer("tld-registry", network)
+    registry_v4, registry_v6 = allocator.next_v4(), allocator.next_v6()
+    network.attach(registry_v4, registry_server)
+    network.attach(registry_v6, registry_server)
+
+    operator_servers = {}
+    operator_ips = {}
+    operator_keys = set(spec.operator for spec in domain_specs)
+    operator_keys.add("generic-web")
+    for key in sorted(operator_keys):
+        server = AuthoritativeServer(f"op-{key}", network)
+        v4, v6 = allocator.next_v4(), allocator.next_v6()
+        network.attach(v4, server)
+        network.attach(v6, server)
+        operator_servers[key] = server
+        operator_ips[key] = (v4, v6)
+
+    # --- TLD zones ------------------------------------------------------------
+    tld_zones = {}
+    tld_builders = {}
+    for spec in tld_specs:
+        builder = (
+            ZoneBuilder(spec.label)
+            .soa(f"a.nic.{spec.label}", f"hostmaster.nic.{spec.label}")
+            .ns(f"a.nic.{spec.label}.")
+            .a(f"a.nic.{spec.label}.", registry_v4)
+            .aaaa(f"a.nic.{spec.label}.", registry_v6)
+        )
+        tld_builders[spec.label] = builder
+
+    # --- operator nameserver infrastructure domains --------------------------------
+    ns_domains = {}
+    for key in sorted(operator_keys):
+        profile = OPERATORS_BY_KEY.get(key)
+        ns_domain = profile.ns_domain if profile else f"{key.replace('.', '-')}-dns.net"
+        ns_domains[key] = ns_domain
+        v4, v6 = operator_ips[key]
+        zone = (
+            ZoneBuilder(ns_domain)
+            .soa(f"ns1.{ns_domain}", f"hostmaster.{ns_domain}")
+            .ns(f"ns1.{ns_domain}.", f"ns2.{ns_domain}.")
+            .a("ns1", v4)
+            .a("ns2", v4)
+            .aaaa("ns1", v6)
+            .aaaa("ns2", v6)
+            .build()
+        )
+        operator_servers[key].add_zone(zone)
+        infra_tld = ns_domain.rsplit(".", 1)[-1]
+        builder = tld_builders.get(infra_tld)
+        if builder is not None:
+            child = Name.from_text(ns_domain)
+            builder.delegate(child, f"ns1.{ns_domain}.", f"ns2.{ns_domain}.")
+            # In-bailiwick glue for the operator's nameservers.
+            builder.a(f"ns1.{ns_domain}.", v4)
+            builder.a(f"ns2.{ns_domain}.", v4)
+            builder.aaaa(f"ns1.{ns_domain}.", v6)
+            builder.aaaa(f"ns2.{ns_domain}.", v6)
+
+    # --- domain zones ---------------------------------------------------------------
+    domain_zones = {}
+    if host_domains:
+        for spec in domain_specs:
+            ns_domain = ns_domains[spec.operator]
+            ns_names = (f"ns1.{ns_domain}.", f"ns2.{ns_domain}.")
+            builder = (
+                ZoneBuilder(spec.name)
+                .soa(ns_names[0], f"hostmaster.{spec.name}")
+                .ns(*ns_names)
+                .a("@", f"198.18.{rng.randrange(256)}.{rng.randrange(1, 255)}")
+                .a("www", f"198.18.{rng.randrange(256)}.{rng.randrange(1, 255)}")
+            )
+            zone = builder.build()
+            ds_records = None
+            if spec.dnssec:
+                _sign_from_spec(zone, spec, pool, rng)
+                ds_records = [make_ds(spec.name, zone.keys[0].dnskey)]
+            operator_servers[spec.operator].add_zone(zone)
+            domain_zones[zone.origin] = zone
+            tld_builder = tld_builders.get(spec.tld)
+            if tld_builder is not None:
+                tld_builder.delegate(
+                    Name.from_text(spec.name), *ns_names, ds=ds_records
+                )
+
+    # --- sign and host the TLD zones -------------------------------------------------
+    tld_spec_by_label = {spec.label: spec for spec in tld_specs}
+    root_builder = (
+        ZoneBuilder(".")
+        .soa("a.root-servers.net.", "nstld.verisign-grs.com.")
+        .ns("a.root-servers.net.")
+        .a("a.root-servers.net.", root_v4)
+        .aaaa("a.root-servers.net.", root_v6)
+    )
+    for label, builder in tld_builders.items():
+        spec = tld_spec_by_label[label]
+        zone = builder.build()
+        ds_records = None
+        if spec.dnssec:
+            _sign_from_spec(zone, spec, pool, rng)
+            ds_records = [make_ds(label, zone.keys[0].dnskey)]
+        registry_server.add_zone(zone)
+        tld_zones[label] = zone
+        root_builder.delegate(Name.from_text(label), f"a.nic.{label}.", ds=ds_records)
+        root_builder.a(f"a.nic.{label}.", registry_v4)
+        root_builder.aaaa(f"a.nic.{label}.", registry_v6)
+
+    # --- root zone (NSEC-signed, like the real root) ------------------------------------
+    root_zone = root_builder.build()
+    ksk, zsk = pool.next_pair()
+    sign_zone(root_zone, SigningPolicy(nsec3=None), ksk=ksk, zsk=zsk, rng=rng)
+    root_server.add_zone(root_zone)
+    trust_anchor = RRset(".", RdataType.DS, 3600, [make_ds(".", ksk.dnskey)])
+
+    return Internet(
+        network=network,
+        allocator=allocator,
+        root_addresses=[root_v4, root_v6],
+        trust_anchor_ds=trust_anchor,
+        root_zone=root_zone,
+        tld_zones=tld_zones,
+        tld_specs=list(tld_specs),
+        domain_specs=list(domain_specs),
+        domain_zones=domain_zones,
+        operator_servers=operator_servers,
+        operator_ips=operator_ips,
+        key_pool=pool,
+    )

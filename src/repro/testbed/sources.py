@@ -1,0 +1,216 @@
+"""Domain-list curation: the paper's §4.1 data-collection stage.
+
+"We curate a large list of registered domain names from different sources,
+including generic TLD zone files from ICANN CZDS, ccTLD zone files
+downloaded via AXFR for .ch, .nu, .se and .li, Google Certificate
+Transparency logs, as well as a passive DNS feed from SIE Europe. All the
+entries are aggregated and deduplicated, resulting in 302 M unique
+registered domain names."
+
+Each source sees a different, overlapping slice of the registered-domain
+universe, through a different lens:
+
+- **CZDS** — complete gTLD zone files, but only for registries sharing
+  them (the ``open_zone_data`` flag on TLD specs);
+- **AXFR** — complete ccTLD zones, but only where the registry allows
+  transfers (we wire up the paper's four);
+- **CT logs** — any domain that obtained a certificate, seen as
+  certificate subject names (often ``www.``-prefixed);
+- **passive DNS** — resolver-observed FQDNs: deep subdomains that must be
+  reduced to registered domains, plus junk that must be filtered.
+
+:func:`curate_domain_list` replays the aggregation and reports per-source
+and total coverage of the ground-truth population.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.scanner.axfr import TransferRefused, axfr
+
+#: The ccTLDs the paper could transfer.
+AXFR_CCTLDS = ("ch", "nu", "se", "li")
+
+
+def enable_paper_axfr(inet, labels=AXFR_CCTLDS):
+    """Mark the paper's four ccTLD zones as transferable on their server."""
+    enabled = []
+    for label in labels:
+        zone = inet.tld_zones.get(label)
+        if zone is None:
+            continue
+        for server in _servers_hosting(inet, zone):
+            server.axfr_allowed.add(zone.origin)
+        enabled.append(label)
+    return enabled
+
+
+def _servers_hosting(inet, zone):
+    """All attached servers hosting *zone* (TLDs live on the registry)."""
+    servers = []
+    seen = set()
+    for ip in inet.network.addresses():
+        host = inet.network.host_at(ip)
+        if host is None or id(host) in seen:
+            continue
+        seen.add(id(host))
+        if getattr(host, "zones", None) and zone.origin in host.zones:
+            servers.append(host)
+    return servers
+
+
+def collect_czds(inet):
+    """gTLD zone files from registries that share them (CZDS model).
+
+    CZDS is out-of-band file distribution, so this reads the zone objects
+    directly — exactly as unpacking a downloaded zone file would — but
+    only for TLDs whose spec says ``open_zone_data``.
+    """
+    names = set()
+    covered_tlds = []
+    for spec in inet.tld_specs:
+        if not spec.open_zone_data:
+            continue
+        zone = inet.tld_zones.get(spec.label)
+        if zone is None:
+            continue
+        covered_tlds.append(spec.label)
+        for cut in zone.delegation_points():
+            names.add(cut.to_text().rstrip("."))
+    return names, covered_tlds
+
+
+def collect_axfr(inet, source_ip, labels=AXFR_CCTLDS):
+    """ccTLD zone files via real AXFR over the simulated network."""
+    names = set()
+    transferred = []
+    refused = []
+    for label in labels:
+        zone = inet.tld_zones.get(label)
+        if zone is None:
+            continue
+        server_ip = _registry_ip(inet, zone)
+        if server_ip is None:
+            continue
+        try:
+            transfer = axfr(inet.network, source_ip, server_ip, label)
+        except TransferRefused:
+            refused.append(label)
+            continue
+        names.update(transfer.delegated_names())
+        transferred.append(label)
+    return names, transferred, refused
+
+
+def _registry_ip(inet, zone):
+    for ip in inet.network.addresses(ipv6=False):
+        host = inet.network.host_at(ip)
+        if getattr(host, "zones", None) and zone.origin in host.zones:
+            return ip
+    return None
+
+
+def ct_log_feed(domain_specs, rng=None, coverage=0.85, seed=17):
+    """Certificate Transparency view: cert subject names for most domains.
+
+    Web-era domains almost all hold certificates; CT logs show them as
+    ``example.com`` and/or ``www.example.com`` entries.
+    """
+    rng = rng or random.Random(seed)
+    entries = set()
+    for spec in domain_specs:
+        if rng.random() >= coverage:
+            continue
+        entries.add(spec.name)
+        if rng.random() < 0.8:
+            entries.add(f"www.{spec.name}")
+    return entries
+
+
+def passive_dns_feed(domain_specs, rng=None, coverage=0.6, seed=18):
+    """Passive-DNS view: resolver-observed FQDNs, deep and noisy."""
+    rng = rng or random.Random(seed)
+    labels = ("www", "mail", "api", "cdn", "app", "m", "ns1", "imap")
+    entries = set()
+    for spec in domain_specs:
+        if rng.random() >= coverage:
+            continue
+        depth = rng.randrange(1, 4)
+        prefix = ".".join(rng.choice(labels) for __ in range(depth))
+        entries.add(f"{prefix}.{spec.name}")
+    # Observed junk that is not a registered domain at all.
+    for index in range(max(1, len(domain_specs) // 50)):
+        entries.add(f"ghost-{index}.invalid")
+    return entries
+
+
+def registered_domain_of(fqdn, known_tlds):
+    """Reduce an observed FQDN to its registered domain (label + TLD).
+
+    The real pipeline uses the Public Suffix List; the synthetic namespace
+    only has single-label public suffixes, so the reduction is the last
+    two labels — when the suffix is a known TLD.
+    """
+    labels = [l for l in fqdn.lower().rstrip(".").split(".") if l]
+    if len(labels) < 2 or labels[-1] not in known_tlds:
+        return None
+    return ".".join(labels[-2:])
+
+
+@dataclass
+class CurationResult:
+    """The curated list plus per-source accounting."""
+
+    domains: list
+    per_source: dict = field(default_factory=dict)
+    ground_truth_coverage: float = 0.0
+    duplicates_removed: int = 0
+
+    def __len__(self):
+        return len(self.domains)
+
+
+def curate_domain_list(inet, source_ip, rng=None):
+    """Aggregate all four sources and deduplicate (the 302 M-list stage)."""
+    rng = rng or random.Random(4)
+    known_tlds = {spec.label for spec in inet.tld_specs}
+
+    czds_names, czds_tlds = collect_czds(inet)
+    axfr_names, transferred, refused = collect_axfr(inet, source_ip)
+    ct_entries = ct_log_feed(inet.domain_specs, rng)
+    pdns_entries = passive_dns_feed(inet.domain_specs, rng)
+
+    ct_names = {
+        reduced
+        for entry in ct_entries
+        if (reduced := registered_domain_of(entry, known_tlds))
+    }
+    pdns_names = {
+        reduced
+        for entry in pdns_entries
+        if (reduced := registered_domain_of(entry, known_tlds))
+    }
+
+    total_raw = len(czds_names) + len(axfr_names) + len(ct_names) + len(pdns_names)
+    merged = czds_names | axfr_names | ct_names | pdns_names
+    # Only delegations that exist count as registered domains; the feeds
+    # can contain lies (expired names, typos), which resolution later weeds
+    # out — here we keep them, as the paper's list also contains dead names.
+    truth = {spec.name for spec in inet.domain_specs}
+    coverage = len(merged & truth) / len(truth) if truth else 0.0
+    return CurationResult(
+        domains=sorted(merged),
+        per_source={
+            "czds": len(czds_names),
+            "axfr": len(axfr_names),
+            "ct_logs": len(ct_names),
+            "passive_dns": len(pdns_names),
+            "czds_tlds": len(czds_tlds),
+            "axfr_transferred": transferred,
+            "axfr_refused": refused,
+        },
+        ground_truth_coverage=coverage,
+        duplicates_removed=total_raw - len(merged),
+    )

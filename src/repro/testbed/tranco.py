@@ -1,0 +1,59 @@
+"""A synthetic Tranco-style popularity ranking (paper Figure 2).
+
+The paper intersects the Tranco 1 M list with its NSEC3-enabled domains and
+finds (a) compliance uniformly distributed across ranks, and (b) popular
+domains more compliant than the general population (22.8 % zero-iteration
+vs 12.2 % overall; 23.6 % saltless vs 8.6 %).
+
+We reproduce both properties: ranks are assigned uniformly at random (which
+makes the rank CDF of any subpopulation uniform), while *membership* in the
+ranked list is weighted toward compliant domains to match the headline
+ratios.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: Weight boosts calibrated to the paper's popular-vs-overall ratios.
+ZERO_ITERATION_BOOST = 2.4
+SALTLESS_BOOST = 3.2
+
+
+def assign_tranco_ranks(specs, list_size=None, rng=None, seed=588):
+    """Attach Tranco ranks to a weighted sample of *specs*.
+
+    Returns a new list of :class:`~repro.testbed.population.DomainSpec`
+    with ``tranco_rank`` set for the sampled domains (1-based, dense).
+    *list_size* defaults to a third of the population.
+    """
+    from dataclasses import replace
+
+    rng = rng or random.Random(seed)
+    if list_size is None:
+        list_size = max(1, len(specs) // 3)
+    list_size = min(list_size, len(specs))
+
+    weights = []
+    for spec in specs:
+        weight = 1.0
+        if spec.nsec3:
+            if spec.iterations == 0:
+                weight *= ZERO_ITERATION_BOOST
+            if spec.salt_length == 0:
+                weight *= SALTLESS_BOOST
+        weights.append(weight)
+
+    order = list(range(len(specs)))
+    # Weighted sample without replacement via exponential sort keys.
+    keyed = sorted(
+        order, key=lambda i: rng.expovariate(1.0) / weights[i]
+    )
+    chosen = keyed[:list_size]
+    ranks = list(range(1, list_size + 1))
+    rng.shuffle(ranks)
+
+    ranked = list(specs)
+    for rank, index in zip(ranks, chosen):
+        ranked[index] = replace(ranked[index], tranco_rank=rank)
+    return ranked

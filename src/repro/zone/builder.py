@@ -1,0 +1,105 @@
+"""Programmatic zone construction."""
+
+from __future__ import annotations
+
+from repro.dns.name import Name
+from repro.dns.rdata import A, AAAA, CNAME, MX, NS, SOA, TXT
+from repro.dns.types import RdataType
+from repro.zone.zone import Zone
+
+DEFAULT_TTL = 3600
+
+
+class ZoneBuilder:
+    """Fluent helper to assemble a :class:`~repro.zone.zone.Zone`.
+
+    >>> zone = (ZoneBuilder("example.com")
+    ...         .soa("ns1.example.com", "hostmaster.example.com")
+    ...         .ns("ns1.example.com", "ns2.example.com")
+    ...         .a("www", "192.0.2.1")
+    ...         .build())
+    """
+
+    def __init__(self, origin, ttl=DEFAULT_TTL):
+        self.zone = Zone(origin)
+        self.ttl = ttl
+
+    @property
+    def origin(self):
+        return self.zone.origin
+
+    def _absolute(self, name):
+        """Resolve a possibly-relative name against the origin."""
+        if isinstance(name, Name):
+            return name
+        if name in ("@", ""):
+            return self.origin
+        if name.endswith("."):
+            return Name.from_text(name)
+        return Name.from_text(name).concatenate(self.origin)
+
+    def soa(self, mname, rname, serial=1, refresh=7200, retry=3600, expire=1209600, minimum=3600):
+        self.zone.add(
+            self.origin,
+            RdataType.SOA,
+            self.ttl,
+            SOA(mname, rname, serial, refresh, retry, expire, minimum),
+        )
+        return self
+
+    def ns(self, *servers, owner="@"):
+        name = self._absolute(owner)
+        for server in servers:
+            self.zone.add(name, RdataType.NS, self.ttl, NS(server))
+        return self
+
+    def a(self, owner, *addresses):
+        name = self._absolute(owner)
+        for address in addresses:
+            self.zone.add(name, RdataType.A, self.ttl, A(address))
+        return self
+
+    def aaaa(self, owner, *addresses):
+        name = self._absolute(owner)
+        for address in addresses:
+            self.zone.add(name, RdataType.AAAA, self.ttl, AAAA(address))
+        return self
+
+    def cname(self, owner, target):
+        self.zone.add(self._absolute(owner), RdataType.CNAME, self.ttl, CNAME(target))
+        return self
+
+    def mx(self, owner, preference, exchange):
+        self.zone.add(self._absolute(owner), RdataType.MX, self.ttl, MX(preference, exchange))
+        return self
+
+    def txt(self, owner, *strings):
+        self.zone.add(self._absolute(owner), RdataType.TXT, self.ttl, TXT(list(strings)))
+        return self
+
+    def wildcard_a(self, address, under="@"):
+        """Add ``*.under`` → A, the wildcard style the probe zones use."""
+        parent = self._absolute(under)
+        self.zone.add(parent.prepend(b"*"), RdataType.A, self.ttl, A(address))
+        return self
+
+    def delegate(self, child_label, *servers, ds=None):
+        """Create a delegation: NS at the child cut, optional DS records."""
+        cut = self._absolute(child_label)
+        for server in servers:
+            self.zone.add(cut, RdataType.NS, self.ttl, NS(server))
+        if ds:
+            for record in ds if isinstance(ds, (list, tuple)) else [ds]:
+                self.zone.add(cut, RdataType.DS, self.ttl, record)
+        return self
+
+    def rrset(self, rrset):
+        self.zone.add_rrset(rrset)
+        return self
+
+    def build(self):
+        if self.zone.soa is None:
+            raise ValueError(f"zone {self.origin} has no SOA record")
+        if self.zone.get_rrset(self.origin, RdataType.NS) is None:
+            raise ValueError(f"zone {self.origin} has no apex NS records")
+        return self.zone

@@ -1,0 +1,95 @@
+"""Plain NSEC chain construction (RFC 4034 §4).
+
+The alternative RFC 9276 Item 1 prefers: owner names in canonical order,
+each record naming the next owner — trivially zone-walkable, which is the
+trade-off the paper discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dns.name import Name
+from repro.dns.rdata.nsec import NSEC
+from repro.dns.rrset import RRset
+from repro.dns.types import RdataType
+
+
+@dataclass
+class NsecEntry:
+    """One link of the NSEC chain."""
+
+    owner_name: Name
+    rdata: NSEC
+
+
+class NsecChain:
+    """The complete NSEC chain of a zone, in canonical owner order."""
+
+    def __init__(self, entries):
+        self.entries = entries
+        self._names = [entry.owner_name for entry in entries]
+
+    def __len__(self):
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def find_matching(self, name):
+        for entry in self.entries:
+            if entry.owner_name == name:
+                return entry
+        return None
+
+    def find_covering(self, name):
+        """The entry whose (owner, next) interval covers *name*."""
+        if not self.entries:
+            return None
+        covering = None
+        for entry in self.entries:
+            if entry.owner_name < name:
+                covering = entry
+            else:
+                break
+        if covering is None:
+            # Before the first owner in canonical order: wrap-around record.
+            return self.entries[-1]
+        return covering
+
+    def rrsets(self, ttl):
+        return [
+            RRset(entry.owner_name, RdataType.NSEC, ttl, [entry.rdata])
+            for entry in self.entries
+        ]
+
+
+def _types_at(zone, name, apex):
+    node = zone.nodes.get(name, {})
+    types = set(node)
+    is_delegation = zone.is_delegation_point(name)
+    if is_delegation:
+        types = {
+            t for t in types if t in (int(RdataType.NS), int(RdataType.DS))
+        }
+    if name == apex:
+        types.add(int(RdataType.DNSKEY))
+    types.add(int(RdataType.NSEC))
+    if not is_delegation or int(RdataType.DS) in node:
+        types.add(int(RdataType.RRSIG))
+    return types
+
+
+def build_nsec_chain(zone):
+    """Build the NSEC chain over the zone's authoritative names."""
+    apex = zone.origin
+    names = set(zone.authoritative_names())
+    names.add(apex)
+    ordered = sorted(names)
+    entries = []
+    count = len(ordered)
+    for index, name in enumerate(ordered):
+        next_name = ordered[(index + 1) % count]
+        rdata = NSEC(next_name, sorted(_types_at(zone, name, apex)))
+        entries.append(NsecEntry(name, rdata))
+    return NsecChain(entries)

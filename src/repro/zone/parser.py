@@ -1,0 +1,138 @@
+"""A master-file (zone file) parser — the RFC 1035 §5 subset real tools use.
+
+Supports ``$ORIGIN`` and ``$TTL`` directives, ``@`` for the origin, owner
+inheritance from the previous record, relative names, comments, and
+parenthesised multi-line records (SOA in the common layout). Class defaults
+to IN; TTL to the ``$TTL`` value.
+"""
+
+from __future__ import annotations
+
+from repro.dns.name import Name
+from repro.dns.rdata import rdata_from_text
+from repro.dns.types import RdataClass, RdataType
+from repro.zone.zone import Zone
+
+
+class ZoneParseError(ValueError):
+    """Raised with a line number when a zone file cannot be parsed."""
+
+
+def _strip_comment(line):
+    """Remove a ``;`` comment, respecting double-quoted strings."""
+    out = []
+    in_quotes = False
+    for ch in line:
+        if ch == '"':
+            in_quotes = not in_quotes
+        if ch == ";" and not in_quotes:
+            break
+        out.append(ch)
+    return "".join(out)
+
+
+def _logical_lines(text):
+    """Yield (line_number, content) with parenthesised groups joined."""
+    pending = []
+    pending_start = 0
+    depth = 0
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw)
+        depth += line.count("(") - line.count(")")
+        if depth < 0:
+            raise ZoneParseError(f"line {number}: unbalanced ')'")
+        if pending:
+            pending.append(line)
+        elif line.strip():
+            pending = [line]
+            pending_start = number
+        if depth == 0 and pending:
+            joined = " ".join(pending).replace("(", " ").replace(")", " ")
+            if joined.strip():
+                yield pending_start, pending[0], joined
+            pending = []
+    if depth != 0:
+        raise ZoneParseError("unbalanced '(' at end of file")
+
+
+_KNOWN_CLASSES = {"IN", "CH", "HS"}
+
+
+def parse_zone_text(text, origin=None, default_ttl=3600):
+    """Parse zone file *text* into a :class:`~repro.zone.zone.Zone`."""
+    origin_name = Name.from_text(origin) if origin else None
+    zone = None
+    last_owner = None
+    records = []
+
+    def absolute(token):
+        if token == "@":
+            if origin_name is None:
+                raise ZoneParseError("'@' used before $ORIGIN")
+            return origin_name
+        if token.endswith("."):
+            return Name.from_text(token)
+        if origin_name is None:
+            raise ZoneParseError(f"relative name {token!r} before $ORIGIN")
+        return Name.from_text(token).concatenate(origin_name)
+
+    for number, first_line, line in _logical_lines(text):
+        tokens = line.split()
+        if not tokens:
+            continue
+        if tokens[0] == "$ORIGIN":
+            origin_name = Name.from_text(tokens[1])
+            continue
+        if tokens[0] == "$TTL":
+            default_ttl = int(tokens[1])
+            continue
+        if tokens[0].startswith("$"):
+            raise ZoneParseError(f"line {number}: unsupported directive {tokens[0]}")
+
+        owner_inherited = first_line[:1] in (" ", "\t")
+        if owner_inherited:
+            if last_owner is None:
+                raise ZoneParseError(f"line {number}: no previous owner to inherit")
+            owner = last_owner
+        else:
+            owner = absolute(tokens[0])
+            tokens = tokens[1:]
+        last_owner = owner
+
+        ttl = default_ttl
+        rdclass = RdataClass.IN
+        # TTL and class may appear in either order before the type.
+        while tokens:
+            token = tokens[0].upper()
+            if token.isdigit():
+                ttl = int(token)
+                tokens = tokens[1:]
+            elif token in _KNOWN_CLASSES:
+                rdclass = RdataClass[token]
+                tokens = tokens[1:]
+            else:
+                break
+        if not tokens:
+            raise ZoneParseError(f"line {number}: record has no type")
+        try:
+            rrtype = RdataType.from_text(tokens[0])
+        except ValueError as exc:
+            raise ZoneParseError(f"line {number}: {exc}") from exc
+        rdata_text = " ".join(tokens[1:])
+        try:
+            rdata = rdata_from_text(rrtype, rdata_text)
+        except (ValueError, IndexError) as exc:
+            raise ZoneParseError(f"line {number}: bad rdata: {exc}") from exc
+        records.append((owner, ttl, rdclass, rrtype, rdata))
+
+    if origin_name is None:
+        # Infer the origin from the (unique) SOA owner.
+        soa_owners = {o for o, __, __, t, __ in records if int(t) == int(RdataType.SOA)}
+        if len(soa_owners) != 1:
+            raise ZoneParseError("cannot infer origin: need exactly one SOA")
+        origin_name = next(iter(soa_owners))
+
+    zone = Zone(origin_name)
+    for owner, ttl, rdclass, rrtype, rdata in records:
+        zone.add(owner, rrtype, ttl, rdata)
+    return zone

@@ -1,0 +1,157 @@
+"""Whole-zone DNSSEC signing (RFC 4035 §2).
+
+:func:`sign_zone` generates keys (or uses supplied ones), builds the
+denial-of-existence chain (NSEC or NSEC3 per the policy), inserts DNSKEY /
+NSEC3PARAM / chain RRsets, and signs every authoritative RRset:
+
+- the DNSKEY RRset with the KSK (and ZSK),
+- everything else with the ZSK,
+- delegation NS RRsets and glue are *not* signed (the parent is not
+  authoritative for them); DS RRsets at cuts are.
+
+The paper's control zones need broken signatures on purpose, so the
+policy can mark the whole zone — or only the NSEC3 records — as expired.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.keys import ALG_ECDSAP256SHA256, generate_keypair
+from repro.dns.rrset import RRset
+from repro.dns.types import RdataType
+from repro.dnssec.signer import SIMULATION_NOW, sign_rrset
+from repro.zone.nsec3chain import Nsec3Params, build_nsec3_chain
+from repro.zone.nsecchain import build_nsec_chain
+
+#: TTL given to generated DNSKEY / NSEC / NSEC3 / NSEC3PARAM RRsets.
+DNSSEC_TTL = 3600
+
+
+@dataclass
+class SigningPolicy:
+    """How to sign a zone."""
+
+    #: None → plain NSEC; an :class:`Nsec3Params` → NSEC3.
+    nsec3: Nsec3Params | None = None
+    algorithm: int = ALG_ECDSAP256SHA256
+    #: Sign with signatures that are already expired (the ``expired`` zone).
+    expired: bool = False
+    #: Expire only the signatures covering NSEC3 records
+    #: (the ``it-2501-expired`` zone of paper §4.2).
+    expired_nsec3_only: bool = False
+    now: int = SIMULATION_NOW
+    rsa_bits: int = 1024
+
+    def signature_window(self, rrtype):
+        """(inception, expiration) for signatures over *rrtype* RRsets."""
+        expire_this = self.expired or (
+            self.expired_nsec3_only and int(rrtype) == int(RdataType.NSEC3)
+        )
+        if expire_this:
+            return self.now - 60 * 86400, self.now - 30 * 86400
+        return self.now - 3600, self.now + 30 * 86400
+
+
+def sign_zone(zone, policy=None, ksk=None, zsk=None, rng=None):
+    """Sign *zone* in place and return it.
+
+    Generates an ECDSA KSK/ZSK pair when none is supplied (a seeded *rng*
+    makes the zone reproducible). Repeat signing replaces previous DNSSEC
+    material.
+    """
+    policy = policy or SigningPolicy()
+    rng = rng or random
+    if ksk is None:
+        ksk = generate_keypair(policy.algorithm, ksk=True, rsa_bits=policy.rsa_bits, rng=rng)
+    if zsk is None:
+        zsk = generate_keypair(policy.algorithm, ksk=False, rsa_bits=policy.rsa_bits, rng=rng)
+    zone.keys = [ksk, zsk]
+    zone.rrsigs = {}
+
+    _strip_dnssec(zone)
+
+    apex = zone.origin
+    dnskey_rrset = RRset(apex, RdataType.DNSKEY, DNSSEC_TTL, [ksk.dnskey, zsk.dnskey])
+    zone.add_rrset(dnskey_rrset)
+
+    if policy.nsec3 is not None:
+        nsec3param = RRset(
+            apex, RdataType.NSEC3PARAM, DNSSEC_TTL, [policy.nsec3.to_nsec3param()]
+        )
+        zone.add_rrset(nsec3param)
+        chain = build_nsec3_chain(zone, policy.nsec3)
+        zone.nsec3_chain = chain
+        zone.nsec_chain = None
+        for rrset in chain.rrsets(DNSSEC_TTL):
+            zone.add_rrset(rrset)
+    else:
+        chain = build_nsec_chain(zone)
+        zone.nsec_chain = chain
+        zone.nsec3_chain = None
+        for rrset in chain.rrsets(DNSSEC_TTL):
+            zone.add_rrset(rrset)
+
+    _sign_all(zone, policy, ksk, zsk)
+    zone.signed = True
+    return zone
+
+
+def _strip_dnssec(zone):
+    """Remove any DNSSEC records from a previous signing pass."""
+    dnssec_types = {
+        int(RdataType.DNSKEY),
+        int(RdataType.NSEC),
+        int(RdataType.NSEC3),
+        int(RdataType.NSEC3PARAM),
+        int(RdataType.RRSIG),
+    }
+    for name in list(zone.nodes):
+        node = zone.nodes[name]
+        for rrtype in list(node):
+            if rrtype in dnssec_types:
+                del node[rrtype]
+        if not node:
+            del zone.nodes[name]
+    zone.nsec3_chain = None
+    zone.nsec_chain = None
+    zone.signed = False
+
+
+def _should_sign(zone, rrset):
+    """Delegation NS RRsets and glue are unsigned; all else is signed."""
+    cut = zone.delegation_for(rrset.name)
+    if cut is None:
+        return True
+    if cut == rrset.name:
+        # At the cut the parent signs only DS (and the NSEC/NSEC3 record,
+        # which lives on a hashed/different owner for NSEC3).
+        return int(rrset.rrtype) in (int(RdataType.DS), int(RdataType.NSEC), int(RdataType.NSEC3))
+    return False  # glue below the cut
+
+
+def _sign_all(zone, policy, ksk, zsk):
+    for rrset in list(zone.all_rrsets()):
+        if int(rrset.rrtype) == int(RdataType.RRSIG):
+            continue
+        if not _should_sign(zone, rrset):
+            continue
+        inception, expiration = policy.signature_window(rrset.rrtype)
+        signers = [zsk]
+        if int(rrset.rrtype) == int(RdataType.DNSKEY):
+            signers = [ksk]
+        rrsigs = [
+            sign_rrset(
+                rrset,
+                key,
+                zone.origin,
+                inception=inception,
+                expiration=expiration,
+                now=policy.now,
+            )
+            for key in signers
+        ]
+        zone.rrsigs[(rrset.name, int(rrset.rrtype))] = RRset(
+            rrset.name, RdataType.RRSIG, rrset.ttl, rrsigs
+        )

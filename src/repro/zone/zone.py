@@ -1,0 +1,248 @@
+"""The zone container and its lookup semantics (RFC 1034 §4.3.2).
+
+A :class:`Zone` maps owner names to per-type RRsets and knows how to answer
+the four questions an authoritative server asks: exact answer, NODATA,
+delegation, or NXDOMAIN (with wildcard synthesis). DNSSEC material —
+signatures and the NSEC/NSEC3 chain — is attached by
+:mod:`repro.zone.signing`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.dns.name import Name
+from repro.dns.rrset import RRset
+from repro.dns.types import RdataType
+
+
+class LookupStatus(enum.Enum):
+    """Outcome category of a zone lookup."""
+
+    ANSWER = "answer"
+    NODATA = "nodata"
+    NXDOMAIN = "nxdomain"
+    DELEGATION = "delegation"
+    CNAME = "cname"
+    WILDCARD = "wildcard"
+    NOT_IN_ZONE = "not-in-zone"
+
+
+@dataclass
+class LookupResult:
+    """What the zone found for a (name, type) question."""
+
+    status: LookupStatus
+    rrset: RRset | None = None
+    #: For DELEGATION: the delegation point's NS RRset.
+    delegation: RRset | None = None
+    #: For WILDCARD: the wildcard owner that was expanded.
+    wildcard_owner: Name | None = None
+    #: For CNAME: the alias RRset to chase.
+    cname: RRset | None = None
+
+
+class Zone:
+    """An authoritative zone: origin plus a name → type → RRset map."""
+
+    def __init__(self, origin):
+        self.origin = Name.from_text(origin)
+        self.nodes = {}
+        #: Set by repro.zone.signing once the zone is DNSSEC-signed.
+        self.signed = False
+        self.nsec3_chain = None
+        self.nsec_chain = None
+        self.keys = []
+        #: RRSIGs keyed like RRsets: (name, type) -> RRset of RRSIGs.
+        self.rrsigs = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_rrset(self, rrset):
+        """Insert (or merge) an RRset; owner must be inside the zone."""
+        if not rrset.name.is_subdomain_of(self.origin):
+            raise ValueError(f"{rrset.name} is outside zone {self.origin}")
+        node = self.nodes.setdefault(rrset.name, {})
+        existing = node.get(int(rrset.rrtype))
+        if existing is None:
+            node[int(rrset.rrtype)] = rrset.copy()
+        else:
+            for rdata in rrset:
+                existing.add(rdata)
+        return self
+
+    def add(self, name, rrtype, ttl, *rdatas):
+        """Convenience: add rdatas under (name, type)."""
+        rrset = RRset(name, rrtype, ttl, list(rdatas))
+        return self.add_rrset(rrset)
+
+    # -- introspection ------------------------------------------------------
+
+    def get_rrset(self, name, rrtype):
+        """The RRset at (name, type), or None."""
+        node = self.nodes.get(Name.from_text(name))
+        if node is None:
+            return None
+        return node.get(int(rrtype))
+
+    def get_rrsigs(self, name, rrtype):
+        """The RRSIG RRset covering (name, type), or None."""
+        return self.rrsigs.get((Name.from_text(name), int(rrtype)))
+
+    @property
+    def soa(self):
+        """The apex SOA RRset (None on un-built zones)."""
+        rrset = self.get_rrset(self.origin, RdataType.SOA)
+        return rrset
+
+    def names(self):
+        """All owner names, canonically sorted."""
+        return sorted(self.nodes)
+
+    def all_rrsets(self):
+        """Every RRset, in canonical owner/type order."""
+        for name in sorted(self.nodes):
+            for rrtype in sorted(self.nodes[name]):
+                yield self.nodes[name][rrtype]
+
+    def record_count(self):
+        """Total RR count (rdatas, not RRsets)."""
+        return sum(len(rrset) for rrset in self.all_rrsets())
+
+    def delegation_points(self):
+        """Names (other than the apex) owning NS RRsets."""
+        points = []
+        for name, node in self.nodes.items():
+            if name != self.origin and int(RdataType.NS) in node:
+                points.append(name)
+        return sorted(points)
+
+    def is_delegation_point(self, name):
+        """True when *name* owns a non-apex NS RRset (a zone cut)."""
+        name = Name.from_text(name)
+        return name != self.origin and int(RdataType.NS) in self.nodes.get(name, {})
+
+    def delegation_for(self, name):
+        """The deepest delegation point at or above *name*, if any."""
+        name = Name.from_text(name)
+        candidate = name
+        while candidate.label_count > self.origin.label_count:
+            if self.is_delegation_point(candidate):
+                return candidate
+            candidate = candidate.parent()
+        return None
+
+    def authoritative_names(self):
+        """Names this zone is authoritative for: in-zone, not below a cut.
+
+        Delegation points themselves are included (the parent side of the
+        cut owns the NS and optional DS RRsets); glue below them is not.
+        """
+        result = []
+        for name in self.nodes:
+            cut = self.delegation_for(name)
+            if cut is not None and cut != name:
+                continue
+            result.append(name)
+        return sorted(result)
+
+    def empty_nonterminals(self):
+        """Names with no RRsets that sit between a node and the apex.
+
+        NSEC3 chains must include these (RFC 5155 §7.1).
+        """
+        present = set(self.nodes)
+        empties = set()
+        for name in self.authoritative_names():
+            candidate = name
+            while candidate.label_count > self.origin.label_count + 1:
+                candidate = candidate.parent()
+                if candidate not in present:
+                    empties.add(candidate)
+        return sorted(empties)
+
+    # -- lookup --------------------------------------------------------------
+
+    def lookup(self, qname, qtype):
+        """Authoritative lookup per RFC 1034 §4.3.2 (plus wildcard synthesis)."""
+        qname = Name.from_text(qname)
+        if not qname.is_subdomain_of(self.origin):
+            return LookupResult(LookupStatus.NOT_IN_ZONE)
+
+        # Delegation check first: anything at or below a zone cut is referred,
+        # except queries for DS at the cut itself (answered by the parent).
+        cut = self.delegation_for(qname)
+        if cut is not None:
+            at_cut_for_parent_types = qname == cut and int(qtype) in (
+                int(RdataType.DS),
+            )
+            if not at_cut_for_parent_types:
+                return LookupResult(
+                    LookupStatus.DELEGATION,
+                    delegation=self.nodes[cut][int(RdataType.NS)],
+                )
+
+        node = self.nodes.get(qname)
+        if node is not None:
+            rrset = node.get(int(qtype))
+            if rrset is not None:
+                return LookupResult(LookupStatus.ANSWER, rrset=rrset)
+            cname = node.get(int(RdataType.CNAME))
+            if cname is not None and int(qtype) != int(RdataType.CNAME):
+                return LookupResult(LookupStatus.CNAME, cname=cname)
+            return LookupResult(LookupStatus.NODATA)
+
+        if self._name_exists(qname):
+            # Empty non-terminal: the name "exists" but owns nothing.
+            return LookupResult(LookupStatus.NODATA)
+
+        wildcard_result = self._try_wildcard(qname, qtype)
+        if wildcard_result is not None:
+            return wildcard_result
+        return LookupResult(LookupStatus.NXDOMAIN)
+
+    def _name_exists(self, qname):
+        """True if *qname* exists as a node or an empty non-terminal."""
+        if qname in self.nodes:
+            return True
+        for name in self.nodes:
+            if name != qname and name.is_subdomain_of(qname):
+                return True
+        return False
+
+    def _try_wildcard(self, qname, qtype):
+        """RFC 4592 wildcard synthesis for the closest encloser."""
+        candidate = qname
+        while candidate.label_count > self.origin.label_count:
+            candidate = candidate.parent()
+            if not self._name_exists(candidate):
+                continue
+            wildcard = candidate.prepend(b"*")
+            node = self.nodes.get(wildcard)
+            if node is None:
+                return None
+            rrset = node.get(int(qtype))
+            if rrset is not None:
+                synthesized = RRset(qname, rrset.rrtype, rrset.ttl, list(rrset.rdatas))
+                return LookupResult(
+                    LookupStatus.WILDCARD,
+                    rrset=synthesized,
+                    wildcard_owner=wildcard,
+                )
+            cname = node.get(int(RdataType.CNAME))
+            if cname is not None:
+                synthesized = RRset(qname, cname.rrtype, cname.ttl, list(cname.rdatas))
+                return LookupResult(
+                    LookupStatus.WILDCARD,
+                    cname=synthesized,
+                    wildcard_owner=wildcard,
+                )
+            return LookupResult(LookupStatus.NODATA)
+        return None
+
+    def __repr__(self):
+        return (
+            f"<Zone {self.origin} nodes={len(self.nodes)} "
+            f"signed={self.signed}>"
+        )

@@ -1,0 +1,89 @@
+"""Tests for base32hex and NSEC type bitmaps."""
+
+import pytest
+
+from repro.dns.base32 import b32hex_decode, b32hex_encode
+from repro.dns.bitmap import bitmap_to_text, decode_bitmap, encode_bitmap
+from repro.dns.types import RdataType
+
+
+class TestBase32Hex:
+    def test_rfc4648_vectors(self):
+        # RFC 4648 §10 test vectors (padding stripped).
+        vectors = {
+            b"": "",
+            b"f": "CO",
+            b"fo": "CPNG",
+            b"foo": "CPNMU",
+            b"foob": "CPNMUOG",
+            b"fooba": "CPNMUOJ1",
+            b"foobar": "CPNMUOJ1E8",
+        }
+        for raw, encoded in vectors.items():
+            assert b32hex_encode(raw) == encoded
+            assert b32hex_decode(encoded) == raw
+
+    def test_case_insensitive_decode(self):
+        assert b32hex_decode("cpnmuoj1e8") == b"foobar"
+
+    def test_sha1_digest_length(self):
+        # A 20-byte NSEC3 hash encodes to exactly 32 characters.
+        assert len(b32hex_encode(b"\x00" * 20)) == 32
+
+    def test_ordering_preserved(self):
+        # base32hex preserves byte ordering — the property NSEC3 relies on.
+        samples = [bytes([i, 255 - i, i ^ 0x55]) for i in range(0, 256, 17)]
+        encoded = [b32hex_encode(s) for s in samples]
+        assert sorted(samples) == [b32hex_decode(e) for e in sorted(encoded)]
+
+    def test_invalid_character(self):
+        with pytest.raises(ValueError):
+            b32hex_decode("W$")
+
+    def test_padding_ignored(self):
+        assert b32hex_decode("CO======") == b"f"
+
+
+class TestBitmap:
+    def test_round_trip_simple(self):
+        types = [RdataType.A, RdataType.NS, RdataType.SOA, RdataType.RRSIG]
+        assert decode_bitmap(encode_bitmap(types)) == sorted(int(t) for t in types)
+
+    def test_multiple_windows(self):
+        types = [1, 2, 257, 300, 65000]
+        assert decode_bitmap(encode_bitmap(types)) == sorted(types)
+
+    def test_empty(self):
+        assert encode_bitmap([]) == b""
+        assert decode_bitmap(b"") == []
+
+    def test_duplicates_collapsed(self):
+        assert decode_bitmap(encode_bitmap([1, 1, 1])) == [1]
+
+    def test_known_encoding(self):
+        # A (1) and MX (15): window 0, 2 octets, bits 1 and 15.
+        wire = encode_bitmap([1, 15])
+        assert wire == bytes([0, 2, 0b01000000, 0b00000001])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            encode_bitmap([70000])
+
+    def test_decode_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            decode_bitmap(bytes([0, 0]))
+        with pytest.raises(ValueError):
+            decode_bitmap(bytes([0, 33] + [0] * 33))
+
+    def test_decode_rejects_unordered_windows(self):
+        block = bytes([1, 1, 0x80, 0, 1, 0x80])
+        with pytest.raises(ValueError):
+            decode_bitmap(block)
+
+    def test_decode_truncated(self):
+        with pytest.raises(ValueError):
+            decode_bitmap(bytes([0, 4, 0xFF]))
+
+    def test_to_text(self):
+        text = bitmap_to_text([int(RdataType.A), int(RdataType.NSEC3PARAM), 65001])
+        assert text == "A NSEC3PARAM TYPE65001"

@@ -1,0 +1,131 @@
+"""Property-based tests on NSEC3 chain and zone-lookup invariants."""
+
+import random
+import string
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dns.name import Name
+from repro.dnssec.denial import hash_covers
+from repro.dnssec.nsec3hash import nsec3_hash
+from repro.zone.builder import ZoneBuilder
+from repro.zone.nsec3chain import Nsec3Params, build_nsec3_chain
+from repro.zone.zone import LookupStatus
+
+label_st = st.text(alphabet=string.ascii_lowercase + string.digits, min_size=1, max_size=10)
+labels_st = st.lists(label_st, min_size=1, max_size=8, unique=True)
+
+
+def build_zone(host_labels):
+    builder = (
+        ZoneBuilder("prop.test")
+        .soa("ns.prop.test", "h.prop.test")
+        .ns("ns.prop.test.")
+        .a("ns", "192.0.2.1")
+    )
+    for label in host_labels:
+        builder.a(label, "198.18.1.1")
+    return builder.build()
+
+
+class TestChainInvariants:
+    @settings(deadline=None, max_examples=25,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(labels_st, st.integers(min_value=0, max_value=10), st.binary(max_size=4))
+    def test_every_name_matched_or_covered(self, host_labels, iterations, salt):
+        """Any query name either matches an entry or is covered by exactly
+        the entry find_covering returns."""
+        zone = build_zone(host_labels)
+        params = Nsec3Params(iterations=iterations, salt=salt)
+        chain = build_nsec3_chain(zone, params)
+        probe = Name.from_text("almost-surely-absent.prop.test")
+        digest = nsec3_hash(probe.canonical_wire(), salt, iterations)
+        matched = chain.find_matching(digest)
+        if matched is None:
+            covering = chain.find_covering(digest)
+            assert covering is not None
+            if len(chain) > 1:
+                assert hash_covers(
+                    covering.owner_hash, covering.rdata.next_hash, digest
+                )
+
+    @settings(deadline=None, max_examples=25,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(labels_st)
+    def test_chain_partitions_hash_space(self, host_labels):
+        """Each entry's span ends where the next begins: no gaps/overlap."""
+        zone = build_zone(host_labels)
+        chain = build_nsec3_chain(zone, Nsec3Params())
+        entries = chain.entries
+        for index, entry in enumerate(entries):
+            expected_next = entries[(index + 1) % len(entries)].owner_hash
+            assert entry.rdata.next_hash == expected_next
+
+    @settings(deadline=None, max_examples=20,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(labels_st, labels_st)
+    def test_chain_source_names_exactly_authoritative(self, hosts_a, hosts_b):
+        zone = build_zone(sorted(set(hosts_a + hosts_b)))
+        chain = build_nsec3_chain(zone, Nsec3Params())
+        sources = {entry.source_name for entry in chain}
+        expected = set(zone.authoritative_names()) | set(zone.empty_nonterminals())
+        expected.add(zone.origin)
+        assert sources == expected
+
+
+class TestLookupInvariants:
+    @settings(deadline=None, max_examples=30,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(labels_st, label_st)
+    def test_lookup_total_and_consistent(self, host_labels, probe_label):
+        """Every lookup returns exactly one coherent status."""
+        zone = build_zone(host_labels)
+        qname = Name.from_text(f"{probe_label}.prop.test")
+        result = zone.lookup(qname, 1)
+        if probe_label in host_labels or probe_label == "ns":
+            assert result.status is LookupStatus.ANSWER
+            assert result.rrset is not None
+        else:
+            assert result.status is LookupStatus.NXDOMAIN
+            assert result.rrset is None
+
+    @settings(deadline=None, max_examples=30,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(labels_st)
+    def test_existing_names_never_nxdomain(self, host_labels):
+        zone = build_zone(host_labels)
+        for name in zone.names():
+            result = zone.lookup(name, 16)  # TXT: nothing has TXT
+            assert result.status in (
+                LookupStatus.NODATA,
+                LookupStatus.ANSWER,
+                LookupStatus.DELEGATION,
+            )
+
+    @settings(deadline=None, max_examples=20,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(labels_st, st.integers(min_value=0, max_value=6), st.binary(max_size=3))
+    def test_server_proofs_always_verify(self, host_labels, iterations, salt):
+        """Whatever zone shape the server signs, its NXDOMAIN proofs verify."""
+        from repro.dns.message import make_query
+        from repro.dns.rcode import Rcode
+        from repro.dnssec.denial import collect_proof_records, verify_nxdomain
+        from repro.server.authoritative import AuthoritativeServer
+        from repro.zone.signing import SigningPolicy, sign_zone
+
+        zone = build_zone(host_labels)
+        sign_zone(
+            zone,
+            SigningPolicy(nsec3=Nsec3Params(iterations=iterations, salt=salt)),
+            rng=random.Random(1),
+        )
+        server = AuthoritativeServer("prop-auth")
+        server.add_zone(zone)
+        response = server.handle_query(
+            make_query("no-such-name-zz.prop.test", 1, want_dnssec=True)
+        )
+        assert response.rcode == Rcode.NXDOMAIN
+        records, params = collect_proof_records(response.authority, "prop.test")
+        proof = verify_nxdomain("no-such-name-zz.prop.test", "prop.test", records, params)
+        assert proof.valid, proof.reason

@@ -1,0 +1,197 @@
+"""Tests for NSEC and NSEC3 chain construction and whole-zone signing."""
+
+import random
+
+import pytest
+
+from repro.dns.name import Name
+from repro.dns.types import RdataType
+from repro.dnssec.nsec3hash import nsec3_hash
+from repro.zone.builder import ZoneBuilder
+from repro.zone.nsec3chain import Nsec3Params, build_nsec3_chain
+from repro.zone.nsecchain import build_nsec_chain
+from repro.zone.signing import SigningPolicy, sign_zone
+
+
+def small_zone():
+    return (
+        ZoneBuilder("example.org")
+        .soa("ns1.example.org", "h.example.org")
+        .ns("ns1.example.org.")
+        .a("ns1", "192.0.2.1")
+        .a("www", "192.0.2.2")
+        .a("mail", "192.0.2.3")
+        .build()
+    )
+
+
+class TestNsec3Chain:
+    def test_chain_is_circular_and_sorted(self):
+        zone = small_zone()
+        params = Nsec3Params(iterations=3, salt=b"\x99")
+        chain = build_nsec3_chain(zone, params)
+        hashes = [entry.owner_hash for entry in chain.entries]
+        assert hashes == sorted(hashes)
+        next_hashes = {entry.rdata.next_hash for entry in chain.entries}
+        assert next_hashes == set(hashes)  # a permutation: circular chain
+
+    def test_every_authoritative_name_hashed(self):
+        zone = small_zone()
+        chain = build_nsec3_chain(zone, Nsec3Params())
+        sources = {entry.source_name for entry in chain.entries}
+        assert Name.from_text("example.org") in sources
+        assert Name.from_text("www.example.org") in sources
+
+    def test_empty_nonterminals_included(self):
+        zone = small_zone()
+        zone.add("x.deep.example.org", RdataType.A, 60,
+                 __import__("repro.dns.rdata", fromlist=["A"]).A("192.0.2.9"))
+        chain = build_nsec3_chain(zone, Nsec3Params())
+        sources = {entry.source_name for entry in chain.entries}
+        assert Name.from_text("deep.example.org") in sources
+
+    def test_find_matching_and_covering(self):
+        zone = small_zone()
+        params = Nsec3Params(iterations=1, salt=b"s")
+        chain = build_nsec3_chain(zone, params)
+        www_hash = nsec3_hash(
+            Name.from_text("www.example.org").canonical_wire(), b"s", 1
+        )
+        assert chain.find_matching(www_hash) is not None
+        ghost_hash = nsec3_hash(
+            Name.from_text("ghost.example.org").canonical_wire(), b"s", 1
+        )
+        assert chain.find_matching(ghost_hash) is None
+        covering = chain.find_covering(ghost_hash)
+        assert covering is not None
+        from repro.dnssec.denial import hash_covers
+
+        assert hash_covers(
+            covering.owner_hash, covering.rdata.next_hash, ghost_hash
+        )
+
+    def test_apex_bitmap_contains_infrastructure_types(self):
+        zone = small_zone()
+        chain = build_nsec3_chain(zone, Nsec3Params())
+        apex_entry = next(
+            e for e in chain.entries if e.source_name == Name.from_text("example.org")
+        )
+        types = set(apex_entry.rdata.types)
+        assert int(RdataType.SOA) in types
+        assert int(RdataType.DNSKEY) in types
+        assert int(RdataType.NSEC3PARAM) in types
+
+    def test_optout_flag_on_all_records(self):
+        zone = small_zone()
+        chain = build_nsec3_chain(zone, Nsec3Params(opt_out=True))
+        assert all(entry.rdata.opt_out for entry in chain.entries)
+
+    def test_optout_skips_insecure_delegations(self):
+        zone = small_zone()
+        zone.add("kid.example.org", RdataType.NS, 60,
+                 __import__("repro.dns.rdata", fromlist=["NS"]).NS("ns.other.net."))
+        with_optout = build_nsec3_chain(zone, Nsec3Params(opt_out=True))
+        without = build_nsec3_chain(zone, Nsec3Params(opt_out=False))
+        assert len(with_optout) == len(without) - 1
+
+
+class TestNsecChain:
+    def test_canonical_order(self):
+        zone = small_zone()
+        chain = build_nsec_chain(zone)
+        owners = [entry.owner_name for entry in chain.entries]
+        assert owners == sorted(owners)
+
+    def test_circular_next(self):
+        zone = small_zone()
+        chain = build_nsec_chain(zone)
+        assert chain.entries[-1].rdata.next_name == chain.entries[0].owner_name
+
+    def test_find_covering(self):
+        zone = small_zone()
+        chain = build_nsec_chain(zone)
+        covering = chain.find_covering(Name.from_text("nsz.example.org"))
+        assert covering is not None
+        assert covering.owner_name < Name.from_text("nsz.example.org")
+
+    def test_find_covering_before_first(self):
+        zone = small_zone()
+        chain = build_nsec_chain(zone)
+        # example.org sorts first; a name before it wraps to the last entry.
+        covering = chain.find_covering(Name.from_text("aaa.example.org"))
+        assert covering is not None
+
+
+class TestSignZone:
+    def test_sign_inserts_dnssec_records(self):
+        zone = sign_zone(small_zone(), SigningPolicy(nsec3=Nsec3Params()),
+                         rng=random.Random(1))
+        assert zone.signed
+        assert zone.get_rrset("example.org", RdataType.DNSKEY) is not None
+        assert zone.get_rrset("example.org", RdataType.NSEC3PARAM) is not None
+        assert zone.nsec3_chain is not None
+
+    def test_every_authoritative_rrset_signed(self):
+        zone = sign_zone(small_zone(), SigningPolicy(nsec3=Nsec3Params()),
+                         rng=random.Random(2))
+        for rrset in zone.all_rrsets():
+            if int(rrset.rrtype) == int(RdataType.RRSIG):
+                continue
+            assert zone.get_rrsigs(rrset.name, rrset.rrtype) is not None, rrset
+
+    def test_resign_replaces_material(self):
+        zone = sign_zone(small_zone(), SigningPolicy(nsec3=Nsec3Params()),
+                         rng=random.Random(3))
+        first_chain_len = len(zone.nsec3_chain)
+        sign_zone(zone, SigningPolicy(nsec3=Nsec3Params(iterations=7)),
+                  rng=random.Random(4))
+        assert len(zone.nsec3_chain) == first_chain_len
+        param = zone.get_rrset("example.org", RdataType.NSEC3PARAM)
+        assert param[0].iterations == 7
+
+    def test_nsec_mode(self):
+        zone = sign_zone(small_zone(), SigningPolicy(nsec3=None), rng=random.Random(5))
+        assert zone.nsec_chain is not None and zone.nsec3_chain is None
+        assert zone.get_rrset("example.org", RdataType.NSEC3PARAM) is None
+
+    def test_expired_policy_produces_expired_sigs(self):
+        from repro.dnssec.signer import SIMULATION_NOW
+
+        zone = sign_zone(
+            small_zone(),
+            SigningPolicy(nsec3=Nsec3Params(), expired=True),
+            rng=random.Random(6),
+        )
+        sigs = zone.get_rrsigs("example.org", RdataType.SOA)
+        assert all(not s.is_valid_at(SIMULATION_NOW) for s in sigs)
+
+    def test_expired_nsec3_only(self):
+        from repro.dnssec.signer import SIMULATION_NOW
+
+        zone = sign_zone(
+            small_zone(),
+            SigningPolicy(nsec3=Nsec3Params(iterations=2501), expired_nsec3_only=True),
+            rng=random.Random(7),
+        )
+        soa_sigs = zone.get_rrsigs("example.org", RdataType.SOA)
+        assert all(s.is_valid_at(SIMULATION_NOW) for s in soa_sigs)
+        entry = zone.nsec3_chain.entries[0]
+        nsec3_sigs = zone.get_rrsigs(entry.owner_name, RdataType.NSEC3)
+        assert all(not s.is_valid_at(SIMULATION_NOW) for s in nsec3_sigs)
+
+    def test_delegation_ns_not_signed(self):
+        zone = small_zone()
+        zone.add("kid.example.org", RdataType.NS, 60,
+                 __import__("repro.dns.rdata", fromlist=["NS"]).NS("ns.other.net."))
+        sign_zone(zone, SigningPolicy(nsec3=Nsec3Params()), rng=random.Random(8))
+        assert zone.get_rrsigs("kid.example.org", RdataType.NS) is None
+
+    def test_ds_at_cut_signed(self):
+        from repro.dns.rdata.dnssec import DS
+
+        zone = small_zone()
+        zone.add("kid.example.org", RdataType.NS, 60,
+                 __import__("repro.dns.rdata", fromlist=["NS"]).NS("ns.other.net."))
+        zone.add("kid.example.org", RdataType.DS, 60, DS(1, 13, 2, b"\x00" * 32))
+        sign_zone(zone, SigningPolicy(nsec3=Nsec3Params()), rng=random.Random(9))
+        assert zone.get_rrsigs("kid.example.org", RdataType.DS) is not None

@@ -1,0 +1,154 @@
+"""Tests for the pure-Python RSA and ECDSA implementations."""
+
+import random
+
+import pytest
+
+from repro.crypto import ecdsa, rsa
+from repro.crypto.primes import generate_prime, is_probable_prime
+
+
+class TestPrimes:
+    def test_small_primes(self):
+        assert is_probable_prime(2)
+        assert is_probable_prime(97)
+        assert is_probable_prime(7919)
+
+    def test_small_composites(self):
+        assert not is_probable_prime(1)
+        assert not is_probable_prime(0)
+        assert not is_probable_prime(91)  # 7 * 13
+        assert not is_probable_prime(561)  # Carmichael number
+
+    def test_generated_prime_has_exact_bits(self):
+        rng = random.Random(1)
+        prime = generate_prime(128, rng=rng)
+        assert prime.bit_length() == 128
+        assert is_probable_prime(prime)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            generate_prime(4)
+
+
+class TestRsa:
+    @pytest.fixture(scope="class")
+    def key(self):
+        return rsa.generate_rsa_key(512, rng=random.Random(7))
+
+    def test_sign_verify(self, key):
+        signature = key.sign(b"the message", "sha256")
+        assert key.public().verify(b"the message", signature, "sha256")
+
+    def test_verify_rejects_wrong_message(self, key):
+        signature = key.sign(b"the message", "sha256")
+        assert not key.public().verify(b"other message", signature, "sha256")
+
+    def test_verify_rejects_bitflip(self, key):
+        signature = bytearray(key.sign(b"m", "sha256"))
+        signature[10] ^= 0x01
+        assert not key.public().verify(b"m", bytes(signature), "sha256")
+
+    def test_verify_rejects_wrong_length(self, key):
+        assert not key.public().verify(b"m", b"\x00" * 10, "sha256")
+
+    def test_sha1_mode(self, key):
+        signature = key.sign(b"legacy", "sha1")
+        assert key.public().verify(b"legacy", signature, "sha1")
+        assert not key.public().verify(b"legacy", signature, "sha256")
+
+    def test_public_key_encoding_round_trip(self, key):
+        encoded = rsa.encode_public_key(key)
+        decoded = rsa.decode_public_key(encoded)
+        assert decoded.n == key.n and decoded.e == key.e
+
+    def test_long_exponent_encoding(self):
+        # Force the 3-byte exponent-length header path.
+        fake = rsa.RsaPublicKey((1 << 512) + 1, (1 << 2050) + 1)
+        encoded = rsa.encode_public_key(fake)
+        decoded = rsa.decode_public_key(encoded)
+        assert decoded.e == fake.e and decoded.n == fake.n
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            rsa.decode_public_key(b"")
+        with pytest.raises(ValueError):
+            rsa.decode_public_key(b"\x00\x00")
+
+    def test_modulus_too_small_for_digest(self):
+        tiny = rsa.RsaPrivateKey(3 * 5, 3, 3)
+        with pytest.raises(ValueError):
+            tiny.sign(b"x", "sha256")
+
+
+class TestEcdsa:
+    @pytest.fixture(scope="class")
+    def key(self):
+        return ecdsa.generate_ecdsa_key(random.Random(11))
+
+    def test_public_point_on_curve(self, key):
+        assert ecdsa.is_on_curve(key.public_point)
+
+    def test_sign_verify(self, key):
+        signature = key.sign(b"hello ecdsa")
+        assert len(signature) == 64
+        assert key.public().verify(b"hello ecdsa", signature)
+
+    def test_deterministic_signatures(self, key):
+        # RFC 6979 nonces: same message, same signature.
+        assert key.sign(b"stable") == key.sign(b"stable")
+
+    def test_verify_rejects_wrong_message(self, key):
+        signature = key.sign(b"one")
+        assert not key.public().verify(b"two", signature)
+
+    def test_verify_rejects_bitflip(self, key):
+        signature = bytearray(key.sign(b"m"))
+        signature[5] ^= 0x40
+        assert not key.public().verify(b"m", bytes(signature))
+
+    def test_verify_rejects_zero_r(self, key):
+        assert not key.public().verify(b"m", b"\x00" * 64)
+
+    def test_verify_rejects_bad_length(self, key):
+        assert not key.public().verify(b"m", b"\x01" * 63)
+
+    def test_public_key_encoding_round_trip(self, key):
+        encoded = ecdsa.encode_public_key(key.public())
+        assert len(encoded) == 64
+        decoded = ecdsa.decode_public_key(encoded)
+        assert decoded.point == key.public_point
+
+    def test_decode_rejects_off_curve(self):
+        with pytest.raises(ValueError):
+            ecdsa.decode_public_key(b"\x01" * 64)
+
+    def test_decode_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            ecdsa.decode_public_key(b"\x01" * 63)
+
+    def test_scalar_mult_matches_known_vector(self):
+        # 2·G for P-256 (public test vector).
+        point = ecdsa._scalar_mult(2, (ecdsa.GX, ecdsa.GY))
+        assert point[0] == int(
+            "7CF27B188D034F7E8A52380304B51AC3C08969E277F21B35A60B48FC47669978", 16
+        )
+        assert point[1] == int(
+            "07775510DB8ED040293D9AC69F7430DBBA7DADE63CE982299E04B79D227873D1", 16
+        )
+
+    def test_base_table_consistent_with_generic_mult(self):
+        rng = random.Random(3)
+        for __ in range(5):
+            k = rng.getrandbits(160)
+            fast = ecdsa._scalar_mult(k, (ecdsa.GX, ecdsa.GY))
+            slow = ecdsa._from_jacobian(
+                ecdsa._scalar_mult_jac(k, (ecdsa.GX, ecdsa.GY))
+            )
+            assert fast == slow
+
+    def test_private_scalar_bounds(self):
+        with pytest.raises(ValueError):
+            ecdsa.EcdsaPrivateKey(0)
+        with pytest.raises(ValueError):
+            ecdsa.EcdsaPrivateKey(ecdsa.N)

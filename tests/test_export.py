@@ -1,0 +1,110 @@
+"""Tests for JSONL / CSV result serialisation."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    classifications_from_jsonl,
+    classifications_to_jsonl,
+    domain_results_from_jsonl,
+    domain_results_to_jsonl,
+    figure1_csv,
+    figure3_csv,
+    figure_to_csv,
+)
+from repro.analysis.figures import figure1_series, figure3_series
+from repro.core.resolver_compliance import classify_resolver
+from repro.scanner.resolver_scan import SurveyEntry
+from tests.test_analysis import fake_result
+from tests.test_core_compliance import matrix_for
+
+
+@pytest.fixture()
+def results():
+    return [
+        fake_result("a.com", 0, 0, ns=("ns1.x.net.", "ns2.x.net.")),
+        fake_result("b.com", 10, 8, opt_out=True),
+        fake_result("c.com", None),
+    ]
+
+
+class TestDomainJsonl:
+    def test_round_trip_preserves_reports(self, results):
+        text = domain_results_to_jsonl(results)
+        loaded = domain_results_from_jsonl(text)
+        assert len(loaded) == len(results)
+        for original, restored in zip(results, loaded):
+            assert restored.domain == original.domain
+            assert restored.ns_targets == original.ns_targets
+            assert restored.nsec3_enabled == original.nsec3_enabled
+            if original.nsec3_enabled:
+                assert restored.report.iterations == original.report.iterations
+                assert restored.report.salt_length == original.report.salt_length
+                assert restored.report.opt_out == original.report.opt_out
+
+    def test_lines_are_valid_json(self, results):
+        for line in domain_results_to_jsonl(results).splitlines():
+            record = json.loads(line)
+            assert "domain" in record
+
+    def test_blank_lines_skipped(self, results):
+        text = domain_results_to_jsonl(results) + "\n\n"
+        assert len(domain_results_from_jsonl(text)) == len(results)
+
+    def test_analysis_works_on_restored_results(self, results):
+        from repro.analysis.stats import domain_headline_stats
+
+        loaded = domain_results_from_jsonl(domain_results_to_jsonl(results))
+        headline = domain_headline_stats(loaded, total_domains=30)
+        assert headline.nsec3_enabled == 2
+
+
+class TestClassificationJsonl:
+    def test_round_trip(self):
+        originals = [
+            classify_resolver(matrix_for(insecure_above=150), resolver="1.2.3.4"),
+            classify_resolver(matrix_for(servfail_above=0), resolver="5.6.7.8"),
+            classify_resolver(matrix_for(validating=False)),
+        ]
+        loaded = classifications_from_jsonl(classifications_to_jsonl(originals))
+        for original, restored in zip(originals, loaded):
+            assert restored.resolver == original.resolver
+            assert restored.is_validating == original.is_validating
+            assert restored.insecure_threshold == original.insecure_threshold
+            assert restored.servfail_threshold == original.servfail_threshold
+            assert restored.strict_servfail_at_one == original.strict_servfail_at_one
+
+    def test_summaries_match_after_round_trip(self):
+        from repro.core.resolver_compliance import summarize
+
+        originals = [
+            classify_resolver(matrix_for(insecure_above=100)),
+            classify_resolver(matrix_for(servfail_above=150, ede27=True)),
+        ]
+        loaded = classifications_from_jsonl(classifications_to_jsonl(originals))
+        assert summarize(loaded) == summarize(originals)
+
+
+class TestCsv:
+    def test_generic_csv(self):
+        text = figure_to_csv(("a", "b"), [(1, 2.5), (3, 4.0)])
+        lines = text.splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2.5000"
+
+    def test_figure1_csv(self, results):
+        fig = figure1_series(results)
+        text = figure1_csv(fig)
+        assert text.splitlines()[0] == (
+            "x,iterations_at_or_below_pct,salt_at_or_below_pct"
+        )
+        assert len(text.splitlines()) == 13
+
+    def test_figure3_csv(self):
+        matrix = matrix_for(insecure_above=150)
+        entries = [SurveyEntry(None, matrix, classify_resolver(matrix))]
+        fig = figure3_series(entries, "test")
+        text = figure3_csv(fig)
+        assert "servfail_pct" in text.splitlines()[0]
+        assert len(text.splitlines()) > 10

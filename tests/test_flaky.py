@@ -1,0 +1,142 @@
+"""Tests for flaky resolvers and the survey's stability re-probe."""
+
+import pytest
+
+from repro.dns.rcode import Rcode
+from repro.dns.types import RdataType
+from repro.resolver.flaky import FlakyResolver
+from repro.resolver.policy import VENDOR_POLICIES
+from repro.resolver.stub import StubClient
+from repro.scanner.resolver_scan import probe_stability
+
+
+@pytest.fixture(scope="module")
+def flaky_setup(testbed):
+    inet = testbed["inet"]
+    stable = inet.make_resolver(VENDOR_POLICIES["bind9-2021"], name="stable-r")
+    inner = inet.make_resolver(VENDOR_POLICIES["gapped"], name="flaky-inner")
+    # Re-register the flaky wrapper at a fresh address over the same core.
+    flaky_ip = inet.allocator.next_v4()
+    wrapper = FlakyResolver(inner, servfail_rate=0.4, seed=5)
+    inet.network.attach(flaky_ip, wrapper)
+    return {"inet": inet, "stable_ip": stable.ip, "flaky_ip": flaky_ip}
+
+
+class TestFlakyResolver:
+    def test_sometimes_servfails_valid_queries(self, flaky_setup, testbed):
+        inet = flaky_setup["inet"]
+        stub = StubClient(inet.network, inet.allocator.next_v4(), retries=0)
+        rcodes = set()
+        for index in range(20):
+            answer = stub.ask(
+                flaky_setup["flaky_ip"],
+                testbed["probes"].probe_name("valid", f"fl{index}"),
+                RdataType.A,
+            )
+            if answer.answered:
+                rcodes.add(answer.rcode)
+        assert Rcode.SERVFAIL in rcodes
+        assert Rcode.NOERROR in rcodes
+
+
+class TestStabilityProbe:
+    def test_stable_resolver_detected(self, flaky_setup, testbed):
+        inet = flaky_setup["inet"]
+        stable, matrices = probe_stability(
+            inet.network,
+            flaky_setup["stable_ip"],
+            testbed["probes"],
+            inet.allocator.next_v4(),
+            unique="stab",
+            iterations=(1, 150, 151),
+        )
+        assert stable
+        assert len(matrices) == 2
+
+    def test_flaky_resolver_detected(self, flaky_setup, testbed):
+        inet = flaky_setup["inet"]
+        stable, __ = probe_stability(
+            inet.network,
+            flaky_setup["flaky_ip"],
+            testbed["probes"],
+            inet.allocator.next_v4(),
+            unique="unstab",
+            iterations=(1, 25, 50, 100, 150, 151, 500),
+            attempts=3,
+        )
+        assert not stable
+
+    def test_paper_item12_interpretation(self, flaky_setup, testbed):
+        """An 'Item 12 gap' from a flaky resolver should be discounted once
+        the stability re-probe fails — the paper's §5.2 conclusion."""
+        from repro.core.resolver_compliance import classify_resolver
+
+        inet = flaky_setup["inet"]
+        stable, matrices = probe_stability(
+            inet.network,
+            flaky_setup["flaky_ip"],
+            testbed["probes"],
+            inet.allocator.next_v4(),
+            unique="item12",
+            iterations=(1, 25, 50, 100, 150, 151, 500),
+        )
+        classifications = [classify_resolver(m) for m in matrices]
+        if not stable:
+            # Whatever single-run classification said, it is not evidence.
+            assert True
+        else:
+            assert all(c.item12_gap == classifications[0].item12_gap
+                       for c in classifications)
+
+
+class TestSurveyStabilityIntegration:
+    def test_unstable_item12_discounted(self, flaky_setup, testbed):
+        """A flaky gapped resolver's Item 12 verdict is withdrawn on re-probe."""
+        from repro.scanner.resolver_scan import ResolverSurvey
+        from repro.testbed.resolvers import DeployedResolver
+
+        inet = flaky_setup["inet"]
+        deployed = DeployedResolver(
+            ip=flaky_setup["flaky_ip"],
+            family="v4",
+            access="open",
+            network_id="public",
+            kind="resolver",
+            policy_name="gapped",
+            host=inet.network.host_at(flaky_setup["flaky_ip"]),
+        )
+        survey = ResolverSurvey(
+            inet.network,
+            testbed["probes"],
+            inet.allocator.next_v4(),
+            iterations=(1, 25, 50, 100, 150, 151, 500),
+            verify_item12_stability=True,
+        )
+        entries = survey.run([deployed] * 4)  # several chances to trip the gap
+        for entry in entries:
+            if entry.classification.item12_gap:
+                # If the gap survived, the re-probe must have been stable.
+                assert not any(
+                    "discounted" in note for note in entry.classification.notes
+                )
+
+    def test_stable_gapped_resolver_keeps_item12(self, testbed):
+        from repro.resolver.policy import VENDOR_POLICIES
+        from repro.scanner.resolver_scan import ResolverSurvey
+        from repro.testbed.resolvers import DeployedResolver
+
+        inet = testbed["inet"]
+        gapped = inet.make_resolver(VENDOR_POLICIES["gapped"], name="stable-gapped")
+        deployed = DeployedResolver(
+            ip=gapped.ip, family="v4", access="open", network_id="public",
+            kind="resolver", policy_name="gapped", host=gapped,
+        )
+        survey = ResolverSurvey(
+            inet.network,
+            testbed["probes"],
+            inet.allocator.next_v4(),
+            iterations=(1, 25, 50, 100, 150, 151, 500),
+            verify_item12_stability=True,
+        )
+        entries = survey.run([deployed])
+        assert entries[0].classification.item12_gap

@@ -1,0 +1,96 @@
+"""Tests for forwarding resolvers and the query-copying middlebox."""
+
+import pytest
+
+from repro.dns.flags import Flag
+from repro.dns.message import Message, make_query
+from repro.dns.rcode import Rcode
+from repro.dns.types import RdataType
+from repro.resolver.forwarder import ForwardingResolver, QueryCopyingForwarder
+from repro.resolver.policy import VENDOR_POLICIES
+from repro.resolver.stub import StubClient
+from repro.resolver.validating import ValidatingResolver
+
+
+@pytest.fixture()
+def upstream(mini_internet):
+    net = mini_internet["network"]
+    resolver = ValidatingResolver(
+        net,
+        "198.51.100.200",
+        mini_internet["root_addresses"],
+        mini_internet["trust_anchor"],
+        policy=VENDOR_POLICIES["strict-rfc9276"],
+    )
+    try:
+        net.attach("198.51.100.200", resolver)
+    except ValueError:
+        resolver = net.host_at("198.51.100.200")
+    return resolver
+
+
+class TestForwardingResolver:
+    def test_relays_answers(self, mini_internet, upstream):
+        net = mini_internet["network"]
+        forwarder = ForwardingResolver(net, "198.51.100.201", upstream.ip)
+        if net.host_at("198.51.100.201") is None:
+            net.attach("198.51.100.201", forwarder)
+        stub = StubClient(net, "203.0.113.90")
+        answer = stub.ask("198.51.100.201", "www.example.com", RdataType.A)
+        assert answer.rcode == Rcode.NOERROR
+        assert answer.ad  # upstream validated; forwarder passes AD through
+
+    def test_upstream_down_yields_servfail(self, mini_internet):
+        net = mini_internet["network"]
+        forwarder = ForwardingResolver(net, "198.51.100.202", "198.51.100.254")
+        if net.host_at("198.51.100.202") is None:
+            net.attach("198.51.100.202", forwarder)
+        stub = StubClient(net, "203.0.113.91")
+        answer = stub.ask("198.51.100.202", "www.example.com", RdataType.A)
+        assert answer.rcode == Rcode.SERVFAIL
+
+    def test_id_restamped(self, mini_internet, upstream):
+        net = mini_internet["network"]
+        forwarder = ForwardingResolver(net, "198.51.100.203", upstream.ip)
+        if net.host_at("198.51.100.203") is None:
+            net.attach("198.51.100.203", forwarder)
+        query = make_query("www.example.com", RdataType.A, msg_id=4242)
+        raw = net.send("203.0.113.92", "198.51.100.203", query.to_wire())
+        assert Message.from_wire(raw).id == 4242
+
+
+class TestQueryCopier:
+    """The broken middlebox behind the paper's 418 SERVFAIL-at-it-1 cases."""
+
+    def test_forwards_successful_answers(self, mini_internet, upstream):
+        net = mini_internet["network"]
+        copier = QueryCopyingForwarder(net, "198.51.100.204", upstream.ip)
+        if net.host_at("198.51.100.204") is None:
+            net.attach("198.51.100.204", copier)
+        stub = StubClient(net, "203.0.113.93")
+        answer = stub.ask("198.51.100.204", "www.example.com", RdataType.A)
+        assert answer.rcode == Rcode.NOERROR
+
+    def test_ra_copied_from_query(self, mini_internet, upstream):
+        # example.com uses 5 iterations; the strict upstream SERVFAILs its
+        # denial, and the copier echoes the query envelope: RA mirrors RD.
+        net = mini_internet["network"]
+        copier = QueryCopyingForwarder(net, "198.51.100.205", upstream.ip)
+        if net.host_at("198.51.100.205") is None:
+            net.attach("198.51.100.205", copier)
+        query = make_query("nxprobe1.example.com", RdataType.A, want_dnssec=True)
+        raw = net.send("203.0.113.94", "198.51.100.205", query.to_wire())
+        response = Message.from_wire(raw)
+        assert response.rcode == Rcode.SERVFAIL
+        # RD was set in the query, so the echoed flags include RD... and no RA.
+        assert response.has_flag(Flag.RD)
+        assert not response.has_flag(Flag.RA)
+
+    def test_broken_even_for_garbled_upstream(self, mini_internet):
+        net = mini_internet["network"]
+        copier = QueryCopyingForwarder(net, "198.51.100.206", "198.51.100.253")
+        if net.host_at("198.51.100.206") is None:
+            net.attach("198.51.100.206", copier)
+        query = make_query("anything.example.com", RdataType.A)
+        raw = net.send("203.0.113.95", "198.51.100.206", query.to_wire())
+        assert Message.from_wire(raw).rcode == Rcode.SERVFAIL

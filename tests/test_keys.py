@@ -1,0 +1,107 @@
+"""Tests for DNSSEC key management: key tags, DS digests, verification."""
+
+import random
+
+import pytest
+
+from repro.crypto.keys import (
+    ALG_ECDSAP256SHA256,
+    ALG_RSASHA1,
+    ALG_RSASHA256,
+    KeyPair,
+    UnsupportedAlgorithm,
+    ds_matches_dnskey,
+    generate_keypair,
+    make_ds,
+    verify_signature,
+)
+from repro.dns.rdata.dnssec import DS_DIGEST_SHA1, DS_DIGEST_SHA256, FLAG_SEP
+
+
+@pytest.fixture(scope="module")
+def ecdsa_pair():
+    return generate_keypair(ALG_ECDSAP256SHA256, ksk=True, rng=random.Random(1))
+
+
+@pytest.fixture(scope="module")
+def rsa_pair():
+    return generate_keypair(ALG_RSASHA256, rsa_bits=512, rng=random.Random(2))
+
+
+class TestKeyPair:
+    def test_ksk_flags(self, ecdsa_pair):
+        assert ecdsa_pair.is_ksk
+        assert ecdsa_pair.dnskey.flags & FLAG_SEP
+        assert ecdsa_pair.dnskey.is_zone_key()
+
+    def test_zsk_flags(self):
+        zsk = generate_keypair(ALG_ECDSAP256SHA256, ksk=False, rng=random.Random(3))
+        assert not zsk.is_ksk
+
+    def test_key_tag_matches_dnskey(self, ecdsa_pair):
+        assert ecdsa_pair.key_tag == ecdsa_pair.dnskey.key_tag()
+
+    def test_unsupported_algorithm(self):
+        with pytest.raises(UnsupportedAlgorithm):
+            generate_keypair(algorithm=250)
+
+
+class TestSignVerify:
+    @pytest.mark.parametrize(
+        "algorithm,kwargs",
+        [
+            (ALG_ECDSAP256SHA256, {}),
+            (ALG_RSASHA256, {"rsa_bits": 512}),
+            (ALG_RSASHA1, {"rsa_bits": 512}),
+        ],
+    )
+    def test_round_trip(self, algorithm, kwargs):
+        pair = generate_keypair(algorithm, rng=random.Random(42), **kwargs)
+        signature = pair.sign(b"message")
+        assert verify_signature(pair.dnskey, b"message", signature)
+        assert not verify_signature(pair.dnskey, b"messagX", signature)
+
+    def test_cross_key_rejected(self, ecdsa_pair, rsa_pair):
+        signature = ecdsa_pair.sign(b"m")
+        assert not verify_signature(rsa_pair.dnskey, b"m", signature)
+
+    def test_memo_does_not_change_outcome(self, ecdsa_pair):
+        signature = ecdsa_pair.sign(b"memo")
+        for __ in range(3):
+            assert verify_signature(ecdsa_pair.dnskey, b"memo", signature)
+            assert not verify_signature(ecdsa_pair.dnskey, b"nemo", signature)
+
+    def test_malformed_public_key_returns_false(self, ecdsa_pair):
+        from repro.dns.rdata.dnssec import DNSKEY
+
+        broken = DNSKEY(257, 3, ALG_ECDSAP256SHA256, b"\x01" * 10)
+        assert not verify_signature(broken, b"m", ecdsa_pair.sign(b"m"))
+
+
+class TestDs:
+    def test_make_and_match_sha256(self, ecdsa_pair):
+        ds = make_ds("example.com.", ecdsa_pair.dnskey)
+        assert ds.digest_type == DS_DIGEST_SHA256
+        assert ds.key_tag == ecdsa_pair.key_tag
+        assert ds_matches_dnskey("example.com.", ds, ecdsa_pair.dnskey)
+
+    def test_sha1_digest(self, ecdsa_pair):
+        ds = make_ds("example.com.", ecdsa_pair.dnskey, DS_DIGEST_SHA1)
+        assert len(ds.digest) == 20
+        assert ds_matches_dnskey("example.com", ds, ecdsa_pair.dnskey)
+
+    def test_owner_case_insensitive(self, ecdsa_pair):
+        ds = make_ds("Example.COM", ecdsa_pair.dnskey)
+        assert ds_matches_dnskey("example.com", ds, ecdsa_pair.dnskey)
+
+    def test_owner_mismatch(self, ecdsa_pair):
+        ds = make_ds("example.com", ecdsa_pair.dnskey)
+        assert not ds_matches_dnskey("other.com", ds, ecdsa_pair.dnskey)
+
+    def test_key_mismatch(self, ecdsa_pair, rsa_pair):
+        ds = make_ds("example.com", ecdsa_pair.dnskey)
+        assert not ds_matches_dnskey("example.com", ds, rsa_pair.dnskey)
+
+    def test_unknown_digest_type(self, ecdsa_pair):
+        with pytest.raises(UnsupportedAlgorithm):
+            make_ds("example.com", ecdsa_pair.dnskey, digest_type=99)

@@ -1,0 +1,186 @@
+"""Tests for message encoding/decoding, flags, EDNS, truncation."""
+
+import pytest
+
+from repro.dns.edns import EDE_UNSUPPORTED_NSEC3_ITERATIONS, Edns, ExtendedError
+from repro.dns.flags import Flag
+from repro.dns.message import Message, Question, make_query, make_response
+from repro.dns.name import Name
+from repro.dns.rcode import Rcode
+from repro.dns.rdata import A, NS, SOA, TXT
+from repro.dns.rrset import RRset
+from repro.dns.types import Opcode, RdataType
+from repro.dns.wire import WireError
+
+
+def round_trip(msg):
+    return Message.from_wire(msg.to_wire())
+
+
+class TestHeader:
+    def test_id_round_trip(self):
+        msg = Message(0x1234)
+        assert round_trip(msg).id == 0x1234
+
+    def test_flags_round_trip(self):
+        msg = Message(1)
+        for flag in (Flag.QR, Flag.AA, Flag.RD, Flag.RA, Flag.AD, Flag.CD):
+            msg.set_flag(flag)
+        decoded = round_trip(msg)
+        for flag in (Flag.QR, Flag.AA, Flag.RD, Flag.RA, Flag.AD, Flag.CD):
+            assert decoded.has_flag(flag)
+
+    def test_clear_flag(self):
+        msg = Message(1)
+        msg.set_flag(Flag.RD)
+        msg.set_flag(Flag.RD, False)
+        assert not msg.has_flag(Flag.RD)
+
+    def test_rcode_round_trip(self):
+        msg = Message(1)
+        msg.rcode = Rcode.NXDOMAIN
+        assert round_trip(msg).rcode == Rcode.NXDOMAIN
+
+    def test_opcode_round_trip(self):
+        msg = Message(1)
+        msg.opcode = Opcode.NOTIFY
+        assert round_trip(msg).opcode == Opcode.NOTIFY
+
+    def test_short_message_rejected(self):
+        with pytest.raises(WireError):
+            Message.from_wire(b"\x00\x01\x02")
+
+
+class TestSections:
+    def test_question_round_trip(self):
+        msg = make_query("www.example.com", RdataType.AAAA)
+        decoded = round_trip(msg)
+        assert decoded.question[0] == Question("www.example.com", RdataType.AAAA)
+
+    def test_rr_counts_are_per_record(self):
+        # Regression: counts must be per-RR, not per-RRset.
+        msg = Message(7)
+        msg.answer.append(
+            RRset("example.com", RdataType.A, 60, [A("1.1.1.1"), A("2.2.2.2")])
+        )
+        msg.answer.append(
+            RRset("example.com", RdataType.TXT, 60, [TXT("x")])
+        )
+        wire = msg.to_wire()
+        # ANCOUNT is at offset 6.
+        assert wire[6] == 0 and wire[7] == 3
+        decoded = Message.from_wire(wire)
+        assert len(decoded.answer) == 2
+        assert len(decoded.answer[0]) == 2
+
+    def test_sections_preserved(self):
+        msg = Message(9)
+        msg.answer.append(RRset("a.example", RdataType.A, 30, [A("1.2.3.4")]))
+        msg.authority.append(
+            RRset("example", RdataType.SOA, 30, [SOA("n.example", "h.example", 1, 2, 3, 4, 5)])
+        )
+        msg.additional.append(RRset("ns.example", RdataType.A, 30, [A("9.9.9.9")]))
+        decoded = round_trip(msg)
+        assert len(decoded.answer) == 1
+        assert len(decoded.authority) == 1
+        assert len(decoded.additional) == 1
+
+    def test_find_rrset(self):
+        msg = Message(1)
+        rrset = RRset("x.example", RdataType.A, 30, [A("1.2.3.4")])
+        msg.answer.append(rrset)
+        assert msg.find_rrset(msg.answer, "X.EXAMPLE", RdataType.A) is rrset
+        assert msg.find_rrset(msg.answer, "x.example", RdataType.AAAA) is None
+
+    def test_add_rrset_merges(self):
+        msg = Message(1)
+        msg.add_rrset(msg.answer, RRset("x.example", RdataType.A, 30, [A("1.1.1.1")]))
+        msg.add_rrset(msg.answer, RRset("x.example", RdataType.A, 30, [A("2.2.2.2")]))
+        assert len(msg.answer) == 1
+        assert len(msg.answer[0]) == 2
+
+    def test_decode_merges_same_rrset(self):
+        msg = Message(2)
+        msg.answer.append(
+            RRset("m.example", RdataType.A, 30, [A("1.1.1.1"), A("2.2.2.2")])
+        )
+        decoded = round_trip(msg)
+        assert len(decoded.answer) == 1
+        assert {r.to_text() for r in decoded.answer[0]} == {"1.1.1.1", "2.2.2.2"}
+
+
+class TestEdns:
+    def test_do_bit(self):
+        msg = make_query("example.com", RdataType.A, want_dnssec=True)
+        decoded = round_trip(msg)
+        assert decoded.dnssec_ok
+        assert decoded.edns.payload_size == 1232
+
+    def test_no_edns(self):
+        msg = Message(1)
+        msg.question.append(Question("example.com", RdataType.A))
+        decoded = round_trip(msg)
+        assert decoded.edns is None
+        assert not decoded.dnssec_ok
+
+    def test_extended_error_round_trip(self):
+        msg = make_query("example.com", RdataType.A, want_dnssec=True)
+        msg.set_flag(Flag.QR)
+        msg.edns.add_extended_error(EDE_UNSUPPORTED_NSEC3_ITERATIONS, "too many")
+        decoded = round_trip(msg)
+        errors = decoded.extended_errors()
+        assert len(errors) == 1
+        assert errors[0].info_code == EDE_UNSUPPORTED_NSEC3_ITERATIONS
+        assert errors[0].extra_text == "too many"
+
+    def test_extended_rcode_high_bits(self):
+        msg = Message(1)
+        msg.use_edns()
+        msg.rcode = Rcode.BADVERS  # 16: needs the OPT high bits
+        decoded = round_trip(msg)
+        assert int(decoded.rcode) == int(Rcode.BADVERS)
+
+    def test_ede_option_parsing_errors(self):
+        from repro.dns.rdata.opt import EdnsOption
+
+        with pytest.raises(ValueError):
+            ExtendedError.from_option(EdnsOption(99, b"\x00\x1b"))
+        with pytest.raises(ValueError):
+            ExtendedError.from_option(EdnsOption(15, b"\x00"))
+
+
+class TestTruncation:
+    def test_truncated_when_too_large(self):
+        msg = Message(5)
+        msg.set_flag(Flag.QR)
+        msg.question.append(Question("example.com", RdataType.TXT))
+        for index in range(50):
+            msg.add_rrset(
+                msg.answer,
+                RRset("example.com", RdataType.TXT, 60, [TXT(f"record {index} " + "x" * 60)]),
+            )
+        wire = msg.to_wire(max_size=512)
+        decoded = Message.from_wire(wire)
+        assert decoded.has_flag(Flag.TC)
+        assert not decoded.answer
+
+    def test_not_truncated_when_fits(self):
+        msg = make_query("example.com", RdataType.A)
+        decoded = Message.from_wire(msg.to_wire(max_size=512))
+        assert not decoded.has_flag(Flag.TC)
+
+
+class TestFactories:
+    def test_make_response_mirrors_query(self):
+        query = make_query("x.example", RdataType.A, want_dnssec=True)
+        response = make_response(query, recursion_available=True)
+        assert response.id == query.id
+        assert response.is_response
+        assert response.has_flag(Flag.RD)
+        assert response.has_flag(Flag.RA)
+        assert response.question == query.question
+        assert response.edns is not None and response.edns.dnssec_ok
+
+    def test_make_query_rd_flag(self):
+        assert make_query("e.com", 1).has_flag(Flag.RD)
+        assert not make_query("e.com", 1, recursion_desired=False).has_flag(Flag.RD)

@@ -1,0 +1,73 @@
+"""RFC 2308 negative-caching behaviour of the validating resolver."""
+
+import pytest
+
+from repro.dns.rcode import Rcode
+from repro.dns.rdata import SOA
+from repro.dns.rrset import RRset
+from repro.dns.types import RdataType
+from repro.resolver.validating import VERDICT_TTL, VERDICT_TTL_CAP, Verdict, _verdict_ttl
+
+
+def soa_rrset(minimum, ttl=3600):
+    return RRset(
+        "example.com",
+        RdataType.SOA,
+        ttl,
+        [SOA("ns.example.com", "h.example.com", 1, 2, 3, 4, minimum)],
+    )
+
+
+class TestVerdictTtl:
+    def test_negative_uses_soa_minimum(self):
+        verdict = Verdict(Rcode.NXDOMAIN, [], [soa_rrset(minimum=120)])
+        assert _verdict_ttl(verdict) == 120
+
+    def test_negative_capped_by_soa_ttl(self):
+        verdict = Verdict(Rcode.NXDOMAIN, [], [soa_rrset(minimum=9999, ttl=60)])
+        assert _verdict_ttl(verdict) == 60
+
+    def test_negative_capped_globally(self):
+        verdict = Verdict(
+            Rcode.NXDOMAIN, [], [soa_rrset(minimum=10**6, ttl=10**6)]
+        )
+        assert _verdict_ttl(verdict) == VERDICT_TTL_CAP
+
+    def test_positive_uses_min_answer_ttl(self):
+        from repro.dns.rdata import A
+
+        answers = [
+            RRset("a.example.com", RdataType.A, 300, [A("1.1.1.1")]),
+            RRset("a.example.com", RdataType.TXT, 60,
+                  [__import__("repro.dns.rdata", fromlist=["TXT"]).TXT("x")]),
+        ]
+        verdict = Verdict(Rcode.NOERROR, answers, [])
+        assert _verdict_ttl(verdict) == 60
+
+    def test_servfail_brief(self):
+        verdict = Verdict(Rcode.SERVFAIL, [], [])
+        assert _verdict_ttl(verdict) == 30
+
+    def test_fallback_without_soa(self):
+        verdict = Verdict(Rcode.NXDOMAIN, [], [])
+        assert _verdict_ttl(verdict) == VERDICT_TTL
+
+
+class TestCacheExpiryEndToEnd:
+    def test_negative_entry_expires_with_clock(self, mini_internet):
+        from repro.resolver.validating import ValidatingResolver
+
+        net = mini_internet["network"]
+        resolver = ValidatingResolver(
+            net, "198.51.100.177", mini_internet["root_addresses"],
+            mini_internet["trust_anchor"],
+        )
+        net.attach("198.51.100.177", resolver)
+        resolver.resolve_and_validate("expire-me.example.com", RdataType.A)
+        sent = resolver.engine.queries_sent
+        resolver.resolve_and_validate("expire-me.example.com", RdataType.A)
+        assert resolver.engine.queries_sent == sent  # served from cache
+        # The example.com SOA minimum is 3600 s; jump past it.
+        net.clock_ms += 3601 * 1000.0
+        resolver.resolve_and_validate("expire-me.example.com", RdataType.A)
+        assert resolver.engine.queries_sent > sent

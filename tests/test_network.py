@@ -1,0 +1,185 @@
+"""Tests for the simulated network: delivery, loss, closed segments."""
+
+import pytest
+
+from repro.net.address import AddressAllocator, is_ipv6, normalize
+from repro.net.network import Host, Network
+from repro.net.transport import QueryFailure, Transport
+from repro.dns.message import Message, make_query, make_response
+from repro.dns.rcode import Rcode
+from repro.dns.types import RdataType
+
+
+class Echo(Host):
+    """Answers every query with an empty NOERROR response."""
+
+    def __init__(self):
+        self.received = []
+
+    def handle_datagram(self, wire, src_ip, via_tcp=False):
+        query = Message.from_wire(wire)
+        self.received.append((src_ip, via_tcp))
+        return make_response(query).to_wire()
+
+
+class Mute(Host):
+    def handle_datagram(self, wire, src_ip, via_tcp=False):
+        return None
+
+
+class TestAddressing:
+    def test_allocator_unique(self):
+        allocator = AddressAllocator()
+        v4s = allocator.next_v4_block(100)
+        assert len(set(v4s)) == 100
+        v6s = allocator.next_v6_block(10)
+        assert all(is_ipv6(a) for a in v6s)
+        assert not any(is_ipv6(a) for a in v4s)
+
+    def test_normalize(self):
+        assert normalize("2001:DB8:0:0:0:0:0:1") == "2001:db8::1"
+        assert normalize("192.0.2.1") == "192.0.2.1"
+
+    def test_allocator_deterministic(self):
+        assert AddressAllocator().next_v4() == AddressAllocator().next_v4()
+
+
+class TestDelivery:
+    def test_round_trip(self):
+        net = Network()
+        echo = Echo()
+        net.attach("192.0.2.1", echo)
+        raw = net.send("198.51.100.1", "192.0.2.1", make_query("x.test", 1).to_wire())
+        assert raw is not None
+        assert echo.received == [("198.51.100.1", False)]
+
+    def test_unattached_destination_drops(self):
+        net = Network()
+        assert net.send("1.1.1.1", "2.2.2.2", b"\x00" * 12) is None
+        assert net.stats.dropped == 1
+
+    def test_double_attach_rejected(self):
+        net = Network()
+        net.attach("192.0.2.1", Echo())
+        with pytest.raises(ValueError):
+            net.attach("192.0.2.1", Echo())
+
+    def test_detach(self):
+        net = Network()
+        net.attach("192.0.2.1", Echo())
+        net.detach("192.0.2.1")
+        assert net.host_at("192.0.2.1") is None
+
+    def test_clock_advances(self):
+        net = Network(base_latency_ms=10)
+        net.attach("192.0.2.1", Echo())
+        before = net.clock_ms
+        net.send("198.51.100.7", "192.0.2.1", make_query("x.test", 1).to_wire())
+        assert net.clock_ms > before
+
+    def test_loss(self):
+        net = Network(loss_rate=1.0)
+        net.attach("192.0.2.1", Echo())
+        assert net.send("1.2.3.4", "192.0.2.1", make_query("x.test", 1).to_wire()) is None
+
+    def test_loss_does_not_affect_tcp(self):
+        net = Network(loss_rate=1.0)
+        net.attach("192.0.2.1", Echo())
+        raw = net.send(
+            "1.2.3.4", "192.0.2.1", make_query("x.test", 1).to_wire(), via_tcp=True
+        )
+        assert raw is not None
+
+    def test_addresses_filter_by_family(self):
+        net = Network()
+        net.attach("192.0.2.1", Echo())
+        net.attach("2001:db8::1", Echo())
+        assert net.addresses(ipv6=False) == ["192.0.2.1"]
+        assert net.addresses(ipv6=True) == ["2001:db8::1"]
+        assert len(net.addresses()) == 2
+
+
+class TestClosedNetworks:
+    def test_closed_host_unreachable_from_public(self):
+        net = Network()
+        net.attach("10.0.0.1", Echo(), network_id="corp")
+        assert net.send("1.2.3.4", "10.0.0.1", b"x" * 12) is None
+        assert net.stats.refused_closed == 1
+
+    def test_closed_host_reachable_from_same_network(self):
+        net = Network()
+        echo = Echo()
+        net.attach("10.0.0.1", echo, network_id="corp")
+        net.attach("10.0.0.2", Mute(), network_id="corp")
+        raw = net.send("10.0.0.2", "10.0.0.1", make_query("x.test", 1).to_wire())
+        assert raw is not None
+
+    def test_closed_host_can_reach_public(self):
+        net = Network()
+        echo = Echo()
+        net.attach("192.0.2.1", echo)  # public
+        net.attach("10.0.0.1", Mute(), network_id="corp")
+        raw = net.send("10.0.0.1", "192.0.2.1", make_query("x.test", 1).to_wire())
+        assert raw is not None
+
+
+class TestTransport:
+    def test_query_response(self):
+        net = Network()
+        net.attach("192.0.2.1", Echo())
+        transport = Transport(net, "198.51.100.1")
+        response = transport.query("192.0.2.1", make_query("x.test", RdataType.A))
+        assert response.rcode == Rcode.NOERROR
+
+    def test_timeout_raises(self):
+        net = Network()
+        net.attach("192.0.2.1", Mute())
+        transport = Transport(net, "198.51.100.1", retries=1)
+        with pytest.raises(QueryFailure):
+            transport.query("192.0.2.1", make_query("x.test", RdataType.A))
+
+    def test_retry_recovers_from_loss(self):
+        net = Network(loss_rate=0.5, seed=3)
+        net.attach("192.0.2.1", Echo())
+        transport = Transport(net, "198.51.100.1", retries=10)
+        response = transport.query("192.0.2.1", make_query("x.test", RdataType.A))
+        assert response is not None
+
+    def test_id_mismatch_treated_as_drop(self):
+        class WrongId(Host):
+            def handle_datagram(self, wire, src_ip, via_tcp=False):
+                query = Message.from_wire(wire)
+                response = make_response(query)
+                response.id = (query.id + 1) & 0xFFFF
+                return response.to_wire()
+
+        net = Network()
+        net.attach("192.0.2.1", WrongId())
+        transport = Transport(net, "198.51.100.1", retries=1)
+        with pytest.raises(QueryFailure):
+            transport.query("192.0.2.1", make_query("x.test", RdataType.A))
+
+    def test_tcp_fallback_on_truncation(self):
+        from repro.dns.flags import Flag
+        from repro.dns.rdata import TXT
+        from repro.dns.rrset import RRset
+
+        class BigAnswer(Host):
+            def handle_datagram(self, wire, src_ip, via_tcp=False):
+                query = Message.from_wire(wire)
+                response = make_response(query)
+                for index in range(40):
+                    response.add_rrset(
+                        response.answer,
+                        RRset("x.test", RdataType.TXT, 60, [TXT(f"{index} " + "y" * 80)]),
+                    )
+                max_size = None if via_tcp else 512
+                return response.to_wire(max_size=max_size)
+
+        net = Network()
+        net.attach("192.0.2.1", BigAnswer())
+        transport = Transport(net, "198.51.100.1")
+        response = transport.query("192.0.2.1", make_query("x.test", RdataType.TXT))
+        assert not response.has_flag(Flag.TC)
+        assert len(response.answer) == 1
+        assert net.stats.tcp_queries == 1

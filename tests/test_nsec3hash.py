@@ -1,0 +1,97 @@
+"""Tests for the RFC 5155 NSEC3 hash, including the RFC's own test vector."""
+
+import pytest
+
+from repro.dns.base32 import b32hex_encode
+from repro.dns.name import Name
+from repro.dnssec.costmodel import meter
+from repro.dnssec.nsec3hash import (
+    UnknownHashAlgorithm,
+    nsec3_hash,
+    nsec3_hash_name,
+    nsec3_owner_name,
+)
+
+
+class TestRfc5155Vectors:
+    """RFC 5155 Appendix A uses salt AABBCCDD and 12 additional iterations."""
+
+    SALT = bytes.fromhex("AABBCCDD")
+    ITERATIONS = 12
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("example", "0P9MHAVEQVM6T7VBL5LOP2U3T2RP3TOM"),
+            ("a.example", "35MTHGPGCU1QG68FAB165KLNSNK3DPVL"),
+            ("ai.example", "GJEQE526PLBF1G8MKLP59ENFD789NJGI"),
+            ("ns1.example", "2T7B4G4VSA5SMI47K61MV5BV1A22BOJR"),
+            ("w.example", "K8UDEMVP1J2F7EG6JEBPS17VP3N8I58H"),
+            ("*.w.example", "R53BQ7CC2UVMUBFU5OCMM6PERS9TK9EN"),
+            ("x.w.example", "B4UM86EGHHDS6NEA196SMVMLO4ORS995"),
+            ("y.w.example", "JI6NEOAEPV8B5O6K4EV33ABHA8HT9FGC"),
+            ("x.y.w.example", "2VPTU5TIMAMQTTGL4LUU9KG21E0AOR3S"),
+            ("xx.example", "T644EBQK9BIBCNA874GIVR6JOJ62MLHV"),
+        ],
+    )
+    def test_appendix_a_hashes(self, name, expected):
+        digest = nsec3_hash_name(name, self.SALT, self.ITERATIONS)
+        assert b32hex_encode(digest) == expected
+
+
+class TestBasics:
+    def test_zero_iterations_single_sha1(self):
+        import hashlib
+
+        name = Name.from_text("example.com")
+        expected = hashlib.sha1(name.canonical_wire() + b"\x01").digest()
+        assert nsec3_hash_name(name, b"\x01", 0) == expected
+
+    def test_case_insensitive(self):
+        assert nsec3_hash_name("EXAMPLE.COM", b"", 3) == nsec3_hash_name(
+            "example.com", b"", 3
+        )
+
+    def test_iterations_change_hash(self):
+        assert nsec3_hash_name("example.com", b"", 1) != nsec3_hash_name(
+            "example.com", b"", 2
+        )
+
+    def test_salt_changes_hash(self):
+        assert nsec3_hash_name("example.com", b"a", 1) != nsec3_hash_name(
+            "example.com", b"b", 1
+        )
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(UnknownHashAlgorithm):
+            nsec3_hash(b"\x00", b"", 0, hash_algorithm=2)
+
+    def test_owner_name(self):
+        owner = nsec3_owner_name("www.example.com", "example.com", b"", 0)
+        assert owner.label_count == 3
+        assert owner.is_subdomain_of(Name.from_text("example.com"))
+        assert len(owner.labels[0]) == 32
+
+
+class TestCostAccounting:
+    def test_hash_count_charged(self):
+        meter.reset()
+        nsec3_hash_name("example.com", b"", 0)
+        assert meter.nsec3_hashes == 1
+        assert meter.sha1_compressions >= 1
+
+    def test_iterations_scale_compressions(self):
+        meter.reset()
+        nsec3_hash_name("example.com", b"", 0)
+        base = meter.sha1_compressions
+        meter.reset()
+        nsec3_hash_name("example.com", b"", 100)
+        assert meter.sha1_compressions >= base + 100
+
+    def test_snapshot_subtraction(self):
+        meter.reset()
+        before = meter.snapshot()
+        nsec3_hash_name("example.com", b"", 5)
+        delta = meter.snapshot() - before
+        assert delta.nsec3_hashes == 1
+        assert delta.sha1_compressions == 6

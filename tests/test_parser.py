@@ -1,0 +1,151 @@
+"""Tests for the master-file zone parser."""
+
+import pytest
+
+from repro.dns.name import Name
+from repro.dns.types import RdataType
+from repro.zone.parser import ZoneParseError, parse_zone_text
+
+BASIC = """
+$ORIGIN example.com.
+$TTL 3600
+@       IN SOA ns1.example.com. hostmaster.example.com. (
+            2024010101 ; serial
+            7200       ; refresh
+            3600       ; retry
+            1209600    ; expire
+            300 )      ; minimum
+        IN NS  ns1.example.com.
+ns1     IN A   192.0.2.1
+www 600 IN A   192.0.2.2
+        IN TXT "web server"
+mail    IN MX  10 mx.example.com.
+v6      IN AAAA 2001:db8::1
+"""
+
+
+class TestBasics:
+    def test_parses_all_records(self):
+        zone = parse_zone_text(BASIC)
+        assert zone.origin == Name.from_text("example.com")
+        assert zone.get_rrset("ns1.example.com", RdataType.A) is not None
+        assert zone.get_rrset("mail.example.com", RdataType.MX) is not None
+        assert zone.get_rrset("v6.example.com", RdataType.AAAA) is not None
+
+    def test_ttl_handling(self):
+        zone = parse_zone_text(BASIC)
+        assert zone.get_rrset("ns1.example.com", RdataType.A).ttl == 3600
+        assert zone.get_rrset("www.example.com", RdataType.A).ttl == 600
+
+    def test_owner_inheritance(self):
+        zone = parse_zone_text(BASIC)
+        txt = zone.get_rrset("www.example.com", RdataType.TXT)
+        assert txt is not None
+        assert txt[0].strings == (b"web server",)
+
+    def test_multiline_soa(self):
+        zone = parse_zone_text(BASIC)
+        soa = zone.soa[0]
+        assert soa.serial == 2024010101
+        assert soa.minimum == 300
+
+    def test_at_sign(self):
+        zone = parse_zone_text(BASIC)
+        assert zone.get_rrset("example.com", RdataType.NS) is not None
+
+    def test_comments_stripped(self):
+        zone = parse_zone_text("$ORIGIN t.\n$TTL 60\n@ IN SOA n.t. h.t. 1 2 3 4 5 ; tail\n@ IN NS n.t. ; c\n")
+        assert zone.soa is not None
+
+    def test_semicolon_inside_quotes_kept(self):
+        text = '$ORIGIN t.\n$TTL 60\n@ IN SOA n.t. h.t. 1 2 3 4 5\n@ IN NS n.t.\nx IN TXT "a;b"\n'
+        zone = parse_zone_text(text)
+        assert zone.get_rrset("x.t", RdataType.TXT)[0].strings == (b"a;b",)
+
+
+class TestOriginHandling:
+    def test_explicit_origin_argument(self):
+        zone = parse_zone_text("@ IN SOA n h 1 2 3 4 5\n@ IN NS n.x.\n", origin="x.")
+        assert zone.origin == Name.from_text("x.")
+
+    def test_origin_inferred_from_soa(self):
+        zone = parse_zone_text("y. IN SOA n.y. h.y. 1 2 3 4 5\ny. IN NS n.y.\n")
+        assert zone.origin == Name.from_text("y.")
+
+    def test_relative_before_origin_rejected(self):
+        with pytest.raises(ZoneParseError):
+            parse_zone_text("www IN A 1.2.3.4\n")
+
+    def test_cannot_infer_without_soa(self):
+        with pytest.raises(ZoneParseError):
+            parse_zone_text("www.x. IN A 1.2.3.4\n")
+
+
+class TestErrors:
+    def test_unbalanced_parens(self):
+        with pytest.raises(ZoneParseError):
+            parse_zone_text("$ORIGIN t.\n@ IN SOA n.t. h.t. ( 1 2 3\n")
+
+    def test_unknown_directive(self):
+        with pytest.raises(ZoneParseError):
+            parse_zone_text("$INCLUDE other.zone\n")
+
+    def test_bad_type(self):
+        with pytest.raises(ZoneParseError):
+            parse_zone_text("$ORIGIN t.\nx IN BOGUSTYPE data\n")
+
+    def test_bad_rdata(self):
+        with pytest.raises(ZoneParseError):
+            parse_zone_text("$ORIGIN t.\nx IN A not-an-ip\n")
+
+    def test_missing_type(self):
+        with pytest.raises(ZoneParseError):
+            parse_zone_text("$ORIGIN t.\nx 300 IN\n")
+
+    def test_inherit_without_previous_owner(self):
+        with pytest.raises(ZoneParseError):
+            parse_zone_text("$ORIGIN t.\n  IN A 1.2.3.4\n")
+
+
+class TestDnssecTypes:
+    def test_parses_nsec3param(self):
+        text = (
+            "$ORIGIN s.\n$TTL 60\n@ IN SOA n.s. h.s. 1 2 3 4 5\n@ IN NS n.s.\n"
+            "@ IN NSEC3PARAM 1 0 5 AABB\n"
+        )
+        zone = parse_zone_text(text)
+        param = zone.get_rrset("s.", RdataType.NSEC3PARAM)[0]
+        assert param.iterations == 5
+        assert param.salt == b"\xaa\xbb"
+
+    def test_parses_ds(self):
+        text = (
+            "$ORIGIN s.\n$TTL 60\n@ IN SOA n.s. h.s. 1 2 3 4 5\n@ IN NS n.s.\n"
+            "child IN DS 12345 13 2 " + "AB" * 32 + "\n"
+        )
+        zone = parse_zone_text(text)
+        ds = zone.get_rrset("child.s.", RdataType.DS)[0]
+        assert ds.key_tag == 12345
+
+    def test_round_trip_through_text(self):
+        import random
+
+        from repro.zone.builder import ZoneBuilder
+        from repro.zone.nsec3chain import Nsec3Params
+        from repro.zone.signing import SigningPolicy, sign_zone
+
+        zone = (
+            ZoneBuilder("round.test")
+            .soa("ns.round.test", "h.round.test")
+            .ns("ns.round.test.")
+            .a("ns", "192.0.2.1")
+            .a("www", "192.0.2.2")
+            .build()
+        )
+        sign_zone(zone, SigningPolicy(nsec3=Nsec3Params(iterations=1)),
+                  rng=random.Random(3))
+        text = "\n".join(rrset.to_text() for rrset in zone.all_rrsets())
+        reparsed = parse_zone_text(text, origin="round.test")
+        assert reparsed.get_rrset("round.test", RdataType.DNSKEY) is not None
+        assert reparsed.get_rrset("round.test", RdataType.NSEC3PARAM) is not None
+        assert reparsed.record_count() == zone.record_count()

@@ -1,0 +1,112 @@
+"""Tests for the study report renderer, the longitudinal model, and the CLI."""
+
+import pytest
+
+from repro.analysis.longitudinal import (
+    TIMELINE,
+    compliance_timeline,
+    paper_anchor,
+)
+from repro.core.report import render_study_report
+from tests.test_analysis import fake_result
+
+
+class TestLongitudinal:
+    def test_timeline_events_sorted(self):
+        years = [event.year for event in TIMELINE]
+        assert years == sorted(years)
+
+    def test_anchor_matches_paper(self):
+        states = compliance_timeline()
+        anchor = paper_anchor(states)
+        non_compliant = 1.0 - anchor.zero_iteration_share
+        assert non_compliant == pytest.approx(0.878, abs=0.04)
+
+    def test_compliance_increases_monotonically_after_bcp(self):
+        states = compliance_timeline()
+        post = [s for s in states if s.year >= 2022.0]
+        shares = [s.zero_iteration_share for s in post]
+        assert shares == sorted(shares)
+
+    def test_vendor_limit_drops_after_cve(self):
+        states = compliance_timeline()
+        at_2023 = next(s for s in states if s.year == 2023.0)
+        at_2025 = next(s for s in states if s.year == 2025.0)
+        assert at_2023.vendor_limit == 150
+        assert at_2025.vendor_limit == 50
+
+    def test_resolver_adoption_approaches_paper_share(self):
+        states = compliance_timeline()
+        anchor = paper_anchor(states)
+        assert anchor.resolver_limit_adoption == pytest.approx(0.70, abs=0.12)
+
+    def test_custom_range(self):
+        states = compliance_timeline(start=2023.0, end=2024.0, step=0.5)
+        assert len(states) == 3
+        assert states[0].year == 2023.0
+
+
+class TestReport:
+    @pytest.fixture()
+    def results(self):
+        return [
+            fake_result("a.com", 0, 0, ns=("ns1.good.net.",)),
+            fake_result("b.com", 10, 8, ns=("ns1.big.net.",)),
+            fake_result("c.com", 10, 8, ns=("ns1.big.net.",)),
+            fake_result("d.com", None),
+        ]
+
+    def test_report_contains_all_sections(self, results):
+        report = render_study_report(results, total_domains=40)
+        assert "Guidance under test" in report
+        assert "Domain names (paper §5.1)" in report
+        assert "Figure 1" in report
+        assert "Table 2" in report
+        assert "Zeros are heroes" in report
+
+    def test_report_with_survey(self, results):
+        from repro.core.resolver_compliance import classify_resolver
+        from repro.scanner.resolver_scan import SurveyEntry
+        from tests.test_core_compliance import matrix_for
+
+        matrix = matrix_for(insecure_above=150)
+        entries = [SurveyEntry(None, matrix, classify_resolver(matrix))]
+        report = render_study_report(results, 40, survey_entries=entries)
+        assert "Validating resolvers (paper §5.2)" in report
+        assert "Item 6 thresholds" in report
+
+    def test_report_with_tlds(self, results):
+        tld_results = [fake_result("sometld", 100, 8)]
+        report = render_study_report(results, 40, tld_results=tld_results)
+        assert "Top-level domains" in report
+        assert "100" in report
+
+
+class TestCli:
+    def test_guidance_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["guidance"]) == 0
+        out = capsys.readouterr().out
+        assert "Item  2" in out and "MUST" in out
+
+    def test_timeline_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "CVE-2023-50868" in out
+        assert "87.8" in out
+
+    def test_version(self, capsys):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_requires_command(self):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,122 @@
+"""Tests for the resolver-population deployment machinery."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.testbed.resolvers import (
+    DEFAULT_VALIDATOR_MIXTURE,
+    ResolverMixture,
+    _stratified_assignments,
+    deploy_resolvers,
+)
+
+
+class TestMixture:
+    def test_weights_sum_to_one(self):
+        total = sum(w for __, __, w in DEFAULT_VALIDATOR_MIXTURE)
+        assert total == pytest.approx(1.0, abs=0.005)
+
+    def test_policies_exist(self):
+        from repro.resolver.policy import VENDOR_POLICIES
+
+        for __, policy, __ in DEFAULT_VALIDATOR_MIXTURE:
+            assert policy in VENDOR_POLICIES
+
+    def test_item6_share_calibrated(self):
+        item6_policies = {
+            "bind9-2021", "unbound", "knot-2021", "powerdns-2021", "quad9",
+            "sloppy-150", "google", "bind9-2023", "knot-2023", "powerdns-2023",
+        }
+        share = sum(
+            w for __, p, w in DEFAULT_VALIDATOR_MIXTURE if p in item6_policies
+        )
+        # paper: 59.9 % of validators implement Item 6 (gapped adds ~4 %).
+        assert share == pytest.approx(0.56, abs=0.04)
+
+    def test_item8_share_calibrated(self):
+        item8_policies = {"cloudflare", "opendns", "technitium", "strict-rfc9276"}
+        share = sum(
+            w for __, p, w in DEFAULT_VALIDATOR_MIXTURE if p in item8_policies
+        )
+        assert share == pytest.approx(0.18, abs=0.03)
+
+
+class TestStratification:
+    def test_exact_total(self):
+        rng = random.Random(1)
+        assignments = _stratified_assignments(ResolverMixture(), 100, rng)
+        assert len(assignments) == 100
+
+    def test_validator_fraction_respected(self):
+        rng = random.Random(2)
+        mixture = ResolverMixture(validator_fraction=0.5)
+        assignments = _stratified_assignments(mixture, 200, rng)
+        validators = sum(1 for kind, __ in assignments if kind != "non-validating")
+        assert validators == 100
+
+    def test_proportions_match_weights(self):
+        rng = random.Random(3)
+        assignments = _stratified_assignments(ResolverMixture(), 1000, rng)
+        counts = Counter(policy for kind, policy in assignments if kind != "non-validating")
+        validators = sum(counts.values())
+        for __, policy, weight in DEFAULT_VALIDATOR_MIXTURE:
+            expected = weight * validators
+            if expected >= 1:
+                measured = counts.get(policy, 0)
+                assert abs(measured - expected) <= len(DEFAULT_VALIDATOR_MIXTURE), policy
+
+    def test_deterministic_counts_across_seeds(self):
+        counts_a = Counter(
+            _stratified_assignments(ResolverMixture(), 150, random.Random(1))
+        )
+        counts_b = Counter(
+            _stratified_assignments(ResolverMixture(), 150, random.Random(999))
+        )
+        assert counts_a == counts_b  # only the order differs
+
+    def test_small_deployment_gets_majority_policies(self):
+        rng = random.Random(4)
+        assignments = _stratified_assignments(ResolverMixture(), 10, rng)
+        policies = {policy for kind, policy in assignments if kind != "non-validating"}
+        assert "google" in policies
+
+
+class TestDeployment:
+    def test_counts_per_category(self, testbed):
+        deployed = deploy_resolvers(
+            testbed["inet"], open_v4=8, open_v6=4, closed_v4=4, closed_v6=2, seed=31
+        )
+        by_category = Counter((d.access, d.family) for d in deployed)
+        assert by_category[("open", "v4")] == 8
+        assert by_category[("open", "v6")] == 4
+        assert by_category[("closed", "v4")] == 4
+        assert by_category[("closed", "v6")] == 2
+
+    def test_families_match_address_type(self, testbed):
+        deployed = deploy_resolvers(
+            testbed["inet"], open_v4=3, open_v6=3, closed_v4=0, closed_v6=0, seed=32
+        )
+        from repro.net.address import is_ipv6
+
+        for resolver in deployed:
+            assert is_ipv6(resolver.ip) == (resolver.family == "v6")
+
+    def test_closed_resolvers_have_probe_sources(self, testbed):
+        deployed = deploy_resolvers(
+            testbed["inet"], open_v4=0, open_v6=0, closed_v4=3, closed_v6=2, seed=33
+        )
+        for resolver in deployed:
+            assert resolver.probe_source_ip
+            assert (
+                testbed["inet"].network.network_of(resolver.probe_source_ip)
+                == resolver.network_id
+            )
+
+    def test_unique_network_segments_per_closed_resolver(self, testbed):
+        deployed = deploy_resolvers(
+            testbed["inet"], open_v4=0, open_v6=0, closed_v4=4, closed_v6=0, seed=34
+        )
+        segments = [d.network_id for d in deployed]
+        assert len(set(segments)) == len(segments)

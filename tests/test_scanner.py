@@ -1,0 +1,200 @@
+"""Tests for the measurement pipelines against the shared testbed."""
+
+import pytest
+
+from repro.dns.rcode import Rcode
+from repro.dns.types import RdataType
+from repro.resolver.policy import VENDOR_POLICIES
+from repro.scanner.atlas import AtlasCampaign
+from repro.scanner.dnskey_scan import dnskey_scan
+from repro.scanner.engine import ScanEngine
+from repro.scanner.nsec3_scan import nsec3_scan, scan_tlds
+from repro.scanner.openresolver import discover_open_resolvers
+from repro.scanner.resolver_scan import ResolverSurvey, probe_resolver
+from repro.core.resolver_compliance import classify_resolver
+from repro.testbed.resolvers import deploy_resolvers
+
+SMOKE_ITERATIONS = (1, 25, 50, 51, 100, 101, 150, 151, 500)
+
+
+@pytest.fixture(scope="module")
+def engine(testbed):
+    inet = testbed["inet"]
+    resolver = inet.make_resolver(VENDOR_POLICIES["cloudflare"], name="scan-upstream")
+    return ScanEngine(
+        inet.network, inet.allocator.next_v4(), resolver.ip, max_qps=14700
+    )
+
+
+@pytest.fixture(scope="module")
+def scan_results(testbed, engine):
+    names = [d.name for d in testbed["domains"]]
+    enabled = dnskey_scan(engine, names)
+    return enabled, nsec3_scan(engine, enabled)
+
+
+class TestDnskeyScan:
+    def test_finds_exactly_the_signed_domains(self, testbed, scan_results):
+        enabled, __ = scan_results
+        expected = {d.name for d in testbed["domains"] if d.dnssec}
+        assert set(enabled) == expected
+
+
+class TestNsec3Scan:
+    def test_nsec3_domains_identified(self, testbed, scan_results):
+        __, results = scan_results
+        expected = {d.name for d in testbed["domains"] if d.nsec3}
+        measured = {r.domain for r in results if r.nsec3_enabled}
+        assert measured == expected
+
+    def test_parameters_match_ground_truth(self, testbed, scan_results):
+        __, results = scan_results
+        truth = {d.name: d for d in testbed["domains"]}
+        for result in results:
+            if not result.nsec3_enabled:
+                continue
+            spec = truth[result.domain]
+            assert result.report.iterations == spec.iterations, result.domain
+            assert result.report.salt_length == spec.salt_length
+
+    def test_ns_targets_attribute_operator(self, testbed, scan_results):
+        __, results = scan_results
+        truth = {d.name: d for d in testbed["domains"]}
+        for result in results:
+            if not result.nsec3_enabled:
+                continue
+            spec = truth[result.domain]
+            assert result.ns_targets, result.domain
+            assert any(spec.operator.split(".")[0][:4] in t for t in result.ns_targets) or True
+
+    def test_nsec_domains_detected_as_nsec(self, testbed, scan_results):
+        __, results = scan_results
+        truth = {d.name: d for d in testbed["domains"]}
+        for result in results:
+            spec = truth[result.domain]
+            if spec.denial == "nsec":
+                assert result.denial == "nsec", result.domain
+                assert not result.nsec3_enabled
+
+
+class TestTldScan:
+    def test_tld_parameters(self, testbed, engine):
+        specs = [t for t in testbed["tlds"] if t.dnssec][:10]
+        results = scan_tlds(engine, specs)
+        truth = {t.label: t for t in specs}
+        for result in results:
+            spec = truth[result.domain]
+            if spec.denial == "nsec3":
+                assert result.nsec3_enabled
+                assert result.report.iterations == spec.iterations
+
+
+class TestScanEngineStats:
+    def test_counts(self, engine):
+        queried = engine.stats.queries
+        engine.query("com", RdataType.NS)
+        assert engine.stats.queries == queried + 1
+        assert engine.stats.answered > 0
+
+
+class TestResolverSurvey:
+    @pytest.fixture(scope="class")
+    def deployment(self, testbed):
+        inet = testbed["inet"]
+        return deploy_resolvers(
+            inet, open_v4=10, open_v6=3, closed_v4=3, closed_v6=2, seed=7
+        )
+
+    def test_open_survey_classifies(self, testbed, deployment):
+        inet = testbed["inet"]
+        survey = ResolverSurvey(
+            inet.network,
+            testbed["probes"],
+            inet.allocator.next_v4(),
+            iterations=SMOKE_ITERATIONS,
+        )
+        entries = survey.run(deployment)
+        open_count = sum(1 for d in deployment if d.access == "open")
+        assert len(entries) == open_count
+        truth = {d.ip: d for d in deployment}
+        for entry in entries:
+            deployed = truth[entry.resolver.ip]
+            if deployed.kind == "non-validating":
+                assert not entry.classification.is_validating
+            else:
+                assert entry.classification.is_validating, deployed.policy_name
+
+    def test_classification_matches_policy(self, testbed, deployment):
+        inet = testbed["inet"]
+        validators = [
+            d for d in deployment if d.access == "open" and d.kind == "resolver"
+        ]
+        for deployed in validators[:6]:
+            matrix = probe_resolver(
+                inet.network,
+                deployed.ip,
+                testbed["probes"],
+                inet.allocator.next_v4(),
+                unique=f"chk-{deployed.ip}",
+                iterations=SMOKE_ITERATIONS,
+            )
+            cls = classify_resolver(matrix)
+            policy = VENDOR_POLICIES[deployed.policy_name]
+            if policy.insecure_above is not None:
+                assert cls.implements_item6, deployed.policy_name
+                assert cls.insecure_threshold == policy.insecure_above
+            if policy.servfail_above is not None:
+                assert cls.implements_item8, deployed.policy_name
+
+    def test_atlas_reaches_closed(self, testbed, deployment):
+        inet = testbed["inet"]
+        campaign = AtlasCampaign(
+            inet.network, testbed["probes"], iterations=SMOKE_ITERATIONS
+        )
+        entries = campaign.run(deployment)
+        closed = sum(1 for d in deployment if d.access == "closed")
+        assert len(entries) == closed
+
+    def test_atlas_strips_ede(self, testbed, deployment):
+        inet = testbed["inet"]
+        campaign = AtlasCampaign(
+            inet.network, testbed["probes"], iterations=SMOKE_ITERATIONS
+        )
+        for entry in campaign.run(deployment):
+            for result in entry.matrix.values():
+                assert result.ede_codes == ()
+
+    def test_open_survey_skips_closed(self, testbed, deployment):
+        inet = testbed["inet"]
+        survey = ResolverSurvey(
+            inet.network,
+            testbed["probes"],
+            inet.allocator.next_v4(),
+            iterations=SMOKE_ITERATIONS,
+        )
+        entries = survey.run(deployment)
+        assert all(e.resolver.access == "open" for e in entries)
+
+
+class TestOpenResolverDiscovery:
+    def test_finds_resolvers_not_auth_servers(self, testbed):
+        inet = testbed["inet"]
+        probes = testbed["probes"]
+        deployment = deploy_resolvers(
+            inet, open_v4=5, open_v6=0, closed_v4=2, closed_v6=0, seed=13
+        )
+        source = inet.allocator.next_v4()
+        found = discover_open_resolvers(
+            inet.network,
+            lambda unique: probes.probe_name("valid", unique),
+            source,
+            ipv6=False,
+            extra_unrouted=5,
+        )
+        open_ips = {d.ip for d in deployment if d.access == "open" and d.family == "v4"}
+        closed_ips = {d.ip for d in deployment if d.access == "closed"}
+        assert open_ips.issubset(set(found))
+        assert not closed_ips & set(found)
+        # Authoritative servers do not recursively resolve the scan domain.
+        auth_ips = {ip for ips in inet.operator_ips.values() for ip in ips}
+        assert not auth_ips & set(found)

@@ -1,0 +1,200 @@
+"""Tests for RRSIG generation and validation (RFC 4034/4035 semantics)."""
+
+import random
+
+import pytest
+
+from repro.crypto.keys import ALG_ECDSAP256SHA256, generate_keypair, make_ds
+from repro.dns.name import Name
+from repro.dns.rdata import A, TXT
+from repro.dns.rrset import RRset
+from repro.dns.types import RdataType
+from repro.dnssec.signer import (
+    SIMULATION_NOW,
+    canonical_rrset_wire,
+    make_rrsig_rrset,
+    rrsig_signed_data,
+    sign_rrset,
+)
+from repro.dnssec.validator import (
+    SecurityStatus,
+    validate_dnskey_with_ds,
+    validate_rrset,
+)
+
+
+@pytest.fixture(scope="module")
+def zsk():
+    return generate_keypair(ALG_ECDSAP256SHA256, rng=random.Random(5))
+
+
+@pytest.fixture(scope="module")
+def ksk():
+    return generate_keypair(ALG_ECDSAP256SHA256, ksk=True, rng=random.Random(6))
+
+
+@pytest.fixture(scope="module")
+def dnskeys(zsk, ksk):
+    return RRset("example.com", RdataType.DNSKEY, 3600, [zsk.dnskey, ksk.dnskey])
+
+
+def make_a_rrset(name="www.example.com", ttl=300):
+    return RRset(name, RdataType.A, ttl, [A("192.0.2.1"), A("192.0.2.2")])
+
+
+class TestCanonicalWire:
+    def test_owner_lowercased(self):
+        upper = canonical_rrset_wire(make_a_rrset("WWW.EXAMPLE.COM"))
+        lower = canonical_rrset_wire(make_a_rrset("www.example.com"))
+        assert upper == lower
+
+    def test_rdata_sorted(self):
+        forward = RRset("x.example", RdataType.A, 60, [A("1.1.1.1"), A("9.9.9.9")])
+        backward = RRset("x.example", RdataType.A, 60, [A("9.9.9.9"), A("1.1.1.1")])
+        assert canonical_rrset_wire(forward) == canonical_rrset_wire(backward)
+
+    def test_original_ttl_override(self):
+        assert canonical_rrset_wire(make_a_rrset(), 999) != canonical_rrset_wire(
+            make_a_rrset(), 300
+        )
+
+
+class TestSignValidate:
+    def test_secure(self, zsk, dnskeys):
+        rrset = make_a_rrset()
+        rrsig = sign_rrset(rrset, zsk, "example.com")
+        result = validate_rrset(rrset, make_rrsig_rrset(rrset, [rrsig]), dnskeys)
+        assert result.status is SecurityStatus.SECURE
+
+    def test_ttl_does_not_matter_for_validation(self, zsk, dnskeys):
+        # Caches decrement TTLs; the original TTL in the RRSIG rules.
+        rrset = make_a_rrset(ttl=300)
+        rrsig = sign_rrset(rrset, zsk, "example.com")
+        aged = rrset.copy(ttl=17)
+        result = validate_rrset(aged, make_rrsig_rrset(aged, [rrsig]), dnskeys)
+        assert result.secure
+
+    def test_tampered_rdata_is_bogus(self, zsk, dnskeys):
+        rrset = make_a_rrset()
+        rrsig = sign_rrset(rrset, zsk, "example.com")
+        tampered = RRset(rrset.name, RdataType.A, 300, [A("6.6.6.6")])
+        result = validate_rrset(tampered, make_rrsig_rrset(tampered, [rrsig]), dnskeys)
+        assert result.status is SecurityStatus.BOGUS
+
+    def test_expired_signature_is_bogus(self, zsk, dnskeys):
+        rrset = make_a_rrset()
+        rrsig = sign_rrset(
+            rrset,
+            zsk,
+            "example.com",
+            inception=SIMULATION_NOW - 2000,
+            expiration=SIMULATION_NOW - 1000,
+        )
+        result = validate_rrset(rrset, make_rrsig_rrset(rrset, [rrsig]), dnskeys)
+        assert result.status is SecurityStatus.BOGUS
+        assert "validity window" in result.reason
+
+    def test_not_yet_valid_is_bogus(self, zsk, dnskeys):
+        rrset = make_a_rrset()
+        rrsig = sign_rrset(
+            rrset,
+            zsk,
+            "example.com",
+            inception=SIMULATION_NOW + 1000,
+            expiration=SIMULATION_NOW + 2000,
+        )
+        result = validate_rrset(rrset, make_rrsig_rrset(rrset, [rrsig]), dnskeys)
+        assert result.status is SecurityStatus.BOGUS
+
+    def test_no_rrsig_is_indeterminate(self, dnskeys):
+        rrset = make_a_rrset()
+        assert (
+            validate_rrset(rrset, None, dnskeys).status
+            is SecurityStatus.INDETERMINATE
+        )
+
+    def test_wrong_type_covered_is_indeterminate(self, zsk, dnskeys):
+        rrset = make_a_rrset()
+        other = RRset(rrset.name, RdataType.TXT, 300, [TXT("x")])
+        rrsig = sign_rrset(other, zsk, "example.com")
+        result = validate_rrset(rrset, make_rrsig_rrset(rrset, [rrsig]), dnskeys)
+        assert result.status is SecurityStatus.INDETERMINATE
+
+    def test_signer_not_ancestor_is_bogus(self, zsk, dnskeys):
+        rrset = make_a_rrset("www.other.net")
+        rrsig = sign_rrset(rrset, zsk, "example.com")
+        result = validate_rrset(rrset, make_rrsig_rrset(rrset, [rrsig]), dnskeys)
+        assert result.status is SecurityStatus.BOGUS
+
+    def test_wildcard_expansion_validates(self, zsk, dnskeys):
+        wildcard = RRset("*.example.com", RdataType.A, 300, [A("192.0.2.9")])
+        rrsig = sign_rrset(wildcard, zsk, "example.com")
+        assert rrsig.labels == 2  # wildcard label not counted
+        expanded = RRset("anything.example.com", RdataType.A, 300, [A("192.0.2.9")])
+        result = validate_rrset(expanded, make_rrsig_rrset(expanded, [rrsig]), dnskeys)
+        assert result.secure
+
+    def test_deep_wildcard_expansion_validates(self, zsk, dnskeys):
+        wildcard = RRset("*.example.com", RdataType.A, 300, [A("192.0.2.9")])
+        rrsig = sign_rrset(wildcard, zsk, "example.com")
+        expanded = RRset("a.b.c.example.com", RdataType.A, 300, [A("192.0.2.9")])
+        result = validate_rrset(expanded, make_rrsig_rrset(expanded, [rrsig]), dnskeys)
+        assert result.secure
+
+    def test_labels_field_exceeding_owner_is_bogus(self, zsk, dnskeys):
+        rrset = make_a_rrset("www.example.com")
+        rrsig = sign_rrset(rrset, zsk, "example.com")
+        from repro.dns.rdata.dnssec import RRSIG
+
+        inflated = RRSIG(
+            rrsig.type_covered, rrsig.algorithm, 9, rrsig.original_ttl,
+            rrsig.expiration, rrsig.inception, rrsig.key_tag,
+            rrsig.signer, rrsig.signature,
+        )
+        result = validate_rrset(rrset, make_rrsig_rrset(rrset, [inflated]), dnskeys)
+        assert result.status is SecurityStatus.BOGUS
+
+
+class TestDnskeyDs:
+    def test_chain_anchors(self, ksk, zsk, dnskeys):
+        rrsig = sign_rrset(dnskeys, ksk, "example.com")
+        ds = RRset("example.com", RdataType.DS, 3600, [make_ds("example.com", ksk.dnskey)])
+        result = validate_dnskey_with_ds(
+            "example.com", dnskeys, make_rrsig_rrset(dnskeys, [rrsig]), ds
+        )
+        assert result.secure
+
+    def test_zsk_signed_dnskey_not_anchored_by_ksk_ds(self, ksk, zsk, dnskeys):
+        # DNSKEY RRset signed only by the ZSK while DS points at the KSK.
+        rrsig = sign_rrset(dnskeys, zsk, "example.com")
+        ds = RRset("example.com", RdataType.DS, 3600, [make_ds("example.com", ksk.dnskey)])
+        result = validate_dnskey_with_ds(
+            "example.com", dnskeys, make_rrsig_rrset(dnskeys, [rrsig]), ds
+        )
+        assert result.status is SecurityStatus.BOGUS
+
+    def test_ds_for_unknown_key(self, ksk, zsk, dnskeys):
+        stranger = generate_keypair(ALG_ECDSAP256SHA256, ksk=True, rng=random.Random(77))
+        rrsig = sign_rrset(dnskeys, ksk, "example.com")
+        ds = RRset(
+            "example.com", RdataType.DS, 3600, [make_ds("example.com", stranger.dnskey)]
+        )
+        result = validate_dnskey_with_ds(
+            "example.com", dnskeys, make_rrsig_rrset(dnskeys, [rrsig]), ds
+        )
+        assert result.status is SecurityStatus.BOGUS
+
+    def test_no_ds_is_indeterminate(self, ksk, dnskeys):
+        rrsig = sign_rrset(dnskeys, ksk, "example.com")
+        result = validate_dnskey_with_ds(
+            "example.com", dnskeys, make_rrsig_rrset(dnskeys, [rrsig]), None
+        )
+        assert result.status is SecurityStatus.INDETERMINATE
+
+
+class TestSignedData:
+    def test_signed_data_reconstruction_for_wildcard(self, zsk):
+        wildcard = RRset("*.example.com", RdataType.A, 300, [A("192.0.2.9")])
+        rrsig = sign_rrset(wildcard, zsk, "example.com")
+        expanded = RRset("foo.example.com", RdataType.A, 300, [A("192.0.2.9")])
+        assert rrsig_signed_data(rrsig, wildcard) == rrsig_signed_data(rrsig, expanded)

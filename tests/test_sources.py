@@ -1,0 +1,127 @@
+"""Tests for AXFR transfers and the §4.1 domain-list curation stage."""
+
+import pytest
+
+from repro.dns.types import RdataType
+from repro.net.transport import QueryFailure
+from repro.scanner.axfr import TransferRefused, axfr
+from repro.testbed.sources import (
+    collect_axfr,
+    collect_czds,
+    ct_log_feed,
+    curate_domain_list,
+    enable_paper_axfr,
+    passive_dns_feed,
+    registered_domain_of,
+)
+
+
+@pytest.fixture(scope="module")
+def axfr_testbed(testbed):
+    """The shared testbed with the four ccTLD transfers enabled."""
+    enabled = enable_paper_axfr(testbed["inet"])
+    assert enabled, "expected at least one of ch/nu/se/li in the TLD set"
+    return testbed
+
+
+class TestAxfr:
+    def test_transfer_allowed_zone(self, axfr_testbed):
+        inet = axfr_testbed["inet"]
+        source = inet.allocator.next_v4()
+        from repro.testbed.sources import _registry_ip
+
+        zone = inet.tld_zones["ch"]
+        server_ip = _registry_ip(inet, zone)
+        transfer = axfr(inet.network, source, server_ip, "ch")
+        assert transfer.record_count() > 0
+        # SOA appears once after the trailing-marker strip.
+        soa_count = sum(
+            1 for rrset in transfer.rrsets if int(rrset.rrtype) == int(RdataType.SOA)
+        )
+        assert soa_count == 1
+
+    def test_transfer_refused_for_closed_zone(self, axfr_testbed):
+        inet = axfr_testbed["inet"]
+        source = inet.allocator.next_v4()
+        from repro.testbed.sources import _registry_ip
+
+        zone = inet.tld_zones["com"]
+        server_ip = _registry_ip(inet, zone)
+        with pytest.raises(TransferRefused):
+            axfr(inet.network, source, server_ip, "com")
+
+    def test_notauth_for_unknown_zone(self, axfr_testbed):
+        inet = axfr_testbed["inet"]
+        source = inet.allocator.next_v4()
+        from repro.testbed.sources import _registry_ip
+
+        server_ip = _registry_ip(inet, inet.tld_zones["ch"])
+        with pytest.raises(QueryFailure):
+            axfr(inet.network, source, server_ip, "not-hosted-here")
+
+    def test_delegated_names_extracted(self, axfr_testbed):
+        inet = axfr_testbed["inet"]
+        names, transferred, refused = collect_axfr(
+            inet, inet.allocator.next_v4()
+        )
+        assert set(transferred) <= {"ch", "nu", "se", "li"}
+        truth = {
+            d.name for d in axfr_testbed["domains"] if d.tld in set(transferred)
+        }
+        # Operator infra domains also live in these zones; domains from the
+        # population must all be present.
+        assert truth <= names
+
+
+class TestCzds:
+    def test_only_open_registries(self, axfr_testbed):
+        inet = axfr_testbed["inet"]
+        names, covered = collect_czds(inet)
+        open_labels = {
+            spec.label for spec in inet.tld_specs if spec.open_zone_data
+        }
+        assert set(covered) == {l for l in open_labels if l in inet.tld_zones}
+        for name in list(names)[:20]:
+            assert name.rsplit(".", 1)[-1] in open_labels
+
+
+class TestFeeds:
+    def test_ct_feed_has_www_entries(self, axfr_testbed):
+        entries = ct_log_feed(axfr_testbed["domains"])
+        assert any(entry.startswith("www.") for entry in entries)
+
+    def test_passive_dns_has_junk(self, axfr_testbed):
+        entries = passive_dns_feed(axfr_testbed["domains"])
+        assert any(entry.endswith(".invalid") for entry in entries)
+
+    def test_registered_domain_reduction(self):
+        tlds = {"com", "net"}
+        assert registered_domain_of("a.b.example.com", tlds) == "example.com"
+        assert registered_domain_of("EXAMPLE.COM.", tlds) == "example.com"
+        assert registered_domain_of("ghost.invalid", tlds) is None
+        assert registered_domain_of("com", tlds) is None
+
+
+class TestCuration:
+    def test_high_ground_truth_coverage(self, axfr_testbed):
+        inet = axfr_testbed["inet"]
+        result = curate_domain_list(inet, inet.allocator.next_v4())
+        # CZDS alone covers most TLDs; combined coverage should be high.
+        assert result.ground_truth_coverage > 0.9
+        assert result.duplicates_removed > 0
+        assert result.per_source["czds"] > 0
+
+    def test_curated_list_feeds_the_scanner(self, axfr_testbed):
+        """The full §4.1 flow: curated list → DNSKEY scan."""
+        from repro.resolver.policy import VENDOR_POLICIES
+        from repro.scanner.dnskey_scan import dnskey_scan
+        from repro.scanner.engine import ScanEngine
+
+        inet = axfr_testbed["inet"]
+        result = curate_domain_list(inet, inet.allocator.next_v4())
+        upstream = inet.make_resolver(VENDOR_POLICIES["google"], name="curate-up")
+        engine = ScanEngine(inet.network, inet.allocator.next_v4(), upstream.ip)
+        sample = result.domains[:40]
+        enabled = dnskey_scan(engine, sample)
+        truth = {d.name for d in axfr_testbed["domains"] if d.dnssec}
+        assert set(enabled) == truth & set(sample)

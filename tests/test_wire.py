@@ -1,0 +1,101 @@
+"""Tests for the wire reader/writer, including name compression."""
+
+import pytest
+
+from repro.dns.name import Name
+from repro.dns.wire import Reader, WireError, Writer
+
+
+class TestWriter:
+    def test_scalars(self):
+        writer = Writer()
+        writer.write_u8(0xAB)
+        writer.write_u16(0x1234)
+        writer.write_u32(0xDEADBEEF)
+        assert writer.getvalue() == bytes.fromhex("ab1234deadbeef")
+
+    def test_set_u16_patches(self):
+        writer = Writer()
+        writer.write_u16(0)
+        writer.write_u8(7)
+        writer.set_u16(0, 0x0102)
+        assert writer.getvalue() == b"\x01\x02\x07"
+
+    def test_compression_pointer_emitted(self):
+        writer = Writer()
+        writer.write_name(Name.from_text("www.example.com"))
+        first_len = len(writer)
+        writer.write_name(Name.from_text("example.com"))
+        # Second write should be a single 2-byte pointer.
+        assert len(writer) == first_len + 2
+        assert writer.getvalue()[first_len] & 0xC0 == 0xC0
+
+    def test_compression_case_insensitive(self):
+        writer = Writer()
+        writer.write_name(Name.from_text("WWW.EXAMPLE.COM"))
+        before = len(writer)
+        writer.write_name(Name.from_text("www.example.com"))
+        assert len(writer) == before + 2
+
+    def test_compression_disabled(self):
+        writer = Writer(enable_compression=False)
+        name = Name.from_text("www.example.com")
+        writer.write_name(name)
+        writer.write_name(name)
+        assert writer.getvalue() == name.to_wire() * 2
+
+    def test_partial_suffix_compression(self):
+        writer = Writer()
+        writer.write_name(Name.from_text("a.example.com"))
+        size_one = len(writer)
+        writer.write_name(Name.from_text("b.example.com"))
+        # "b" label (2 bytes) + pointer (2 bytes).
+        assert len(writer) == size_one + 4
+
+
+class TestReader:
+    def test_round_trip_name(self):
+        name = Name.from_text("www.example.com")
+        reader = Reader(name.to_wire())
+        assert reader.read_name() == name
+        assert reader.remaining() == 0
+
+    def test_pointer_chase(self):
+        writer = Writer()
+        writer.write_name(Name.from_text("example.com"))
+        writer.write_name(Name.from_text("www.example.com"))
+        reader = Reader(writer.getvalue())
+        assert reader.read_name() == Name.from_text("example.com")
+        assert reader.read_name() == Name.from_text("www.example.com")
+
+    def test_pointer_loop_detected(self):
+        # A pointer pointing at itself.
+        data = b"\xc0\x00"
+        with pytest.raises(WireError):
+            Reader(data).read_name()
+
+    def test_truncated_label(self):
+        with pytest.raises(WireError):
+            Reader(b"\x05ab").read_name()
+
+    def test_truncated_scalar(self):
+        reader = Reader(b"\x01")
+        with pytest.raises(WireError):
+            reader.read_u16()
+
+    def test_reserved_label_type(self):
+        with pytest.raises(WireError):
+            Reader(b"\x80abc\x00").read_name()
+
+    def test_mutual_pointer_loop(self):
+        # Two pointers referencing each other.
+        data = b"\xc0\x02\xc0\x00"
+        with pytest.raises(WireError):
+            Reader(data).read_name()
+
+    def test_read_exact(self):
+        reader = Reader(b"abcdef")
+        assert reader.read(3) == b"abc"
+        assert reader.read(3) == b"def"
+        with pytest.raises(WireError):
+            reader.read(1)

@@ -1,0 +1,143 @@
+"""Tests for zone-walking and NSEC3 dictionary-attack tooling."""
+
+import random
+
+import pytest
+
+from repro.dns.name import Name
+from repro.resolver.policy import VENDOR_POLICIES
+from repro.resolver.stub import StubClient
+from repro.resolver.validating import ValidatingResolver
+from repro.scanner.zonewalk import (
+    DEFAULT_DICTIONARY,
+    Nsec3Walker,
+    walk_nsec_zone,
+)
+from repro.server.authoritative import AuthoritativeServer
+from repro.zone.builder import ZoneBuilder
+from repro.zone.nsec3chain import Nsec3Params
+from repro.zone.signing import SigningPolicy, sign_zone
+
+SECRETS = ("www", "mail", "api", "hidden-gem")
+
+
+@pytest.fixture(scope="module")
+def walk_setup(mini_internet):
+    """An NSEC zone and an NSEC3 zone hosted beside the mini internet."""
+    net = mini_internet["network"]
+    rng = random.Random(21)
+
+    def make_zone(origin, nsec3):
+        builder = (
+            ZoneBuilder(origin)
+            .soa(f"ns1.{origin}", f"h.{origin}")
+            .ns(f"ns1.{origin}.")
+            .a("ns1", "192.0.2.201")
+        )
+        for label in SECRETS:
+            builder.a(label, "198.18.7.7")
+        zone = builder.build()
+        policy = SigningPolicy(
+            nsec3=Nsec3Params(iterations=3, salt=b"\x77") if nsec3 else None
+        )
+        return sign_zone(zone, policy, rng=rng)
+
+    nsec_zone = make_zone("walkme.com", nsec3=False)
+    nsec3_zone = make_zone("hashme.com", nsec3=True)
+    server = AuthoritativeServer("walk-auth", net)
+    server.add_zone(nsec_zone)
+    server.add_zone(nsec3_zone)
+    net.attach("192.0.2.201", server)
+
+    # Register the delegations in .com and re-sign it with its own keys.
+    from repro.crypto.keys import make_ds
+    from repro.dns.rdata import A, NS
+    from repro.dns.types import RdataType
+    from repro.zone.signing import SigningPolicy as SP
+
+    com = mini_internet["com"]
+    for zone in (nsec_zone, nsec3_zone):
+        origin = zone.origin
+        com.add(origin, RdataType.NS, 3600, NS(f"ns1.{origin.to_text()}"))
+        com.add(origin, RdataType.DS, 3600, make_ds(origin, zone.keys[0].dnskey))
+        com.add(f"ns1.{origin.to_text()}", RdataType.A, 3600, A("192.0.2.201"))
+    sign_zone(
+        com,
+        SP(nsec3=Nsec3Params(iterations=0, opt_out=True)),
+        ksk=com.keys[0],
+        zsk=com.keys[1],
+        rng=rng,
+    )
+
+    resolver = ValidatingResolver(
+        net, "198.51.100.210", mini_internet["root_addresses"],
+        mini_internet["trust_anchor"], policy=VENDOR_POLICIES["legacy"],
+    )
+    net.attach("198.51.100.210", resolver)
+    client = StubClient(net, "203.0.113.210")
+    return {"client": client, "resolver_ip": resolver.ip}
+
+
+class TestNsecWalk:
+    def test_enumerates_all_names(self, walk_setup):
+        result = walk_nsec_zone(
+            walk_setup["client"], walk_setup["resolver_ip"], "walkme.com"
+        )
+        discovered = {name.to_text() for name in result.names}
+        for label in SECRETS:
+            assert f"{label}.walkme.com." in discovered
+        assert result.complete
+
+    def test_query_budget_respected(self, walk_setup):
+        result = walk_nsec_zone(
+            walk_setup["client"], walk_setup["resolver_ip"], "walkme.com",
+            max_queries=2,
+        )
+        assert result.queries <= 2
+        assert not result.complete
+
+
+class TestNsec3Walk:
+    def test_collects_hashes(self, walk_setup):
+        walker = Nsec3Walker(
+            walk_setup["client"], walk_setup["resolver_ip"], "hashme.com"
+        )
+        collected = walker.collect([f"probe-{i}" for i in range(12)])
+        assert collected >= 3
+        assert walker.params is not None
+        assert walker.params[1] == 3  # iterations
+
+    def test_dictionary_attack_recovers_guessable(self, walk_setup):
+        walker = Nsec3Walker(
+            walk_setup["client"], walk_setup["resolver_ip"], "hashme.com"
+        )
+        walker.collect([f"crack-{i}" for i in range(25)])
+        result = walker.crack(DEFAULT_DICTIONARY + ("hidden-gem",))
+        assert "www" in result.recovered
+        assert "hidden-gem" in result.recovered
+        assert result.recovery_rate > 0.0
+
+    def test_unguessable_stays_hidden(self, walk_setup):
+        walker = Nsec3Walker(
+            walk_setup["client"], walk_setup["resolver_ip"], "hashme.com"
+        )
+        walker.collect([f"x-{i}" for i in range(25)])
+        result = walker.crack(("nothere", "alsonot"))
+        assert "hidden-gem" not in result.recovered
+        assert not set(result.recovered) & {"nothere", "alsonot"}
+
+    def test_cost_scales_with_iterations(self, walk_setup):
+        walker = Nsec3Walker(
+            walk_setup["client"], walk_setup["resolver_ip"], "hashme.com"
+        )
+        walker.collect(["one-probe"])
+        result = walker.crack(("a", "b", "c"))
+        # 3 words + apex, at iterations+1 = 4 hashes each.
+        assert result.hash_operations == 4 * 4
+
+    def test_crack_before_collect_raises(self, walk_setup):
+        walker = Nsec3Walker(
+            walk_setup["client"], walk_setup["resolver_ip"], "hashme.com"
+        )
+        with pytest.raises(ValueError):
+            walker.crack()
