@@ -7,8 +7,12 @@ signs in seconds. Exact percentages therefore converge to the paper's as
 the scale grows; the tables printed by each bench include both.
 """
 
+import json
+import os
+
 import pytest
 
+from repro import obs
 from repro.resolver.policy import VENDOR_POLICIES
 from repro.scanner.atlas import AtlasCampaign
 from repro.scanner.dnskey_scan import dnskey_scan
@@ -42,6 +46,25 @@ BENCH_CONFIG = PopulationConfig(
 TRANCO_SIZE = 500
 
 RESOLVER_COUNTS = dict(open_v4=110, open_v6=25, closed_v4=25, closed_v6=15)
+
+
+#: Set REPRO_BENCH_METRICS=path to collect telemetry during a bench run
+#: and dump a JSON snapshot of the registry when the session ends.
+#: Default: off, so benchmark numbers measure the uninstrumented fast path.
+_METRICS_SNAPSHOT = os.environ.get("REPRO_BENCH_METRICS", "")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_metrics_snapshot():
+    if not _METRICS_SNAPSHOT:
+        yield
+        return
+    obs.enable()
+    yield
+    with open(_METRICS_SNAPSHOT, "w", encoding="utf-8") as handle:
+        json.dump(obs.registry.to_json(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    obs.disable()
 
 
 @pytest.fixture(scope="session")

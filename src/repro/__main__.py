@@ -6,21 +6,30 @@ Commands:
   print the full report (domains, TLDs, resolvers);
 - ``scan``   — the domain pipeline only;
 - ``survey`` — the resolver survey only;
+- ``trace`` — run one probe query with tracing on and print its span tree;
 - ``timeline`` — the modelled longitudinal view of RFC 9276 adoption;
 - ``guidance`` — print the twelve RFC 9276 items (paper Table 1).
+
+The measurement commands accept ``--metrics-out PATH`` (``-`` for stdout)
+to dump the telemetry registry collected during the run.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
-from repro import __version__
+from repro import __version__, obs
 from repro.analysis.longitudinal import compliance_timeline, paper_anchor
 from repro.core.guidance import GUIDANCE
 from repro.core.report import render_study_report
+from repro.dns.rcode import Rcode
+from repro.dns.types import RdataType
+from repro.obs import render_span_tree
 from repro.resolver.policy import VENDOR_POLICIES
+from repro.resolver.stub import StubClient
 from repro.scanner.atlas import AtlasCampaign
 from repro.scanner.dnskey_scan import dnskey_scan
 from repro.scanner.engine import ScanEngine
@@ -67,6 +76,31 @@ def _build(args, with_probes):
     return inet, probes, domains, tlds
 
 
+def _metrics_requested(args):
+    return getattr(args, "metrics_out", None) is not None
+
+
+def _dump_metrics(args, inet=None):
+    """Write the telemetry registry to ``--metrics-out`` (``-`` = stdout)."""
+    if not _metrics_requested(args):
+        return
+    if inet is not None:
+        obs.registry.gauge(
+            "repro_sim_clock_ms",
+            "Simulated clock at the time the metrics snapshot was taken.",
+        ).set(inet.network.clock_ms)
+    if args.metrics_format == "prometheus":
+        text = obs.registry.render_prometheus()
+    else:
+        text = json.dumps(obs.registry.to_json(), indent=2, sort_keys=True) + "\n"
+    if args.metrics_out == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"[obs] metrics written to {args.metrics_out}", file=sys.stderr)
+
+
 def _run_domain_scan(inet, domains):
     upstream = inet.make_resolver(VENDOR_POLICIES["cloudflare"], name="cli-upstream")
     engine = ScanEngine(
@@ -94,22 +128,30 @@ def _run_survey(inet, probes, args):
 
 def cmd_study(args):
     """Run both pipelines and print the combined study report."""
+    if _metrics_requested(args):
+        obs.enable()
     inet, probes, domains, tlds = _build(args, with_probes=True)
     engine, results = _run_domain_scan(inet, domains)
     tld_results = scan_tlds(engine, tlds)
     entries = _run_survey(inet, probes, args)
     print(render_study_report(results, len(domains), tld_results, entries))
+    _dump_metrics(args, inet)
 
 
 def cmd_scan(args):
     """Run the §4.1 domain pipeline and print its report."""
+    if _metrics_requested(args):
+        obs.enable()
     inet, __, domains, __tlds = _build(args, with_probes=False)
     __, results = _run_domain_scan(inet, domains)
     print(render_study_report(results, len(domains)))
+    _dump_metrics(args, inet)
 
 
 def cmd_survey(args):
     """Run the §4.2 resolver survey and print the headline numbers."""
+    if _metrics_requested(args):
+        obs.enable()
     args.domains = min(args.domains, 20)
     inet, probes, __, __tlds = _build(args, with_probes=True)
     entries = _run_survey(inet, probes, args)
@@ -119,6 +161,37 @@ def cmd_survey(args):
     print("validating resolver survey (paper §5.2):")
     for label, paper, measured in headline.rows():
         print(f"  {label:40s} paper={paper:>6}  measured={measured}")
+    _dump_metrics(args, inet)
+
+
+def cmd_trace(args):
+    """Trace one probe query end-to-end and print its span tree.
+
+    The qname gets a unique cache-busting label prepended (as the real
+    survey does), so a probe-zone name like ``it-150.rfc9276-in-the-wild
+    .com`` produces the full NXDOMAIN path: network hops, cache misses,
+    NSEC3 closest-encloser hashing, and signature verification.
+    """
+    obs.enable(tracing_spans=True)
+    inet, __probes, __, __tlds = _build(args, with_probes=True)
+    resolver = inet.make_resolver(
+        VENDOR_POLICIES[args.policy], name="trace-resolver"
+    )
+    obs.reset()  # drop build-time samples; keep only the traced query
+    client = StubClient(inet.network, inet.allocator.next_v4())
+    target = f"{args.label}.{args.qname}" if args.label else args.qname
+    with obs.span("probe.query", qname=target, policy=args.policy) as root_span:
+        answer = client.ask(resolver.ip, target, RdataType.A)
+        root_span.set(rcode=Rcode.to_text(answer.rcode))
+    print(f"qname  : {target}")
+    print(f"policy : {args.policy} (resolver {resolver.ip})")
+    print(
+        f"answer : rcode={Rcode.to_text(answer.rcode)} ad={answer.ad} "
+        f"ede={sorted(answer.ede_codes)}"
+    )
+    print()
+    print(render_span_tree(obs.tracer.last_root()))
+    _dump_metrics(args, inet)
 
 
 def cmd_timeline(args):
@@ -172,7 +245,47 @@ def main(argv=None):
         command.add_argument("--tlds", type=int, default=120)
         command.add_argument("--resolvers", type=int, default=40)
         command.add_argument("--seed", type=int, default=7)
+        command.add_argument(
+            "--metrics-out",
+            metavar="PATH",
+            help="dump the telemetry registry here after the run ('-' = stdout)",
+        )
+        command.add_argument(
+            "--metrics-format",
+            choices=("json", "prometheus"),
+            default="json",
+            help="snapshot format for --metrics-out (default: json)",
+        )
         command.set_defaults(handler=handler)
+
+    trace = sub.add_parser(
+        "trace", help="trace one probe query and print its span tree"
+    )
+    trace.add_argument(
+        "qname",
+        nargs="?",
+        default="it-150.rfc9276-in-the-wild.com",
+        help="name to query (default: the 150-iteration probe zone)",
+    )
+    trace.add_argument(
+        "--policy",
+        choices=sorted(VENDOR_POLICIES),
+        default="legacy",
+        help="validating-resolver policy to trace through (default: legacy)",
+    )
+    trace.add_argument(
+        "--label",
+        default="trace1",
+        help="unique cache-busting label prepended to qname ('' to disable)",
+    )
+    trace.add_argument("--domains", type=int, default=60)
+    trace.add_argument("--tlds", type=int, default=40)
+    trace.add_argument("--seed", type=int, default=7)
+    trace.add_argument("--metrics-out", metavar="PATH")
+    trace.add_argument(
+        "--metrics-format", choices=("json", "prometheus"), default="json"
+    )
+    trace.set_defaults(handler=cmd_trace)
 
     timeline = sub.add_parser("timeline", help="modelled adoption timeline")
     timeline.set_defaults(handler=cmd_timeline)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import hashlib
 
+from repro import obs
 from repro.dns.base32 import b32hex_encode
 from repro.dns.name import Name
 from repro.dns.rdata.nsec3 import NSEC3_HASH_SHA1
@@ -25,14 +26,23 @@ class UnknownHashAlgorithm(ValueError):
     """Raised for NSEC3 hash algorithm numbers other than 1 (SHA-1)."""
 
 
-def nsec3_hash(owner_wire, salt, iterations, hash_algorithm=NSEC3_HASH_SHA1):
-    """Hash a canonical wire-format owner name; returns the 20-byte digest."""
-    if hash_algorithm != NSEC3_HASH_SHA1:
-        raise UnknownHashAlgorithm(f"NSEC3 hash algorithm {hash_algorithm}")
+def _iterated_digest(owner_wire, salt, iterations):
     digest = hashlib.sha1(owner_wire + salt).digest()
     for __ in range(iterations):
         digest = hashlib.sha1(digest + salt).digest()
     meter.charge_nsec3(iterations, len(owner_wire), len(salt))
+    return digest
+
+
+def nsec3_hash(owner_wire, salt, iterations, hash_algorithm=NSEC3_HASH_SHA1):
+    """Hash a canonical wire-format owner name; returns the 20-byte digest."""
+    if hash_algorithm != NSEC3_HASH_SHA1:
+        raise UnknownHashAlgorithm(f"NSEC3 hash algorithm {hash_algorithm}")
+    if not obs.enabled:
+        return _iterated_digest(owner_wire, salt, iterations)
+    with obs.span("nsec3.hash", iterations=iterations):
+        digest = _iterated_digest(owner_wire, salt, iterations)
+    obs.profiler.observe_iterations(iterations)
     return digest
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.crypto.keys import (
     SUPPORTED_ALGORITHMS,
     ds_matches_dnskey,
@@ -79,6 +80,24 @@ def validate_rrset(rrset, rrsig_rrset, dnskey_rrset, now=SIMULATION_NOW):
     signatures exist but none verifies (or all are outside their validity
     window); INDETERMINATE when no covering signature is present at all.
     """
+    if not obs.enabled:
+        return _validate_rrset(rrset, rrsig_rrset, dnskey_rrset, now)
+    with obs.span(
+        "dnssec.validate_rrset",
+        owner=str(rrset.name),
+        type=RdataType.to_text(rrset.rrtype),
+    ) as span:
+        result = _validate_rrset(rrset, rrsig_rrset, dnskey_rrset, now)
+        span.set(status=result.status.value)
+    obs.registry.counter(
+        "repro_rrset_validations_total",
+        "RRset validation outcomes, by security status.",
+        labelnames=("status",),
+    ).labels(status=result.status.value).inc()
+    return result
+
+
+def _validate_rrset(rrset, rrsig_rrset, dnskey_rrset, now):
     if rrsig_rrset is None or not rrsig_rrset:
         return ValidationResult(
             SecurityStatus.INDETERMINATE, "no RRSIG covering the RRset"

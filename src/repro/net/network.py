@@ -9,8 +9,9 @@ real counterparts do.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
+from repro import obs
 from repro.net.address import is_ipv6, normalize
 
 #: The public network id: hosts here are reachable from anywhere.
@@ -31,7 +32,11 @@ class Host:
 
 @dataclass
 class NetworkStats:
-    """Aggregate counters for traffic observation and the ethics ablation."""
+    """Aggregate counters for traffic observation and the ethics ablation.
+
+    ``bytes_sent`` counts bytes that actually went onto a path: datagrams
+    the loss model discards before delivery contribute nothing.
+    """
 
     datagrams: int = 0
     tcp_queries: int = 0
@@ -40,11 +45,8 @@ class NetworkStats:
     bytes_sent: int = 0
 
     def reset(self):
-        self.datagrams = 0
-        self.tcp_queries = 0
-        self.dropped = 0
-        self.refused_closed = 0
-        self.bytes_sent = 0
+        for spec in fields(self):
+            setattr(self, spec.name, spec.default)
 
 
 class Network:
@@ -60,6 +62,9 @@ class Network:
         self.base_latency_ms = base_latency_ms
         self.clock_ms = 0.0
         self.stats = NetworkStats()
+        # Span durations measure simulated time: the most recently built
+        # network owns the tracer clock.
+        obs.bind_clock(lambda: self.clock_ms)
 
     # -- registration -------------------------------------------------------
 
@@ -103,29 +108,72 @@ class Network:
         src_ip = normalize(src_ip)
         dst_ip = normalize(dst_ip)
         self.stats.datagrams += 1
-        self.stats.bytes_sent += len(wire)
         if via_tcp:
             self.stats.tcp_queries += 1
-        self.clock_ms += self._path_latency()
+        if not obs.enabled:
+            response, __ = self._deliver(src_ip, dst_ip, wire, via_tcp)
+            return response
 
+        transport = "tcp" if via_tcp else "udp"
+        span = (
+            obs.tracer.start("net.hop", dst=dst_ip, transport=transport)
+            if obs.tracing
+            else None
+        )
+        response, drop = self._deliver(src_ip, dst_ip, wire, via_tcp)
+        if span is not None:
+            span.set(delivered=response is not None)
+            if drop:
+                span.set(drop=drop)
+            obs.tracer.finish(span)
+        obs.registry.counter(
+            "repro_net_datagrams_total",
+            "Datagrams entering the simulated network, by transport.",
+            labelnames=("transport",),
+        ).labels(transport=transport).inc()
+        if drop:
+            obs.registry.counter(
+                "repro_net_drops_total",
+                "Datagrams not delivered, by reason.",
+                labelnames=("reason",),
+            ).labels(reason=drop).inc()
+        byte_counter = obs.registry.counter(
+            "repro_net_bytes_total",
+            "Wire bytes moved, by direction (loss-dropped queries excluded).",
+            labelnames=("direction",),
+        )
+        if drop != "loss":
+            byte_counter.labels(direction="query").inc(len(wire))
+        if response is not None:
+            byte_counter.labels(direction="response").inc(len(response))
+        return response
+
+    def _deliver(self, src_ip, dst_ip, wire, via_tcp):
+        """Move one datagram; returns ``(response, drop_reason)``."""
+        self.clock_ms += self._path_latency()
         host = self._hosts.get(dst_ip)
         if host is None:
             self.stats.dropped += 1
-            return None
+            self.stats.bytes_sent += len(wire)
+            return None, "unreachable"
         dst_network = self._network_of.get(dst_ip, PUBLIC)
         if dst_network != PUBLIC and self.network_of(src_ip) != dst_network:
             # Closed resolver: silently unreachable from the outside, the
             # reason the paper needed RIPE Atlas probes.
             self.stats.refused_closed += 1
-            return None
+            self.stats.bytes_sent += len(wire)
+            return None, "closed"
         if not via_tcp and self.loss_rate and self._rng.random() < self.loss_rate:
+            # Lost before delivery: the datagram never crossed a path, so
+            # it contributes no bytes.
             self.stats.dropped += 1
-            return None
+            return None, "loss"
+        self.stats.bytes_sent += len(wire)
         response = host.handle_datagram(wire, src_ip, via_tcp=via_tcp)
         if response is not None:
             self.clock_ms += self._path_latency()
             self.stats.bytes_sent += len(response)
-        return response
+        return response, ""
 
     def _path_latency(self):
         jitter = self._rng.random() * self.base_latency_ms * 0.2

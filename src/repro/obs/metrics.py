@@ -1,0 +1,289 @@
+"""Zero-dependency metrics: counters, gauges, and fixed-bucket histograms.
+
+Prometheus-style data model without the client library: a metric *family*
+is declared once (name, help, label names) in a :class:`MetricsRegistry`
+and fans out into one *child* per distinct label-value combination.
+Families render to the Prometheus text exposition format
+(:meth:`MetricsRegistry.render_prometheus`) and to a JSON document
+(:meth:`MetricsRegistry.to_json`) for file snapshots.
+
+Declaration is idempotent — instrumentation sites call
+``registry.counter("repro_x_total", ...)`` on every event and get the
+same family back — but re-declaring a name with a different type or
+label set raises :class:`MetricError` so two call sites cannot silently
+share a name with different meanings.
+
+Histogram buckets are fixed at declaration time. ``le`` bounds are
+inclusive, as in Prometheus; exposition emits cumulative bucket counts
+plus the implicit ``+Inf`` bucket, ``_sum``, and ``_count`` series.
+"""
+
+from __future__ import annotations
+
+import re
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram buckets: powers-of-ten-ish cost/latency scale.
+DEFAULT_BUCKETS = (1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0)
+
+
+class MetricError(ValueError):
+    """Invalid metric declaration or use (name clash, bad labels)."""
+
+
+def _format_value(value):
+    """Prometheus sample value: integers bare, floats minimally."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_label_value(value):
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _render_labels(labelnames, labelvalues, extra=()):
+    pairs = [
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(labelnames, labelvalues)
+    ]
+    pairs.extend(f'{name}="{_escape_label_value(value)}"' for name, value in extra)
+    if not pairs:
+        return ""
+    return "{" + ",".join(pairs) + "}"
+
+
+class _CounterChild:
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount=1):
+        if amount < 0:
+            raise MetricError("counters can only increase")
+        self.value += amount
+
+
+class _GaugeChild:
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value):
+        self.value = value
+
+    def inc(self, amount=1):
+        self.value += amount
+
+    def dec(self, amount=1):
+        self.value -= amount
+
+
+class _HistogramChild:
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets):
+        self.buckets = buckets
+        #: Per-bucket (non-cumulative) counts; the final slot is +Inf.
+        self.counts = [0] * (len(buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value):
+        self.sum += value
+        self.count += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def cumulative(self):
+        """Bucket counts as Prometheus exposes them: running totals."""
+        total = 0
+        out = []
+        for count in self.counts:
+            total += count
+            out.append(total)
+        return out
+
+
+class MetricFamily:
+    """One named metric with a fixed type and label set."""
+
+    def __init__(self, name, kind, help_text, labelnames, buckets=None):
+        if not _NAME_RE.match(name):
+            raise MetricError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_RE.match(label) or label == "le":
+                raise MetricError(f"invalid label name {label!r}")
+        if kind == "histogram":
+            buckets = tuple(float(b) for b in (buckets or DEFAULT_BUCKETS))
+            if list(buckets) != sorted(set(buckets)):
+                raise MetricError("histogram buckets must be sorted and unique")
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.labelnames = tuple(labelnames)
+        self.buckets = buckets
+        self._children = {}
+
+    def _new_child(self):
+        if self.kind == "counter":
+            return _CounterChild()
+        if self.kind == "gauge":
+            return _GaugeChild()
+        return _HistogramChild(self.buckets)
+
+    def labels(self, **labelvalues):
+        """The child for one label-value combination (created on demand)."""
+        if set(labelvalues) != set(self.labelnames):
+            raise MetricError(
+                f"{self.name} expects labels {self.labelnames}, "
+                f"got {tuple(sorted(labelvalues))}"
+            )
+        key = tuple(str(labelvalues[name]) for name in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = self._new_child()
+        return child
+
+    # -- label-less convenience --------------------------------------------
+
+    def _solo(self):
+        if self.labelnames:
+            raise MetricError(f"{self.name} has labels; use .labels(...)")
+        return self.labels()
+
+    def inc(self, amount=1):
+        self._solo().inc(amount)
+
+    def set(self, value):
+        self._solo().set(value)
+
+    def observe(self, value):
+        self._solo().observe(value)
+
+    def samples(self):
+        """(labelvalues, child) pairs in insertion order."""
+        return list(self._children.items())
+
+
+class MetricsRegistry:
+    """Declares and holds metric families; renders exposition snapshots."""
+
+    def __init__(self):
+        self._families = {}
+
+    # -- declaration -------------------------------------------------------
+
+    def _declare(self, name, kind, help_text, labelnames, buckets=None):
+        family = self._families.get(name)
+        if family is None:
+            family = MetricFamily(name, kind, help_text, labelnames, buckets)
+            self._families[name] = family
+            return family
+        if family.kind != kind:
+            raise MetricError(
+                f"{name} already declared as {family.kind}, not {kind}"
+            )
+        if family.labelnames != tuple(labelnames):
+            raise MetricError(
+                f"{name} already declared with labels {family.labelnames}"
+            )
+        return family
+
+    def counter(self, name, help_text="", labelnames=()):
+        return self._declare(name, "counter", help_text, labelnames)
+
+    def gauge(self, name, help_text="", labelnames=()):
+        return self._declare(name, "gauge", help_text, labelnames)
+
+    def histogram(self, name, help_text="", buckets=None, labelnames=()):
+        return self._declare(name, "histogram", help_text, labelnames, buckets)
+
+    def get(self, name):
+        """The family named *name*, or None."""
+        return self._families.get(name)
+
+    def families(self):
+        return list(self._families.values())
+
+    def sample_count(self):
+        """Total number of live (family, label-combination) samples."""
+        return sum(len(family._children) for family in self._families.values())
+
+    def reset(self):
+        """Drop every family and sample (a fresh registry)."""
+        self._families.clear()
+
+    def __len__(self):
+        return len(self._families)
+
+    # -- exposition --------------------------------------------------------
+
+    def render_prometheus(self):
+        """The registry as Prometheus text exposition format (version 0.0.4)."""
+        lines = []
+        for family in self._families.values():
+            lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for labelvalues, child in family.samples():
+                if family.kind == "histogram":
+                    bounds = [_format_value(b) for b in family.buckets] + ["+Inf"]
+                    for bound, count in zip(bounds, child.cumulative()):
+                        labels = _render_labels(
+                            family.labelnames, labelvalues, extra=(("le", bound),)
+                        )
+                        lines.append(f"{family.name}_bucket{labels} {count}")
+                    labels = _render_labels(family.labelnames, labelvalues)
+                    lines.append(
+                        f"{family.name}_sum{labels} {_format_value(child.sum)}"
+                    )
+                    lines.append(f"{family.name}_count{labels} {child.count}")
+                else:
+                    labels = _render_labels(family.labelnames, labelvalues)
+                    lines.append(
+                        f"{family.name}{labels} {_format_value(child.value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_json(self):
+        """The registry as a JSON-serialisable dict (bucket counts cumulative)."""
+        out = {}
+        for family in self._families.values():
+            samples = []
+            for labelvalues, child in family.samples():
+                labels = dict(zip(family.labelnames, labelvalues))
+                if family.kind == "histogram":
+                    bounds = [_format_value(b) for b in family.buckets] + ["+Inf"]
+                    samples.append(
+                        {
+                            "labels": labels,
+                            "buckets": dict(zip(bounds, child.cumulative())),
+                            "sum": child.sum,
+                            "count": child.count,
+                        }
+                    )
+                else:
+                    samples.append({"labels": labels, "value": child.value})
+            out[family.name] = {
+                "type": family.kind,
+                "help": family.help,
+                "labels": list(family.labelnames),
+                "samples": samples,
+            }
+        return out

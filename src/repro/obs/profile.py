@@ -1,0 +1,97 @@
+"""CPU-cost profiling: costmodel units per resolver policy and probe zone.
+
+The paper's resolver survey (§4.2) and the CVE-2023-50868 analyses both
+reduce to one question: *how much hashing does a validator do for a
+negative answer at iteration count N, and what does it answer?* The
+profiler aggregates :mod:`repro.dnssec.costmodel` deltas along the two
+axes the study slices by:
+
+- **per resolver policy** — cost units burned and rcode returned by each
+  vendor behaviour (``legacy``, ``bind9-2023``, ``cloudflare``, …);
+- **per probe zone** — cost and rcode for each ``it-N`` zone of the
+  ``rfc9276-in-the-wild.com`` infrastructure (0–500 iterations), the
+  histograms behind Figure-3-style response matrices.
+
+Everything lands in a :class:`~repro.obs.metrics.MetricsRegistry`, so a
+study run exports the profile with the rest of the metrics snapshot.
+"""
+
+from __future__ import annotations
+
+from repro.dns.rcode import Rcode
+
+#: NSEC3 iteration-count buckets: vendor thresholds (50/100/150), the
+#: probe-zone range (≤500), and the RFC 5155 ceiling (2500).
+ITERATION_BUCKETS = (0, 1, 5, 10, 25, 50, 100, 150, 250, 500, 2500)
+
+#: SHA-1 compression-unit buckets, spanning one cheap lookup to the
+#: multi-hundred-thousand-unit bursts of high-iteration closest-encloser
+#: proofs.
+COST_UNIT_BUCKETS = (
+    10, 50, 100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 1_000_000
+)
+
+
+def rcode_label(rcode, answered=True):
+    """The metrics label for one response outcome ("timeout" if unanswered)."""
+    if not answered:
+        return "timeout"
+    return Rcode.to_text(rcode)
+
+
+class CostProfiler:
+    """Feeds cost/outcome observations into a metrics registry."""
+
+    def __init__(self, registry):
+        self.registry = registry
+
+    # -- hashing ----------------------------------------------------------
+
+    def observe_iterations(self, iterations):
+        """Record one NSEC3 hash computation at *iterations* iterations."""
+        self.registry.histogram(
+            "repro_nsec3_iterations",
+            "NSEC3 iteration counts of computed hashes.",
+            buckets=ITERATION_BUCKETS,
+        ).observe(iterations)
+
+    # -- per-policy validation cost ---------------------------------------
+
+    def record_validation(self, policy, cost, rcode):
+        """Account one validated client question under *policy*.
+
+        *cost* is a :class:`~repro.dnssec.costmodel.CostSnapshot` delta
+        covering the full resolve-and-validate call.
+        """
+        self.registry.histogram(
+            "repro_validation_cost_units",
+            "SHA-1 compression units per validated question, by policy.",
+            buckets=COST_UNIT_BUCKETS,
+            labelnames=("policy",),
+        ).labels(policy=policy).observe(cost.sha1_compressions)
+        self.registry.counter(
+            "repro_resolver_responses_total",
+            "Validated resolver verdicts by policy and rcode.",
+            labelnames=("policy", "rcode"),
+        ).labels(policy=policy, rcode=rcode_label(rcode)).inc()
+        self.registry.counter(
+            "repro_validation_signature_checks_total",
+            "Signature verifications performed during validation, by policy.",
+            labelnames=("policy",),
+        ).labels(policy=policy).inc(cost.signature_verifications)
+
+    # -- per-probe-zone survey cost ---------------------------------------
+
+    def record_probe(self, zone, cost, rcode, answered=True):
+        """Account one survey probe against probe zone *zone* (e.g. it-150)."""
+        self.registry.histogram(
+            "repro_probe_cost_units",
+            "SHA-1 compression units per survey probe, by probe zone.",
+            buckets=COST_UNIT_BUCKETS,
+            labelnames=("zone",),
+        ).labels(zone=zone).observe(cost.sha1_compressions)
+        self.registry.counter(
+            "repro_probe_responses_total",
+            "Survey probe outcomes by probe zone and rcode (Figure 3 axes).",
+            labelnames=("zone", "rcode"),
+        ).labels(zone=zone, rcode=rcode_label(rcode, answered)).inc()

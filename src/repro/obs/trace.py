@@ -1,0 +1,184 @@
+"""Span-based tracing keyed to the simulated clock.
+
+One traced operation (a probe query, say) produces a *span tree*: the
+root span covers the whole operation, children cover nested work —
+network hops, resolver validation, signature checks, NSEC3 hashing.
+Because delivery on the simulated network is synchronous, nesting falls
+out of an explicit span stack: whichever span is active when a new one
+starts becomes its parent.
+
+Spans measure two things:
+
+- **simulated time** — ``start_ms``/``end_ms`` read from the tracer's
+  clock (bound to :attr:`repro.net.network.Network.clock_ms`), so span
+  durations reflect path latency, not host CPU;
+- **CPU cost units** — a delta of the global
+  :data:`repro.dnssec.costmodel.meter` between start and finish, so a
+  span over an NSEC3-heavy validation shows exactly where the SHA-1
+  compressions of CVE-2023-50868 land. Cost is inclusive of children;
+  :func:`render_span_tree` also derives the exclusive share.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.dnssec.costmodel import CostSnapshot, meter
+
+
+@dataclass
+class Span:
+    """One timed, cost-metered operation in a trace tree."""
+
+    name: str
+    start_ms: float
+    attributes: dict = field(default_factory=dict)
+    end_ms: float = None
+    children: list = field(default_factory=list)
+    #: Cost-meter delta over the span's lifetime (inclusive of children).
+    cost: CostSnapshot = None
+    _cost_start: CostSnapshot = field(default=None, repr=False)
+
+    @property
+    def duration_ms(self):
+        """Simulated milliseconds covered by the span (0 while open)."""
+        if self.end_ms is None:
+            return 0.0
+        return self.end_ms - self.start_ms
+
+    def set(self, **attributes):
+        """Attach attributes after the span has started; returns self."""
+        self.attributes.update(attributes)
+        return self
+
+    def walk(self):
+        """Yield this span and every descendant, depth-first, in order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name):
+        """The first span named *name* in the subtree, or None."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+
+class NullSpan:
+    """The do-nothing span handed out when tracing is off."""
+
+    __slots__ = ()
+
+    def set(self, **attributes):
+        return self
+
+
+NULL_SPAN = NullSpan()
+
+
+class Tracer:
+    """Builds span trees over a simulated clock.
+
+    ``clock`` is a zero-argument callable returning milliseconds;
+    :meth:`repro.obs.bind_clock` points it at the active network's
+    ``clock_ms``. Finished root spans are kept in a bounded deque so a
+    long instrumented run cannot grow memory without bound.
+    """
+
+    def __init__(self, clock=None, max_roots=32):
+        self.clock = clock if clock is not None else (lambda: 0.0)
+        self.roots = deque(maxlen=max_roots)
+        self._stack = []
+
+    @property
+    def active(self):
+        """The innermost open span, or None."""
+        return self._stack[-1] if self._stack else None
+
+    def start(self, name, **attributes):
+        """Open a span as a child of the currently active one."""
+        span = Span(name, float(self.clock()), dict(attributes))
+        span._cost_start = meter.snapshot()
+        self._stack.append(span)
+        return span
+
+    def finish(self, span):
+        """Close *span*, recording duration and cost, and file it in the tree."""
+        span.end_ms = float(self.clock())
+        span.cost = meter.snapshot() - span._cost_start
+        while self._stack:
+            if self._stack.pop() is span:
+                break
+        parent = self._stack[-1] if self._stack else None
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            self.roots.append(span)
+        return span
+
+    @contextmanager
+    def span(self, name, **attributes):
+        span = self.start(name, **attributes)
+        try:
+            yield span
+        finally:
+            self.finish(span)
+
+    def last_root(self):
+        """The most recently finished root span, or None."""
+        return self.roots[-1] if self.roots else None
+
+    def clear(self):
+        self.roots.clear()
+        self._stack.clear()
+
+
+def _cost_suffix(span):
+    cost = span.cost
+    if cost is None:
+        return ""
+    parts = []
+    if cost.sha1_compressions:
+        parts.append(f"sha1={cost.sha1_compressions}")
+    if cost.nsec3_hashes:
+        parts.append(f"nsec3={cost.nsec3_hashes}")
+    if cost.signature_verifications:
+        parts.append(f"verify={cost.signature_verifications}")
+    return "  [" + " ".join(parts) + "]" if parts else ""
+
+
+def _attr_text(span):
+    if not span.attributes:
+        return ""
+    return " " + " ".join(f"{k}={v}" for k, v in span.attributes.items())
+
+
+def render_span_tree(span):
+    """Pretty-print a span tree with durations and cost units.
+
+    ::
+
+        probe.query qname=... 84.3 ms  [sha1=612 nsec3=4 verify=6]
+        └─ net.hop dst=10.0.0.9 transport=udp 22.1 ms  [...]
+           └─ resolver.validate policy=legacy ...
+    """
+    lines = []
+
+    def _render(node, prefix, connector):
+        label = (
+            f"{node.name}{_attr_text(node)} "
+            f"{node.duration_ms:.1f} ms{_cost_suffix(node)}"
+        )
+        lines.append(prefix + connector + label)
+        child_prefix = prefix
+        if connector:
+            child_prefix += "   " if connector.startswith("└") else "│  "
+        for index, child in enumerate(node.children):
+            last = index == len(node.children) - 1
+            _render(child, child_prefix, "└─ " if last else "├─ ")
+
+    _render(span, "", "")
+    return "\n".join(lines)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.dns.name import Name
 
 
@@ -21,29 +22,48 @@ class CacheEntry:
 
 
 class Cache:
-    """A TTL cache keyed by arbitrary tuples."""
+    """A TTL cache keyed by arbitrary tuples.
 
-    def __init__(self, clock=lambda: 0.0, max_entries=500_000):
+    *name* labels this cache's lookups in the metrics registry — use a
+    role ("resolver", "infra"), not a per-instance identity, to keep
+    label cardinality bounded.
+    """
+
+    def __init__(self, clock=lambda: 0.0, max_entries=500_000, name="cache"):
         self._store = {}
         self._clock = clock
         self.max_entries = max_entries
+        self.name = name
         self.hits = 0
         self.misses = 0
 
     def _now(self):
         return self._clock()
 
+    def _count_lookup(self, result):
+        obs.registry.counter(
+            "repro_cache_lookups_total",
+            "Cache lookups, by cache role and result.",
+            labelnames=("cache", "result"),
+        ).labels(cache=self.name, result=result).inc()
+
     def get(self, key):
         """The live entry for *key*, or None (expired entries are dropped)."""
         entry = self._store.get(key)
         if entry is None:
             self.misses += 1
+            if obs.enabled:
+                self._count_lookup("miss")
             return None
         if entry.expires_ms <= self._now():
             del self._store[key]
             self.misses += 1
+            if obs.enabled:
+                self._count_lookup("expired")
             return None
         self.hits += 1
+        if obs.enabled:
+            self._count_lookup("hit")
         return entry
 
     def put(self, key, value, ttl_seconds, secure=False):

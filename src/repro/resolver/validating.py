@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.dns.edns import (
     EDE_DNSSEC_BOGUS,
     EDE_SIGNATURE_EXPIRED,
@@ -34,6 +35,7 @@ from repro.dnssec.denial import (
     verify_nodata,
     verify_nxdomain,
 )
+from repro.dnssec.costmodel import meter
 from repro.dnssec.signer import SIMULATION_NOW
 from repro.dnssec.validator import (
     SecurityStatus,
@@ -113,7 +115,7 @@ class ValidatingResolver(Host):
         self.validate = validate
         self.now = now
         self.trust_anchor_ds = trust_anchor_ds
-        self.cache = Cache(clock=lambda: network.clock_ms)
+        self.cache = Cache(clock=lambda: network.clock_ms, name="resolver")
         self.engine = IterativeResolver(network, ip, root_addresses, cache=self.cache)
         #: zone Name -> (SecurityStatus, dnskey_rrset or None)
         self._zone_security = {}
@@ -154,6 +156,23 @@ class ValidatingResolver(Host):
 
     def resolve_and_validate(self, qname, qtype, checking_disabled=False):
         """Resolve one question and return the validated :class:`Verdict`."""
+        if not obs.enabled:
+            return self._resolve_and_validate(qname, qtype, checking_disabled)
+        cost_start = meter.snapshot()
+        with obs.span(
+            "resolver.validate",
+            resolver=self.name,
+            policy=self.policy.name,
+            qname=str(qname),
+        ) as span:
+            verdict = self._resolve_and_validate(qname, qtype, checking_disabled)
+            span.set(rcode=Rcode.to_text(verdict.rcode), ad=verdict.ad)
+        obs.profiler.record_validation(
+            self.policy.name, meter.snapshot() - cost_start, verdict.rcode
+        )
+        return verdict
+
+    def _resolve_and_validate(self, qname, qtype, checking_disabled):
         qname = Name.from_text(qname)
         qtype = int(qtype)
         cached = self.cache.get(negative_key(qname, qtype))

@@ -9,21 +9,47 @@ ablation are meaningful.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import Counter
+from dataclasses import dataclass, field
 
+from repro import obs
+from repro.dns.rcode import Rcode
 from repro.dns.types import RdataType
 from repro.resolver.stub import StubClient
 
 
 @dataclass
 class ScanStats:
-    """Bookkeeping for one scan campaign."""
+    """Bookkeeping for one scan campaign.
+
+    Outcomes are kept per rcode (``rcodes``), so SERVFAIL-vs-NXDOMAIN
+    splits survive aggregation; ``answered``/``timeouts`` are derived
+    views kept for compatibility.
+    """
 
     queries: int = 0
-    answered: int = 0
-    timeouts: int = 0
+    #: Answered queries by (integer) rcode.
+    rcodes: Counter = field(default_factory=Counter)
+    unanswered: int = 0
     started_ms: float = 0.0
     finished_ms: float = 0.0
+
+    @property
+    def answered(self):
+        """Queries that got any response at all."""
+        return sum(self.rcodes.values())
+
+    @property
+    def timeouts(self):
+        """Queries unanswered after every retry."""
+        return self.unanswered
+
+    def rcode_counts(self):
+        """Answered-query outcomes as ``{rcode text: count}``."""
+        return {
+            Rcode.to_text(rcode): count
+            for rcode, count in sorted(self.rcodes.items())
+        }
 
     @property
     def duration_ms(self):
@@ -69,12 +95,33 @@ class ScanEngine:
         )
         self.stats.queries += 1
         if answer.answered:
-            self.stats.answered += 1
+            self.stats.rcodes[answer.rcode] += 1
         else:
-            self.stats.timeouts += 1
+            self.stats.unanswered += 1
+        if obs.enabled:
+            obs.registry.counter(
+                "repro_scan_queries_total",
+                "Scan-engine queries, by response rcode (timeout if none).",
+                labelnames=("rcode",),
+            ).labels(
+                rcode=obs.rcode_label(answer.rcode, answer.answered)
+            ).inc()
         self.stats.finished_ms = self.network.clock_ms
         return answer
 
-    def run(self, jobs):
-        """Run ``(qname, qtype)`` jobs; returns the list of answers."""
-        return [self.query(qname, qtype) for qname, qtype in jobs]
+    def run(self, jobs, want_dnssec=True, checking_disabled=False):
+        """Run ``(qname, qtype)`` jobs; returns the list of answers.
+
+        The DNSSEC flags apply to every job in the batch — callers that
+        scan with CD set (measuring what zones publish rather than what a
+        validator accepts) keep that behaviour through the batch API.
+        """
+        return [
+            self.query(
+                qname,
+                qtype,
+                want_dnssec=want_dnssec,
+                checking_disabled=checking_disabled,
+            )
+            for qname, qtype in jobs
+        ]

@@ -9,8 +9,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.resolver_compliance import ProbeResult, classify_resolver
 from repro.dns.types import RdataType
+from repro.dnssec.costmodel import meter
 from repro.resolver.stub import StubClient
 from repro.testbed.rfc9276_wild import PROBE_ZONE_ITERATIONS
 
@@ -23,6 +25,22 @@ def _to_probe_result(answer, keep_ede=True):
         ra=answer.ra,
         answered=answer.answered,
     )
+
+
+def _ask_probe(client, resolver_ip, probe_set, key, unique):
+    """One probe query, cost-profiled per probe zone when obs is enabled."""
+    qname = probe_set.probe_name(key, unique)
+    if not obs.enabled:
+        return client.ask(resolver_ip, qname, RdataType.A)
+    cost_start = meter.snapshot()
+    answer = client.ask(resolver_ip, qname, RdataType.A)
+    obs.profiler.record_probe(
+        probe_set.zone_label(key),
+        meter.snapshot() - cost_start,
+        answer.rcode,
+        answered=answer.answered,
+    )
+    return answer
 
 
 def probe_resolver(
@@ -38,20 +56,18 @@ def probe_resolver(
     client = StubClient(network, source_ip)
     matrix = {}
     matrix["valid"] = _to_probe_result(
-        client.ask(resolver_ip, probe_set.probe_name("valid", unique)), keep_ede
+        _ask_probe(client, resolver_ip, probe_set, "valid", unique), keep_ede
     )
     matrix["expired"] = _to_probe_result(
-        client.ask(resolver_ip, probe_set.probe_name("expired", unique)), keep_ede
+        _ask_probe(client, resolver_ip, probe_set, "expired", unique), keep_ede
     )
     for count in iterations:
         if count == 0:
             continue
-        answer = client.ask(
-            resolver_ip, probe_set.probe_name(count, unique), RdataType.A
-        )
+        answer = _ask_probe(client, resolver_ip, probe_set, count, unique)
         matrix[count] = _to_probe_result(answer, keep_ede)
     matrix["it-2501-expired"] = _to_probe_result(
-        client.ask(resolver_ip, probe_set.probe_name("it-2501-expired", unique)),
+        _ask_probe(client, resolver_ip, probe_set, "it-2501-expired", unique),
         keep_ede,
     )
     return matrix

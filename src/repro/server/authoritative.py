@@ -8,6 +8,7 @@ whose verification cost the paper's resolver experiments measure.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.dns.flags import Flag
 from repro.dns.message import Message, make_response
 from repro.dns.name import Name
@@ -60,19 +61,38 @@ class AuthoritativeServer(Host):
             query = Message.from_wire(wire)
         except WireError:
             return None
-        if (
-            query.question
-            and int(query.question[0].rrtype) == int(RdataType.AXFR)
-        ):
-            response = self.handle_axfr(query, src_ip, via_tcp)
+        if not obs.enabled:
+            response = self._dispatch(query, src_ip, via_tcp)
         else:
-            response = self.handle_query(query, src_ip)
+            qname = (
+                query.question[0].name.to_text() if query.question else "?"
+            )
+            with obs.span("auth.query", server=self.name, qname=qname) as span:
+                response = self._dispatch(query, src_ip, via_tcp)
+                if response is not None:
+                    span.set(rcode=Rcode.to_text(response.rcode))
+            if response is not None:
+                obs.registry.counter(
+                    "repro_auth_responses_total",
+                    "Authoritative responses, by server and rcode.",
+                    labelnames=("server", "rcode"),
+                ).labels(
+                    server=self.name, rcode=Rcode.to_text(response.rcode)
+                ).inc()
         if response is None:
             return None
         max_size = None
         if not via_tcp:
             max_size = query.edns.payload_size if query.edns else 512
         return response.to_wire(max_size=max_size)
+
+    def _dispatch(self, query, src_ip, via_tcp):
+        if (
+            query.question
+            and int(query.question[0].rrtype) == int(RdataType.AXFR)
+        ):
+            return self.handle_axfr(query, src_ip, via_tcp)
+        return self.handle_query(query, src_ip)
 
     def handle_axfr(self, query, src_ip, via_tcp):
         """Zone transfer (RFC 5936, single-message form).

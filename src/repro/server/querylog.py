@@ -9,7 +9,7 @@ authoritative infrastructure.
 
 from __future__ import annotations
 
-from collections import Counter
+from collections import Counter, deque
 from dataclasses import dataclass
 
 
@@ -24,17 +24,27 @@ class QueryLogEntry:
 
 
 class QueryLog:
-    """A bounded in-memory query log with per-source aggregation."""
+    """A bounded in-memory query log with per-source aggregation.
+
+    Retention is a ring buffer: when full, the *oldest* entries are
+    evicted so :meth:`sources_for` reflects recent traffic — source
+    attribution in a long survey must see the forwarding targets that
+    queried last, not whoever filled the log first. Evictions are
+    counted in :attr:`dropped`; :attr:`by_source` keeps exact totals
+    regardless of retention.
+    """
 
     def __init__(self, max_entries=200_000):
-        self.entries = []
+        self.entries = deque(maxlen=max_entries)
         self.max_entries = max_entries
+        self.dropped = 0
         self.by_source = Counter()
 
     def record(self, source_ip, qname, qtype, clock_ms=0.0):
         self.by_source[source_ip] += 1
-        if len(self.entries) < self.max_entries:
-            self.entries.append(QueryLogEntry(source_ip, qname, qtype, clock_ms))
+        if len(self.entries) == self.max_entries:
+            self.dropped += 1
+        self.entries.append(QueryLogEntry(source_ip, qname, qtype, clock_ms))
 
     def sources_for(self, qname_substring):
         """Source IPs that queried names containing *qname_substring*."""
@@ -48,3 +58,4 @@ class QueryLog:
     def clear(self):
         self.entries.clear()
         self.by_source.clear()
+        self.dropped = 0
