@@ -11,7 +11,13 @@ Commands:
 - ``guidance`` — print the twelve RFC 9276 items (paper Table 1).
 
 The measurement commands accept ``--metrics-out PATH`` (``-`` for stdout)
-to dump the telemetry registry collected during the run.
+to dump the telemetry registry collected during the run, and
+``--faults SPEC`` to run under injected network faults (chaos mode): the
+spec grammar lives in :func:`repro.net.faults.parse_fault_spec`, and
+``--faults chaos`` enables the standard weather profile. With faults
+active the pipelines automatically harden themselves (per-target
+retries, matrix stability checks), so headline numbers should converge
+to the clean run's.
 """
 
 from __future__ import annotations
@@ -28,13 +34,14 @@ from repro.core.report import render_study_report
 from repro.dns.rcode import Rcode
 from repro.dns.types import RdataType
 from repro.obs import render_span_tree
+from repro.net.faults import parse_fault_spec
 from repro.resolver.policy import VENDOR_POLICIES
 from repro.resolver.stub import StubClient
 from repro.scanner.atlas import AtlasCampaign
 from repro.scanner.dnskey_scan import dnskey_scan
 from repro.scanner.engine import ScanEngine
 from repro.scanner.nsec3_scan import nsec3_scan, scan_tlds
-from repro.scanner.resolver_scan import ResolverSurvey
+from repro.scanner.resolver_scan import ResolverSurvey, SurveyRetryPolicy
 from repro.testbed.internet import build_internet
 from repro.testbed.population import (
     PopulationConfig,
@@ -80,6 +87,22 @@ def _metrics_requested(args):
     return getattr(args, "metrics_out", None) is not None
 
 
+def _chaos_requested(args):
+    return bool(getattr(args, "faults", None))
+
+
+def _apply_faults(args, inet):
+    """Install the ``--faults`` plan once the testbed is built (so zone
+    signing and deployment stay clean — the weather hits the measurement,
+    not the infrastructure)."""
+    if not _chaos_requested(args):
+        return
+    plan = parse_fault_spec(args.faults, seed=args.seed)
+    inet.network.set_faults(plan)
+    kinds = ", ".join(type(m).__name__ for m in plan.models) or "none"
+    print(f"[chaos] fault plan active ({kinds})", file=sys.stderr)
+
+
 def _dump_metrics(args, inet=None):
     """Write the telemetry registry to ``--metrics-out`` (``-`` = stdout)."""
     if not _metrics_requested(args):
@@ -101,10 +124,17 @@ def _dump_metrics(args, inet=None):
         print(f"[obs] metrics written to {args.metrics_out}", file=sys.stderr)
 
 
-def _run_domain_scan(inet, domains):
+def _run_domain_scan(inet, domains, chaos=False):
     upstream = inet.make_resolver(VENDOR_POLICIES["cloudflare"], name="cli-upstream")
     engine = ScanEngine(
-        inet.network, inet.allocator.next_v4(), upstream.ip, max_qps=14_700
+        inet.network,
+        inet.allocator.next_v4(),
+        upstream.ip,
+        max_qps=14_700,
+        # Under injected faults, spend extra attempts per target so the
+        # headline numbers converge to the clean run's.
+        retries=2 if chaos else 1,
+        target_retries=3 if chaos else 0,
     )
     enabled = dnskey_scan(engine, [d.name for d in domains])
     return engine, nsec3_scan(engine, enabled)
@@ -119,9 +149,14 @@ def _run_survey(inet, probes, args):
         closed_v6=max(1, args.resolvers // 8),
         seed=args.seed,
     )
-    survey = ResolverSurvey(inet.network, probes, inet.allocator.next_v4())
+    retry_policy = (
+        SurveyRetryPolicy(require_stable=True) if _chaos_requested(args) else None
+    )
+    survey = ResolverSurvey(
+        inet.network, probes, inet.allocator.next_v4(), retry_policy=retry_policy
+    )
     entries = survey.run(deployment)
-    atlas = AtlasCampaign(inet.network, probes)
+    atlas = AtlasCampaign(inet.network, probes, retry_policy=retry_policy)
     entries += atlas.run(deployment)
     return entries
 
@@ -131,7 +166,8 @@ def cmd_study(args):
     if _metrics_requested(args):
         obs.enable()
     inet, probes, domains, tlds = _build(args, with_probes=True)
-    engine, results = _run_domain_scan(inet, domains)
+    _apply_faults(args, inet)
+    engine, results = _run_domain_scan(inet, domains, chaos=_chaos_requested(args))
     tld_results = scan_tlds(engine, tlds)
     entries = _run_survey(inet, probes, args)
     print(render_study_report(results, len(domains), tld_results, entries))
@@ -143,7 +179,8 @@ def cmd_scan(args):
     if _metrics_requested(args):
         obs.enable()
     inet, __, domains, __tlds = _build(args, with_probes=False)
-    __, results = _run_domain_scan(inet, domains)
+    _apply_faults(args, inet)
+    __, results = _run_domain_scan(inet, domains, chaos=_chaos_requested(args))
     print(render_study_report(results, len(domains)))
     _dump_metrics(args, inet)
 
@@ -154,6 +191,7 @@ def cmd_survey(args):
         obs.enable()
     args.domains = min(args.domains, 20)
     inet, probes, __, __tlds = _build(args, with_probes=True)
+    _apply_faults(args, inet)
     entries = _run_survey(inet, probes, args)
     from repro.analysis.stats import resolver_headline_stats
 
@@ -255,6 +293,13 @@ def main(argv=None):
             choices=("json", "prometheus"),
             default="json",
             help="snapshot format for --metrics-out (default: json)",
+        )
+        command.add_argument(
+            "--faults",
+            metavar="SPEC",
+            help="inject network faults: a preset ('chaos') or a spec like "
+            "'burst:0.05:0.35:0.5,jitter:20,corrupt:0.1' "
+            "(see repro.net.faults.parse_fault_spec)",
         )
         command.set_defaults(handler=handler)
 

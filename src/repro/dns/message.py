@@ -195,7 +195,22 @@ class Message:
 
     @classmethod
     def from_wire(cls, wire):
-        """Decode a message; raises :class:`WireError` on malformed input."""
+        """Decode a message; raises :class:`WireError` on malformed input.
+
+        The contract holds for arbitrary garbage bytes: decode errors
+        surfacing from enum conversions or rdata parsers (ValueError,
+        IndexError, ...) are normalised to :class:`WireError` so callers
+        can treat "does not parse" as one condition.
+        """
+        try:
+            return cls._parse_wire(wire)
+        except WireError:
+            raise
+        except (ValueError, IndexError, KeyError) as exc:
+            raise WireError(f"malformed message: {exc}") from exc
+
+    @classmethod
+    def _parse_wire(cls, wire):
         reader = Reader(wire)
         if reader.remaining() < HEADER_LENGTH:
             raise WireError("message shorter than header")

@@ -42,11 +42,11 @@ def owner_hash_of(nsec3_owner, zone):
         raise DenialError(
             f"NSEC3 owner {nsec3_owner} is not a direct child of zone {zone}"
         )
-    label = nsec3_owner.labels[0].decode("ascii", "strict")
     try:
+        label = nsec3_owner.labels[0].decode("ascii", "strict")
         return b32hex_decode(label)
     except (ValueError, UnicodeDecodeError) as exc:
-        raise DenialError(f"bad NSEC3 owner label {label!r}") from exc
+        raise DenialError(f"bad NSEC3 owner label {nsec3_owner.labels[0]!r}") from exc
 
 
 @dataclass

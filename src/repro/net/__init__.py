@@ -8,14 +8,36 @@ their own network, so measuring them requires a vantage point within
 """
 
 from repro.net.address import AddressAllocator
+from repro.net.faults import (
+    Blackout,
+    Corruption,
+    FaultPlan,
+    Flapping,
+    GilbertElliott,
+    LatencyJitter,
+    RateLimitRefused,
+    parse_fault_spec,
+)
 from repro.net.network import Host, Network, NetworkStats
-from repro.net.transport import QueryFailure, Transport
+from repro.net.resilience import BackoffPolicy, CircuitBreaker
+from repro.net.transport import CircuitOpenError, QueryFailure, Transport
 
 __all__ = [
     "AddressAllocator",
+    "BackoffPolicy",
+    "Blackout",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "Corruption",
+    "FaultPlan",
+    "Flapping",
+    "GilbertElliott",
     "Host",
+    "LatencyJitter",
     "Network",
     "NetworkStats",
     "QueryFailure",
+    "RateLimitRefused",
     "Transport",
+    "parse_fault_spec",
 ]

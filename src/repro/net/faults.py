@@ -1,0 +1,445 @@
+"""Composable, deterministic fault injection for the simulated network.
+
+The paper's measurements survived a hostile real Internet: resolvers that
+"result in different response patterns" when re-queried (§5.2), timeouts
+above the Item 6/7 thresholds, and servers degraded by NSEC3 CPU
+exhaustion (CVE-2023-50868). The plain :class:`~repro.net.network.Network`
+models only uniform packet loss, which exercises none of the client-side
+noise handling. This module supplies the missing weather:
+
+- :class:`GilbertElliott` — bursty packet loss (two-state Markov chain);
+- :class:`LatencyJitter` — per-datagram jitter plus rare latency spikes;
+- :class:`Blackout` — a scheduled host outage window on the simulated
+  clock;
+- :class:`Flapping` — a host that goes down and comes back periodically;
+- :class:`Corruption` — response mangling: bit flips, truncated wire,
+  wrong message id, pure garbage;
+- :class:`RateLimitRefused` — a per-source token bucket that answers
+  REFUSED once a client exceeds its rate.
+
+Models compose through a :class:`FaultPlan` plugged into
+``Network.set_faults``. Every model draws from its own seeded RNG and
+reads only the simulated clock, so chaos runs are exactly reproducible.
+Each injected fault is counted (``FaultPlan.injected`` and, when
+telemetry is on, ``repro_net_faults_injected_total{kind=...}``), so a
+chaos campaign is observable end to end.
+
+The CLI accepts a compact spec (see :func:`parse_fault_spec`)::
+
+    --faults chaos
+    --faults burst:0.05:0.35:0.5,jitter:20:200:0.01
+    --faults blackout:10.7.0.3:0:5000,corrupt:0.25:garbage+wrongid
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass
+
+from repro import obs
+from repro.dns.message import Message, make_response
+from repro.dns.rcode import Rcode
+from repro.dns.wire import WireError
+from repro.net.address import normalize
+
+
+@dataclass
+class FaultContext:
+    """What a fault model may inspect about one datagram in flight."""
+
+    src_ip: str
+    dst_ip: str
+    wire: bytes
+    via_tcp: bool
+    network: object
+
+    @property
+    def clock_ms(self):
+        return self.network.clock_ms
+
+
+class FaultModel:
+    """Base class: override any subset of the four hooks.
+
+    Hooks run in order per datagram: every model's :meth:`delay_ms` is
+    summed onto the path latency; the first :meth:`drop_reason` wins; the
+    first :meth:`synthesize` short-circuits delivery with a crafted
+    response; :meth:`corrupt` chains over the real response (returning
+    ``None`` drops it on the return path).
+    """
+
+    kind = "fault"
+
+    def delay_ms(self, ctx):
+        return 0.0
+
+    def drop_reason(self, ctx):
+        return None
+
+    def synthesize(self, ctx):
+        return None
+
+    def corrupt(self, ctx, response):
+        return response
+
+
+class GilbertElliott(FaultModel):
+    """Bursty loss: a good/bad two-state Markov chain per destination.
+
+    Real packet loss clusters (congested links, overloaded servers), which
+    is what defeats naive fixed-count retries. The chain advances once per
+    datagram; in the *bad* state datagrams drop with ``loss_bad``. TCP is
+    exempt by default — the stream's own retransmissions are abstracted
+    away, as with ``Network.loss_rate``.
+    """
+
+    kind = "burst"
+
+    def __init__(
+        self,
+        p_enter=0.05,
+        p_exit=0.35,
+        loss_good=0.0,
+        loss_bad=0.6,
+        seed=0,
+        udp_only=True,
+        dst_ip=None,
+    ):
+        self.p_enter = p_enter
+        self.p_exit = p_exit
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self.udp_only = udp_only
+        self.dst_ip = normalize(dst_ip) if dst_ip else None
+        self._rng = random.Random(seed)
+        self._bad = {}
+
+    def drop_reason(self, ctx):
+        if self.udp_only and ctx.via_tcp:
+            return None
+        if self.dst_ip is not None and ctx.dst_ip != self.dst_ip:
+            return None
+        bad = self._bad.get(ctx.dst_ip, False)
+        if bad:
+            if self._rng.random() < self.p_exit:
+                bad = False
+        elif self._rng.random() < self.p_enter:
+            bad = True
+        self._bad[ctx.dst_ip] = bad
+        loss = self.loss_bad if bad else self.loss_good
+        if loss and self._rng.random() < loss:
+            return "loss"
+        return None
+
+
+class LatencyJitter(FaultModel):
+    """Uniform per-datagram jitter plus rare, large latency spikes.
+
+    Spikes model transient congestion or an NSEC3-exhausted resolver
+    (CVE-2023-50868) pausing to hash; they are what a per-query timeout
+    budget exists to bound.
+    """
+
+    kind = "jitter"
+
+    def __init__(self, jitter_ms=25.0, spike_ms=250.0, spike_rate=0.01, seed=0):
+        self.jitter_ms = jitter_ms
+        self.spike_ms = spike_ms
+        self.spike_rate = spike_rate
+        self._rng = random.Random(seed)
+
+    def delay_ms(self, ctx):
+        delay = self._rng.random() * self.jitter_ms
+        if self.spike_rate and self._rng.random() < self.spike_rate:
+            delay += self.spike_ms
+        return delay
+
+
+class Blackout(FaultModel):
+    """One host silently down for a scheduled simulated-clock window."""
+
+    kind = "blackout"
+
+    def __init__(self, dst_ip, start_ms, end_ms):
+        self.dst_ip = normalize(dst_ip)
+        self.start_ms = float(start_ms)
+        self.end_ms = float(end_ms)
+
+    def drop_reason(self, ctx):
+        if ctx.dst_ip != self.dst_ip:
+            return None
+        if self.start_ms <= ctx.clock_ms < self.end_ms:
+            return "down"
+        return None
+
+
+class Flapping(FaultModel):
+    """A host that alternates between down and up windows forever.
+
+    The host is down for the first ``down_fraction`` of every
+    ``period_ms`` window (shifted by ``offset_ms``) — the repeating
+    version of :class:`Blackout`, for resolvers that keep coming back
+    just long enough to look alive.
+    """
+
+    kind = "flap"
+
+    def __init__(self, dst_ip, period_ms=2000.0, down_fraction=0.5, offset_ms=0.0):
+        self.dst_ip = normalize(dst_ip)
+        self.period_ms = float(period_ms)
+        self.down_fraction = down_fraction
+        self.offset_ms = float(offset_ms)
+
+    def is_down(self, clock_ms):
+        phase = (clock_ms - self.offset_ms) % self.period_ms
+        return phase < self.period_ms * self.down_fraction
+
+    def drop_reason(self, ctx):
+        if ctx.dst_ip != self.dst_ip:
+            return None
+        return "down" if self.is_down(ctx.clock_ms) else None
+
+
+class Corruption(FaultModel):
+    """Mangle responses on the return path.
+
+    ``kinds`` picks the repertoire: ``bitflip`` (one random bit),
+    ``truncate`` (wire cut in half), ``wrongid`` (message id xored — the
+    off-path spoofing signature transports must discard), ``garbage``
+    (random bytes that do not parse at all).
+    """
+
+    kind = "corrupt"
+
+    KINDS = ("bitflip", "truncate", "wrongid", "garbage")
+
+    def __init__(self, rate=0.2, kinds=KINDS, dst_ip=None, seed=0):
+        unknown = set(kinds) - set(self.KINDS)
+        if unknown:
+            raise ValueError(f"unknown corruption kinds: {sorted(unknown)}")
+        self.rate = rate
+        self.kinds = tuple(kinds)
+        self.dst_ip = normalize(dst_ip) if dst_ip else None
+        self._rng = random.Random(seed)
+
+    def corrupt(self, ctx, response):
+        if self.dst_ip is not None and ctx.dst_ip != self.dst_ip:
+            return response
+        if self._rng.random() >= self.rate:
+            return response
+        style = self.kinds[self._rng.randrange(len(self.kinds))]
+        if style == "bitflip":
+            index = self._rng.randrange(len(response) * 8)
+            mutated = bytearray(response)
+            mutated[index // 8] ^= 1 << (index % 8)
+            return bytes(mutated)
+        if style == "truncate":
+            return response[: max(2, len(response) // 2)]
+        if style == "wrongid":
+            mutated = bytearray(response)
+            mutated[0] ^= 0x5A
+            mutated[1] ^= 0xA5
+            return bytes(mutated)
+        return bytes(
+            self._rng.randrange(256) for __ in range(self._rng.randrange(4, 64))
+        )
+
+
+class RateLimitRefused(FaultModel):
+    """Answer REFUSED once a source exceeds its query rate.
+
+    A token bucket per source ip, refilled on the simulated clock. This is
+    the response-rate-limiting middlebox the paper's 14.7 K req/s scan had
+    to stay under. Unparseable queries are silently dropped instead (no
+    id to echo).
+    """
+
+    kind = "refused"
+
+    def __init__(self, qps=100.0, burst=20, dst_ip=None):
+        self.qps = float(qps)
+        self.burst = float(burst)
+        self.dst_ip = normalize(dst_ip) if dst_ip else None
+        self._buckets = {}
+
+    def synthesize(self, ctx):
+        if self.dst_ip is not None and ctx.dst_ip != self.dst_ip:
+            return None
+        now = ctx.clock_ms
+        tokens, last = self._buckets.get(ctx.src_ip, (self.burst, now))
+        tokens = min(self.burst, tokens + (now - last) / 1000.0 * self.qps)
+        if tokens >= 1.0:
+            self._buckets[ctx.src_ip] = (tokens - 1.0, now)
+            return None
+        self._buckets[ctx.src_ip] = (tokens, now)
+        try:
+            query = Message.from_wire(ctx.wire)
+        except WireError:
+            return b""  # unparseable query: treated as a drop by the plan
+        response = make_response(query)
+        response.rcode = Rcode.REFUSED
+        return response.to_wire()
+
+
+@dataclass
+class _Verdict:
+    """What :meth:`FaultPlan.on_send` decided about one datagram."""
+
+    drop_reason: str = ""
+    response: bytes = None
+
+
+class FaultPlan:
+    """An ordered set of fault models applied to every datagram."""
+
+    def __init__(self, models):
+        self.models = list(models)
+        #: Injection counts by model kind, always collected (obs-independent).
+        self.injected = Counter()
+
+    def _note(self, kind):
+        self.injected[kind] += 1
+        if obs.enabled:
+            obs.registry.counter(
+                "repro_net_faults_injected_total",
+                "Faults injected into the simulated network, by kind.",
+                labelnames=("kind",),
+            ).labels(kind=kind).inc()
+
+    def on_send(self, ctx):
+        """Judge a datagram before delivery: ``(delay_ms, verdict|None)``."""
+        delay = 0.0
+        for model in self.models:
+            extra = model.delay_ms(ctx)
+            if extra:
+                self._note(model.kind)
+                delay += extra
+        for model in self.models:
+            reason = model.drop_reason(ctx)
+            if reason is not None:
+                self._note(model.kind)
+                return delay, _Verdict(drop_reason=f"fault-{model.kind}")
+        for model in self.models:
+            wire = model.synthesize(ctx)
+            if wire is not None:
+                self._note(model.kind)
+                if not wire:
+                    return delay, _Verdict(drop_reason=f"fault-{model.kind}")
+                return delay, _Verdict(response=wire)
+        return delay, None
+
+    def on_response(self, ctx, response):
+        """Chain response mutations; ``None`` drops the response."""
+        for model in self.models:
+            mutated = model.corrupt(ctx, response)
+            if mutated is None:
+                self._note(model.kind)
+                return None
+            if mutated is not response:
+                self._note(model.kind)
+            response = mutated
+        return response
+
+
+#: Named chaos profiles for the CLI: mild-but-real weather that a hardened
+#: client should absorb without changing any measured numbers.
+FAULT_PRESETS = {
+    "chaos": "burst:0.05:0.35:0.5,jitter:20:200:0.01,corrupt:0.08",
+}
+
+
+def _positional(args, casts, defaults):
+    values = list(defaults)
+    for index, raw in enumerate(args):
+        if index >= len(casts):
+            raise ValueError(f"too many arguments: {':'.join(args)}")
+        values[index] = casts[index](raw)
+    return values
+
+
+def _parse_kinds(raw):
+    return tuple(raw.split("+"))
+
+
+def parse_fault_spec(spec, seed=0):
+    """Build a :class:`FaultPlan` from a compact comma-separated spec.
+
+    Grammar (all arguments optional unless shown)::
+
+        burst[:p_enter[:p_exit[:loss_bad]]]
+        jitter[:jitter_ms[:spike_ms[:spike_rate]]]
+        blackout:IP:START_MS:END_MS
+        flap:IP[:PERIOD_MS[:DOWN_FRACTION[:OFFSET_MS]]]
+        corrupt[:rate[:KIND+KIND...]]          (bitflip|truncate|wrongid|garbage)
+        refuse[:qps[:burst[:IP]]]
+
+    A token naming a preset (``chaos``) expands in place. Every stochastic
+    model is seeded from *seed* plus its position, so the same spec and
+    seed reproduce the same weather.
+    """
+    tokens = []
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if token in FAULT_PRESETS:
+            tokens.extend(FAULT_PRESETS[token].split(","))
+        else:
+            tokens.append(token)
+
+    models = []
+    for index, token in enumerate(tokens):
+        name, *args = token.split(":")
+        model_seed = seed * 1000 + index
+        if name == "burst":
+            p_enter, p_exit, loss_bad = _positional(
+                args, (float, float, float), (0.05, 0.35, 0.6)
+            )
+            models.append(
+                GilbertElliott(
+                    p_enter=p_enter, p_exit=p_exit, loss_bad=loss_bad, seed=model_seed
+                )
+            )
+        elif name == "jitter":
+            jitter_ms, spike_ms, spike_rate = _positional(
+                args, (float, float, float), (25.0, 250.0, 0.01)
+            )
+            models.append(
+                LatencyJitter(
+                    jitter_ms=jitter_ms,
+                    spike_ms=spike_ms,
+                    spike_rate=spike_rate,
+                    seed=model_seed,
+                )
+            )
+        elif name == "blackout":
+            if len(args) != 3:
+                raise ValueError("blackout needs IP:START_MS:END_MS")
+            models.append(Blackout(args[0], float(args[1]), float(args[2])))
+        elif name == "flap":
+            if not args:
+                raise ValueError("flap needs at least an IP")
+            period, down, offset = _positional(
+                args[1:], (float, float, float), (2000.0, 0.5, 0.0)
+            )
+            models.append(
+                Flapping(
+                    args[0], period_ms=period, down_fraction=down, offset_ms=offset
+                )
+            )
+        elif name == "corrupt":
+            rate, kinds = _positional(
+                args, (float, _parse_kinds), (0.2, Corruption.KINDS)
+            )
+            models.append(Corruption(rate=rate, kinds=kinds, seed=model_seed))
+        elif name == "refuse":
+            qps, burst, dst = _positional(args, (float, float, str), (100.0, 20, None))
+            models.append(RateLimitRefused(qps=qps, burst=burst, dst_ip=dst))
+        else:
+            known = "burst, jitter, blackout, flap, corrupt, refuse"
+            presets = ", ".join(sorted(FAULT_PRESETS))
+            raise ValueError(
+                f"unknown fault model {name!r} (known: {known}; presets: {presets})"
+            )
+    return FaultPlan(models)

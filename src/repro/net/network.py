@@ -13,6 +13,7 @@ from dataclasses import dataclass, fields
 
 from repro import obs
 from repro.net.address import is_ipv6, normalize
+from repro.net.faults import FaultContext
 
 #: The public network id: hosts here are reachable from anywhere.
 PUBLIC = "public"
@@ -52,7 +53,7 @@ class NetworkStats:
 class Network:
     """IP registry plus delivery with loss, latency, and closed networks."""
 
-    def __init__(self, loss_rate=0.0, base_latency_ms=10.0, seed=0):
+    def __init__(self, loss_rate=0.0, base_latency_ms=10.0, seed=0, faults=None):
         self._hosts = {}
         #: host ip -> network id; queries to a non-public network id are
         #: only delivered when the source is in the same network.
@@ -62,6 +63,8 @@ class Network:
         self.base_latency_ms = base_latency_ms
         self.clock_ms = 0.0
         self.stats = NetworkStats()
+        #: Optional :class:`repro.net.faults.FaultPlan` judging every datagram.
+        self.faults = faults
         # Span durations measure simulated time: the most recently built
         # network owns the tracer clock.
         obs.bind_clock(lambda: self.clock_ms)
@@ -81,6 +84,10 @@ class Network:
         ip = normalize(ip)
         self._hosts.pop(ip, None)
         self._network_of.pop(ip, None)
+
+    def set_faults(self, plan):
+        """Install (or clear, with ``None``) a fault-injection plan."""
+        self.faults = plan
 
     def host_at(self, ip):
         """The host attached at *ip*, or None."""
@@ -151,6 +158,21 @@ class Network:
     def _deliver(self, src_ip, dst_ip, wire, via_tcp):
         """Move one datagram; returns ``(response, drop_reason)``."""
         self.clock_ms += self._path_latency()
+        ctx = None
+        if self.faults is not None:
+            ctx = FaultContext(src_ip, dst_ip, wire, via_tcp, self)
+            delay, verdict = self.faults.on_send(ctx)
+            if delay:
+                self.clock_ms += delay
+            if verdict is not None:
+                if verdict.drop_reason:
+                    self.stats.dropped += 1
+                    return None, verdict.drop_reason
+                # A synthesized response (e.g. rate-limited REFUSED): the
+                # query crossed the path and a real answer came back.
+                self.stats.bytes_sent += len(wire) + len(verdict.response)
+                self.clock_ms += self._path_latency()
+                return verdict.response, ""
         host = self._hosts.get(dst_ip)
         if host is None:
             self.stats.dropped += 1
@@ -170,6 +192,13 @@ class Network:
             return None, "loss"
         self.stats.bytes_sent += len(wire)
         response = host.handle_datagram(wire, src_ip, via_tcp=via_tcp)
+        if response is not None and ctx is not None:
+            mutated = self.faults.on_response(ctx, response)
+            if mutated is None:
+                # The response was eaten on the return path.
+                self.stats.dropped += 1
+                return None, "fault-response"
+            response = mutated
         if response is not None:
             self.clock_ms += self._path_latency()
             self.stats.bytes_sent += len(response)

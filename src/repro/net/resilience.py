@@ -1,0 +1,147 @@
+"""Client-side resilience primitives: retry backoff and circuit breaking.
+
+The paper's scanners ran against the real Internet, where dead or
+degraded servers are the norm rather than the exception (§5.2 re-probing,
+the timeout thresholds of Items 6-7). These helpers give every
+:class:`~repro.net.transport.Transport` the two standard defences:
+
+- :class:`BackoffPolicy` — capped exponential backoff with jitter,
+  advanced on the *simulated* clock so retry storms cost simulated time
+  exactly as they cost real scanners wall-clock time;
+- :class:`CircuitBreaker` — a per-destination closed/open/half-open
+  breaker that quarantines servers which keep timing out or emitting
+  garbage, so a campaign degrades gracefully instead of burning its
+  query budget on dead hosts.
+
+Both are deterministic: backoff jitter comes from a seeded RNG and the
+breaker reads whatever clock it is given (normally the network's
+simulated milliseconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import obs
+
+#: Circuit states (string-valued for cheap introspection and metrics).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Capped exponential backoff: ``base * factor**(attempt-1)`` + jitter.
+
+    ``jitter`` is the fraction of the raw delay added uniformly at random
+    on top, decorrelating clients that fail in lockstep. ``delay_ms`` is
+    pure given an RNG, so transports stay deterministic under a seed.
+    """
+
+    base_ms: float = 40.0
+    factor: float = 2.0
+    max_ms: float = 2000.0
+    jitter: float = 0.5
+
+    def delay_ms(self, attempt, rng):
+        """Delay before retry *attempt* (1 = first retry), in ms."""
+        raw = min(self.max_ms, self.base_ms * self.factor ** (attempt - 1))
+        if self.jitter:
+            raw *= 1.0 + self.jitter * rng.random()
+        return raw
+
+
+class _BreakerState:
+    __slots__ = ("state", "failures", "opened_at")
+
+    def __init__(self):
+        self.state = CLOSED
+        self.failures = 0
+        self.opened_at = 0.0
+
+
+class CircuitBreaker:
+    """Per-destination circuit breaker over a (simulated) clock.
+
+    - *closed*: traffic flows; ``failure_threshold`` consecutive failed
+      queries trip the circuit;
+    - *open*: :meth:`allow` refuses instantly (the caller fails fast
+      without spending network time) until ``recovery_ms`` has elapsed;
+    - *half-open*: one probe query is let through; success closes the
+      circuit, failure re-opens it for another ``recovery_ms``.
+
+    One breaker instance is meant to be shared by every transport of a
+    campaign so that evidence about a dead server accumulates in one
+    place.
+    """
+
+    def __init__(self, clock, failure_threshold=5, recovery_ms=1500.0):
+        self.clock = clock
+        self.failure_threshold = failure_threshold
+        self.recovery_ms = recovery_ms
+        self._targets = {}
+        #: (dst, from, to) transition log, for tests and reporting.
+        self.transitions = []
+
+    def _get(self, dst):
+        target = self._targets.get(dst)
+        if target is None:
+            target = self._targets[dst] = _BreakerState()
+        return target
+
+    def _move(self, dst, target, new_state):
+        if target.state == new_state:
+            return
+        self.transitions.append((dst, target.state, new_state))
+        target.state = new_state
+        if obs.enabled:
+            obs.registry.counter(
+                "repro_circuit_transitions_total",
+                "Circuit-breaker state transitions, by new state.",
+                labelnames=("to",),
+            ).labels(to=new_state).inc()
+
+    # -- the breaker protocol ------------------------------------------------
+
+    def allow(self, dst):
+        """May a query to *dst* be attempted right now?"""
+        target = self._targets.get(dst)
+        if target is None or target.state == CLOSED:
+            return True
+        if target.state == OPEN:
+            if self.clock() - target.opened_at >= self.recovery_ms:
+                self._move(dst, target, HALF_OPEN)
+                return True
+            return False
+        # Half-open: the synchronous world has at most one probe in
+        # flight, so a second allow() means the previous probe never
+        # reported back — let it through rather than wedge.
+        return True
+
+    def record_success(self, dst):
+        target = self._get(dst)
+        target.failures = 0
+        self._move(dst, target, CLOSED)
+
+    def record_failure(self, dst):
+        target = self._get(dst)
+        target.failures += 1
+        if target.state == HALF_OPEN or target.failures >= self.failure_threshold:
+            target.opened_at = self.clock()
+            self._move(dst, target, OPEN)
+
+    # -- introspection -------------------------------------------------------
+
+    def state(self, dst):
+        target = self._targets.get(dst)
+        return target.state if target is not None else CLOSED
+
+    def quarantined(self):
+        """Destinations currently not accepting traffic (open circuits)."""
+        return sorted(
+            dst
+            for dst, target in self._targets.items()
+            if target.state == OPEN
+            and self.clock() - target.opened_at < self.recovery_ms
+        )

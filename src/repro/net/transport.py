@@ -1,45 +1,106 @@
-"""Client-side query transport: encode, send, retry, TCP fallback."""
+"""Client-side query transport: encode, send, retry, back off, TCP fallback.
+
+Hardened against the weather :mod:`repro.net.faults` can produce:
+
+- retries back off exponentially with jitter on the *simulated* clock
+  (:class:`~repro.net.resilience.BackoffPolicy`), so loss bursts are
+  ridden out instead of hammered through;
+- an optional per-query timeout budget bounds the total simulated time
+  one query may consume across every retry, UDP and TCP alike;
+- the TCP fallback retries (a single lost segment no longer kills a
+  truncated-response query) and carries the qname into its failures;
+- an optional shared :class:`~repro.net.resilience.CircuitBreaker`
+  quarantines destinations that keep failing, failing fast while the
+  circuit is open.
+"""
 
 from __future__ import annotations
 
+import random
+
+from repro import obs
 from repro.dns.flags import Flag
 from repro.dns.message import Message
 from repro.dns.wire import WireError
+from repro.net.resilience import BackoffPolicy
 
 #: Default EDNS payload ceiling; responses above it are truncated on "UDP".
 DEFAULT_PAYLOAD = 1232
+
+#: Retry schedule used when callers do not supply their own.
+DEFAULT_BACKOFF = BackoffPolicy()
 
 
 class QueryFailure(Exception):
     """Raised when a query exhausts its retries without a usable response."""
 
-    def __init__(self, reason, qname=None):
+    def __init__(self, reason, qname=None, dst_ip=None):
         super().__init__(reason)
         self.reason = reason
         self.qname = qname
+        self.dst_ip = dst_ip
+
+
+class CircuitOpenError(QueryFailure):
+    """Fail-fast failure: the destination's circuit breaker is open."""
 
 
 class Transport:
     """Sends DNS messages between simulated hosts with realistic semantics.
 
-    - UDP first; on TC=1, retry over "TCP" (no size limit);
-    - up to *retries* resends on loss;
-    - mismatched message ids are treated as drops (off-path garbage).
+    - UDP first; on TC=1, retry over "TCP" (no size limit), itself retried
+      up to *tcp_retries* extra times;
+    - up to *retries* resends on loss/garbage, spaced by *backoff* on the
+      simulated clock (pass ``backoff=None`` for immediate resends);
+    - mismatched message ids and unparseable wire are treated as drops
+      (off-path garbage);
+    - *timeout_budget_ms* caps the simulated time one query may burn
+      across all attempts; *breaker* (shared across transports) opens
+      after repeated failed queries to one destination.
     """
 
-    def __init__(self, network, source_ip, retries=2):
+    def __init__(
+        self,
+        network,
+        source_ip,
+        retries=2,
+        backoff=DEFAULT_BACKOFF,
+        timeout_budget_ms=None,
+        tcp_retries=1,
+        breaker=None,
+    ):
         self.network = network
         self.source_ip = source_ip
         self.retries = retries
+        self.backoff = backoff
+        self.timeout_budget_ms = timeout_budget_ms
+        self.tcp_retries = tcp_retries
+        self.breaker = breaker
+        self._rng = random.Random(f"transport:{source_ip}")
 
     def query(self, dst_ip, message):
         """Send *message*; returns the parsed response :class:`Message`.
 
-        Raises :class:`QueryFailure` on timeout-equivalent outcomes.
+        Raises :class:`QueryFailure` on timeout-equivalent outcomes and
+        :class:`CircuitOpenError` (without touching the network) when the
+        destination is quarantined.
         """
         wire = message.to_wire()
         qname = message.question[0].name if message.question else None
-        for __ in range(self.retries + 1):
+        if self.breaker is not None and not self.breaker.allow(dst_ip):
+            if obs.enabled:
+                self._count_failure("circuit-open")
+            raise CircuitOpenError(
+                f"circuit open for {dst_ip}", qname=qname, dst_ip=dst_ip
+            )
+        started_ms = self.network.clock_ms
+        reason = f"no response from {dst_ip}"
+        for attempt in range(self.retries + 1):
+            if attempt:
+                self._back_off(attempt, "udp")
+            if self._budget_spent(started_ms):
+                reason = f"timeout budget exhausted for {dst_ip}"
+                break
             raw = self.network.send(self.source_ip, dst_ip, wire)
             if raw is None:
                 continue
@@ -50,18 +111,71 @@ class Transport:
             if response.id != message.id:
                 continue
             if response.has_flag(Flag.TC):
-                return self._query_tcp(dst_ip, message)
+                return self._query_tcp(dst_ip, message, qname, started_ms)
+            self._settle(dst_ip, True)
             return response
-        raise QueryFailure(f"no response from {dst_ip}", qname=qname)
+        self._settle(dst_ip, False)
+        if obs.enabled:
+            self._count_failure("udp")
+        raise QueryFailure(reason, qname=qname, dst_ip=dst_ip)
 
-    def _query_tcp(self, dst_ip, message):
-        raw = self.network.send(self.source_ip, dst_ip, message.to_wire(), via_tcp=True)
-        if raw is None:
-            raise QueryFailure(f"TCP retry to {dst_ip} failed")
-        try:
-            response = Message.from_wire(raw)
-        except WireError as exc:
-            raise QueryFailure(f"malformed TCP response from {dst_ip}: {exc}") from exc
-        if response.id != message.id:
-            raise QueryFailure(f"TCP response id mismatch from {dst_ip}")
-        return response
+    def _query_tcp(self, dst_ip, message, qname=None, started_ms=None):
+        reason = f"TCP retry to {dst_ip} failed"
+        for attempt in range(self.tcp_retries + 1):
+            if attempt:
+                self._back_off(attempt, "tcp")
+            if started_ms is not None and self._budget_spent(started_ms):
+                reason = f"timeout budget exhausted for {dst_ip}"
+                break
+            raw = self.network.send(
+                self.source_ip, dst_ip, message.to_wire(), via_tcp=True
+            )
+            if raw is None:
+                continue
+            try:
+                response = Message.from_wire(raw)
+            except WireError as exc:
+                reason = f"malformed TCP response from {dst_ip}: {exc}"
+                continue
+            if response.id != message.id:
+                reason = f"TCP response id mismatch from {dst_ip}"
+                continue
+            self._settle(dst_ip, True)
+            return response
+        self._settle(dst_ip, False)
+        if obs.enabled:
+            self._count_failure("tcp")
+        raise QueryFailure(reason, qname=qname, dst_ip=dst_ip)
+
+    # -- resilience plumbing -------------------------------------------------
+
+    def _back_off(self, attempt, transport):
+        if self.backoff is not None:
+            self.network.clock_ms += self.backoff.delay_ms(attempt, self._rng)
+        if obs.enabled:
+            obs.registry.counter(
+                "repro_transport_retries_total",
+                "Query retransmissions, by transport.",
+                labelnames=("transport",),
+            ).labels(transport=transport).inc()
+
+    def _budget_spent(self, started_ms):
+        if self.timeout_budget_ms is None:
+            return False
+        return self.network.clock_ms - started_ms >= self.timeout_budget_ms
+
+    def _settle(self, dst_ip, success):
+        if self.breaker is None:
+            return
+        if success:
+            self.breaker.record_success(dst_ip)
+        else:
+            self.breaker.record_failure(dst_ip)
+
+    @staticmethod
+    def _count_failure(kind):
+        obs.registry.counter(
+            "repro_transport_failures_total",
+            "Queries that raised QueryFailure, by failure path.",
+            labelnames=("kind",),
+        ).labels(kind=kind).inc()

@@ -83,6 +83,10 @@ class Cache:
         for key in dead:
             del self._store[key]
 
+    def drop(self, key):
+        """Remove *key* if present; returns True when something was dropped."""
+        return self._store.pop(key, None) is not None
+
     def __len__(self):
         return len(self._store)
 

@@ -5,12 +5,21 @@ again often results in different response patterns, rather indicating a
 problem with the resolvers than an actual violation". This wrapper
 reproduces that phenomenon so the survey's stability check has something
 real to detect.
+
+Two fault flavours, because the paper's noise had two shapes: a
+``servfail_rate`` (a degraded resolver failing internally) and a
+``refused_rate`` (an access-controlled or rate-limiting resolver pushing
+back). The survey can tell them apart through the RCODE, as the paper
+did. Every decision is counted in :attr:`FlakyResolver.decisions` and,
+when telemetry is on, in ``repro_flaky_decisions_total{kind=...}``.
 """
 
 from __future__ import annotations
 
 import random
+from collections import Counter
 
+from repro import obs
 from repro.dns.message import Message, make_response
 from repro.dns.rcode import Rcode
 from repro.dns.wire import WireError
@@ -18,28 +27,54 @@ from repro.net.network import Host
 
 
 class FlakyResolver(Host):
-    """Wraps another resolver host; randomly SERVFAILs or drops queries."""
+    """Wraps another resolver host; randomly fails, refuses, or drops."""
 
-    def __init__(self, inner, servfail_rate=0.25, drop_rate=0.05, seed=0):
+    def __init__(
+        self, inner, servfail_rate=0.25, drop_rate=0.05, refused_rate=0.0, seed=0
+    ):
         self.inner = inner
         self.servfail_rate = servfail_rate
         self.drop_rate = drop_rate
+        self.refused_rate = refused_rate
         self._rng = random.Random(seed)
+        #: Outcome counts by kind: pass / drop / servfail / refused.
+        self.decisions = Counter()
 
     @property
     def ip(self):
         return self.inner.ip
 
+    def _decide(self, kind):
+        self.decisions[kind] += 1
+        if obs.enabled:
+            obs.registry.counter(
+                "repro_flaky_decisions_total",
+                "FlakyResolver outcomes, by kind.",
+                labelnames=("kind",),
+            ).labels(kind=kind).inc()
+        return kind
+
+    def _fail_with(self, wire, rcode):
+        try:
+            query = Message.from_wire(wire)
+        except WireError:
+            return None
+        response = make_response(query, recursion_available=True)
+        response.rcode = rcode
+        return response.to_wire()
+
     def handle_datagram(self, wire, src_ip, via_tcp=False):
         roll = self._rng.random()
         if roll < self.drop_rate:
+            self._decide("drop")
             return None
-        if roll < self.drop_rate + self.servfail_rate:
-            try:
-                query = Message.from_wire(wire)
-            except WireError:
-                return None
-            response = make_response(query, recursion_available=True)
-            response.rcode = Rcode.SERVFAIL
-            return response.to_wire()
+        roll -= self.drop_rate
+        if roll < self.servfail_rate:
+            self._decide("servfail")
+            return self._fail_with(wire, Rcode.SERVFAIL)
+        roll -= self.servfail_rate
+        if roll < self.refused_rate:
+            self._decide("refused")
+            return self._fail_with(wire, Rcode.REFUSED)
+        self._decide("pass")
         return self.inner.handle_datagram(wire, src_ip, via_tcp=via_tcp)

@@ -8,7 +8,7 @@ from repro.dns.message import make_query
 from repro.dns.rcode import Rcode
 from repro.dns.types import RdataType
 from repro.dns.flags import Flag
-from repro.net.transport import QueryFailure, Transport
+from repro.net.transport import DEFAULT_BACKOFF, QueryFailure, Transport
 
 
 @dataclass
@@ -30,10 +30,31 @@ class StubAnswer:
 
 
 class StubClient:
-    """Sends recursive queries to a resolver and summarises the replies."""
+    """Sends recursive queries to a resolver and summarises the replies.
 
-    def __init__(self, network, source_ip, retries=1):
-        self.transport = Transport(network, source_ip, retries=retries)
+    The resilience knobs (*backoff*, *timeout_budget_ms*, *breaker*) pass
+    straight through to :class:`~repro.net.transport.Transport`; a shared
+    breaker lets a scan campaign quarantine dead resolvers across all its
+    clients.
+    """
+
+    def __init__(
+        self,
+        network,
+        source_ip,
+        retries=1,
+        backoff=DEFAULT_BACKOFF,
+        timeout_budget_ms=None,
+        breaker=None,
+    ):
+        self.transport = Transport(
+            network,
+            source_ip,
+            retries=retries,
+            backoff=backoff,
+            timeout_budget_ms=timeout_budget_ms,
+            breaker=breaker,
+        )
         self.source_ip = source_ip
 
     def ask(

@@ -43,7 +43,7 @@ from repro.dnssec.validator import (
     validate_rrset,
 )
 from repro.net.network import Host
-from repro.resolver.cache import Cache, negative_key
+from repro.resolver.cache import Cache, delegation_key, negative_key
 from repro.resolver.iterative import IterativeResolver
 from repro.resolver.policy import Nsec3Policy
 
@@ -196,8 +196,26 @@ class ValidatingResolver(Host):
             return verdict
 
         verdict = self._validated_verdict(qname, qtype, outcome)
+        if verdict.rcode == Rcode.SERVFAIL:
+            # Second chance before concluding bogus (RFC 4035 §4.7 spirit):
+            # flush the delegation chain so a damaged cached DS or glue
+            # record cannot keep failing validation, then re-fetch. A zone
+            # that is genuinely broken fails again — deterministically.
+            self._flush_chain(qname)
+            retry = self.engine.resolve(qname, qtype, want_dnssec=True)
+            if retry.ok and retry.response.rcode in (Rcode.NOERROR, Rcode.NXDOMAIN):
+                verdict = self._validated_verdict(qname, qtype, retry)
         self._cache_verdict(qname, qtype, verdict)
         return verdict
+
+    def _flush_chain(self, qname):
+        """Drop cached delegation evidence on the path to *qname*."""
+        name = Name.from_text(qname)
+        while True:
+            self.cache.drop(delegation_key(name))
+            if name.is_root():
+                return
+            name = name.parent()
 
     def _cache_verdict(self, qname, qtype, verdict):
         self.cache.put(negative_key(qname, qtype), verdict, _verdict_ttl(verdict))
@@ -219,7 +237,12 @@ class ValidatingResolver(Host):
             result = self._root_security()
         else:
             result = self._child_security(zone, _depth)
-        self._zone_security[zone] = result
+        # Memoise only verdicts backed by cryptographic evidence (a chain
+        # that verified, or a validated proof of no DS). BOGUS and
+        # INDETERMINATE can be transient — one lost or damaged upstream
+        # exchange — and latching them would poison every later answer.
+        if result[0] in (SecurityStatus.SECURE, SecurityStatus.INSECURE):
+            self._zone_security[zone] = result
         return result
 
     def _root_security(self):

@@ -12,18 +12,27 @@
   resolvers (no EDE visibility, in-network vantage).
 """
 
+from repro.scanner.campaign import CampaignCheckpoint, CampaignResult, job_key
 from repro.scanner.engine import ScanEngine, ScanStats
 from repro.scanner.dnskey_scan import dnskey_scan
 from repro.scanner.nsec3_scan import DomainScanResult, nsec3_scan, scan_tlds
-from repro.scanner.resolver_scan import ResolverSurvey, probe_resolver
+from repro.scanner.resolver_scan import (
+    ResolverSurvey,
+    SurveyRetryPolicy,
+    probe_resolver,
+)
 from repro.scanner.openresolver import discover_open_resolvers
 from repro.scanner.atlas import AtlasCampaign
 from repro.scanner.axfr import TransferRefused, ZoneTransfer, axfr
 from repro.scanner.zonewalk import Nsec3Walker, walk_nsec_zone
 
 __all__ = [
+    "CampaignCheckpoint",
+    "CampaignResult",
+    "job_key",
     "ScanEngine",
     "ScanStats",
+    "SurveyRetryPolicy",
     "dnskey_scan",
     "DomainScanResult",
     "nsec3_scan",

@@ -15,7 +15,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.resolver_compliance import classify_resolver
-from repro.scanner.resolver_scan import SurveyEntry, probe_resolver
+from repro.scanner.resolver_scan import (
+    SurveyEntry,
+    probe_resolver,
+    probe_with_policy,
+)
 from repro.testbed.rfc9276_wild import PROBE_ZONE_ITERATIONS
 
 
@@ -29,6 +33,9 @@ class AtlasCampaign:
     #: RIPE Atlas caps concurrent measurements; we model the cap as a
     #: simple budget of resolvers per campaign run.
     max_probes: int = 1000
+    #: Same graceful-degradation knobs as :class:`ResolverSurvey` — Atlas
+    #: probes cross the same hostile network the scanner does.
+    retry_policy: object = None
     entries: list = field(default_factory=list)
 
     def run(self, deployed_resolvers):
@@ -41,16 +48,32 @@ class AtlasCampaign:
                 break
             if not deployed.probe_source_ip:
                 continue
-            matrix = probe_resolver(
-                self.network,
-                deployed.ip,
-                self.probe_set,
-                deployed.probe_source_ip,
-                unique=f"atlas{index}",
-                iterations=self.iterations,
-                keep_ede=False,  # Atlas does not expose EDE
-            )
+            if self.retry_policy is None:
+                matrix = probe_resolver(
+                    self.network,
+                    deployed.ip,
+                    self.probe_set,
+                    deployed.probe_source_ip,
+                    unique=f"atlas{index}",
+                    iterations=self.iterations,
+                    keep_ede=False,  # Atlas does not expose EDE
+                )
+            else:
+                matrix, healthy = probe_with_policy(
+                    self.network,
+                    deployed.ip,
+                    self.probe_set,
+                    deployed.probe_source_ip,
+                    f"atlas{index}",
+                    self.iterations,
+                    self.retry_policy,
+                    keep_ede=False,
+                )
             classification = classify_resolver(matrix, resolver=deployed.ip)
+            if self.retry_policy is not None and not healthy:
+                classification.notes.append(
+                    "degraded: Atlas probes unanswered or unstable"
+                )
             self.entries.append(SurveyEntry(deployed, matrix, classification))
             count += 1
         return self.entries

@@ -1,0 +1,127 @@
+"""Resumable scan campaigns: JSON checkpoints and campaign bookkeeping.
+
+A multi-hour scan of 302 M domains dies to reboots, rate-limit bans, and
+operator opt-outs; the paper's ethics appendix promises minimal load, so
+a restarted campaign must not re-query what it already measured. A
+:class:`CampaignCheckpoint` persists per-target outcomes to a JSON file
+(written atomically, flushed incrementally) so an interrupted campaign
+resumes with **zero duplicate queries**.
+
+Checkpoint records are plain JSON dicts; the scan engine and the
+resolver survey each define their own record codecs
+(:func:`answer_to_record` here; the probe-matrix codec lives in
+:mod:`repro.scanner.resolver_scan`). Resumed answers carry RCODE/flags
+but not the response rrsets — enough to finish counting a campaign, not
+to re-derive zone parameters. Re-scan without the checkpoint if the full
+sections matter.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.resolver.stub import StubAnswer
+
+CHECKPOINT_VERSION = 1
+
+
+def job_key(qname, qtype):
+    """Stable identity of one scan job: normalised qname + numeric type."""
+    return f"{str(qname).rstrip('.').lower()}/{int(qtype)}"
+
+
+def answer_to_record(answer):
+    """A :class:`StubAnswer` as a JSON-able checkpoint record."""
+    return {
+        "rcode": int(answer.rcode),
+        "ad": bool(answer.ad),
+        "ra": bool(answer.ra),
+        "ede": list(answer.ede_codes),
+        "answered": bool(answer.answered),
+    }
+
+
+def answer_from_record(record):
+    """Rebuild a (section-less) :class:`StubAnswer` from a record."""
+    return StubAnswer(
+        rcode=record["rcode"],
+        ad=record["ad"],
+        ra=record["ra"],
+        answer=[],
+        ede_codes=tuple(record["ede"]),
+        answered=record["answered"],
+    )
+
+
+class CampaignCheckpoint:
+    """Keyed JSON checkpoint with incremental, atomic persistence.
+
+    ``flush_every`` bounds how much progress an interruption can lose;
+    every flush writes a temp file and renames it over the old one, so a
+    crash mid-write never corrupts the previous checkpoint. A missing or
+    unreadable file simply starts the campaign from scratch.
+    """
+
+    def __init__(self, path, flush_every=50):
+        self.path = str(path)
+        self.flush_every = flush_every
+        self._records = {}
+        self._pending = 0
+        self._load()
+
+    def _load(self):
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return
+        if payload.get("version") != CHECKPOINT_VERSION:
+            return
+        records = payload.get("records")
+        if isinstance(records, dict):
+            self._records = records
+
+    # -- the checkpoint protocol ---------------------------------------------
+
+    def done(self, key):
+        return key in self._records
+
+    def get(self, key):
+        return self._records[key]
+
+    def record(self, key, record):
+        self._records[key] = record
+        self._pending += 1
+        if self._pending >= self.flush_every:
+            self.flush()
+
+    def flush(self):
+        if not self._pending and os.path.exists(self.path):
+            return
+        payload = {"version": CHECKPOINT_VERSION, "records": self._records}
+        tmp_path = f"{self.path}.tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp_path, self.path)
+        self._pending = 0
+
+    def __len__(self):
+        return len(self._records)
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one :meth:`ScanEngine.run_campaign` pass."""
+
+    #: Answers aligned with the submitted jobs (resumed ones section-less).
+    answers: list = field(default_factory=list)
+    #: Jobs satisfied from the checkpoint without touching the network.
+    resumed: int = 0
+    #: Jobs that failed the main pass and entered the requeue.
+    requeued: int = 0
+    #: Requeued jobs that eventually answered.
+    recovered: int = 0
+    #: Job keys still unanswered after every requeue pass.
+    failed: list = field(default_factory=list)

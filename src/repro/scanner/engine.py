@@ -15,7 +15,13 @@ from dataclasses import dataclass, field
 from repro import obs
 from repro.dns.rcode import Rcode
 from repro.dns.types import RdataType
-from repro.resolver.stub import StubClient
+from repro.resolver.stub import StubAnswer, StubClient
+from repro.scanner.campaign import (
+    CampaignResult,
+    answer_from_record,
+    answer_to_record,
+    job_key,
+)
 
 
 @dataclass
@@ -33,6 +39,12 @@ class ScanStats:
     unanswered: int = 0
     started_ms: float = 0.0
     finished_ms: float = 0.0
+    #: Extra per-target attempts spent absorbing flaky answers.
+    reprobes: int = 0
+    #: Campaign bookkeeping (see :meth:`ScanEngine.run_campaign`).
+    requeued: int = 0
+    recovered: int = 0
+    resumed: int = 0
 
     @property
     def answered(self):
@@ -65,17 +77,34 @@ class ScanStats:
 
 
 class ScanEngine:
-    """Runs query batches against one upstream resolver."""
+    """Runs query batches against one upstream resolver.
 
-    def __init__(self, network, source_ip, resolver_ip, max_qps=None, retries=1):
+    *target_retries* is the per-target resilience knob: a query whose
+    final answer is a timeout or SERVFAIL is re-asked up to that many
+    extra times (the upstream path may just have had a bad moment — the
+    paper re-queried flaky responders for the same reason). *breaker*
+    is an optional shared circuit breaker handed to the transport.
+    """
+
+    def __init__(
+        self,
+        network,
+        source_ip,
+        resolver_ip,
+        max_qps=None,
+        retries=1,
+        target_retries=0,
+        breaker=None,
+    ):
         self.network = network
-        self.client = StubClient(network, source_ip, retries=retries)
+        self.client = StubClient(network, source_ip, retries=retries, breaker=breaker)
         self.resolver_ip = resolver_ip
         self.max_qps = max_qps
+        self.target_retries = target_retries
         self.stats = ScanStats()
 
-    def query(self, qname, qtype=RdataType.A, want_dnssec=True, checking_disabled=False):
-        """One rate-limited query; returns a :class:`StubAnswer`."""
+    def _ask(self, qname, qtype, want_dnssec, checking_disabled):
+        """One rate-limited attempt (no outcome bookkeeping)."""
         if self.stats.queries == 0:
             self.stats.started_ms = self.network.clock_ms
         if self.max_qps:
@@ -94,10 +123,6 @@ class ScanEngine:
             checking_disabled=checking_disabled,
         )
         self.stats.queries += 1
-        if answer.answered:
-            self.stats.rcodes[answer.rcode] += 1
-        else:
-            self.stats.unanswered += 1
         if obs.enabled:
             obs.registry.counter(
                 "repro_scan_queries_total",
@@ -107,6 +132,31 @@ class ScanEngine:
                 rcode=obs.rcode_label(answer.rcode, answer.answered)
             ).inc()
         self.stats.finished_ms = self.network.clock_ms
+        return answer
+
+    @staticmethod
+    def _transient(answer):
+        """Outcomes worth a re-ask: no answer, or a (possibly fault-induced)
+        SERVFAIL — genuine SERVFAILs are stable and survive the retries."""
+        return not answer.answered or answer.rcode == Rcode.SERVFAIL
+
+    def query(self, qname, qtype=RdataType.A, want_dnssec=True, checking_disabled=False):
+        """One rate-limited query; returns a :class:`StubAnswer`.
+
+        Only the final outcome lands in ``stats.rcodes``/``unanswered``;
+        intermediate re-asks count as ``stats.reprobes`` (and as queries,
+        for pacing — they are real traffic).
+        """
+        answer = self._ask(qname, qtype, want_dnssec, checking_disabled)
+        for __ in range(self.target_retries):
+            if not self._transient(answer):
+                break
+            self.stats.reprobes += 1
+            answer = self._ask(qname, qtype, want_dnssec, checking_disabled)
+        if answer.answered:
+            self.stats.rcodes[answer.rcode] += 1
+        else:
+            self.stats.unanswered += 1
         return answer
 
     def run(self, jobs, want_dnssec=True, checking_disabled=False):
@@ -125,3 +175,83 @@ class ScanEngine:
             )
             for qname, qtype in jobs
         ]
+
+    def run_campaign(
+        self,
+        jobs,
+        want_dnssec=True,
+        checking_disabled=False,
+        checkpoint=None,
+        requeue_attempts=1,
+        requeue_delay_ms=1000.0,
+    ):
+        """A fault-tolerant, resumable batch run.
+
+        Targets whose query stays unanswered are quarantined and requeued
+        at the end of the campaign (up to *requeue_attempts* extra
+        passes, waiting *requeue_delay_ms* of simulated time before each
+        so transient outages can clear). With a
+        :class:`~repro.scanner.campaign.CampaignCheckpoint`, every final
+        outcome is persisted and a resumed campaign issues **zero**
+        queries for already-completed targets. Returns a
+        :class:`~repro.scanner.campaign.CampaignResult` with answers
+        aligned to *jobs*.
+        """
+        result = CampaignResult()
+        answers = {}
+        deferred = []
+
+        def settle(key, answer):
+            answers[key] = answer
+            if checkpoint is not None:
+                checkpoint.record(key, answer_to_record(answer))
+
+        for qname, qtype in jobs:
+            key = job_key(qname, qtype)
+            if key in answers:
+                continue  # duplicate job: one query serves both
+            if checkpoint is not None and checkpoint.done(key):
+                answers[key] = answer_from_record(checkpoint.get(key))
+                result.resumed += 1
+                continue
+            answer = self.query(
+                qname, qtype, want_dnssec=want_dnssec,
+                checking_disabled=checking_disabled,
+            )
+            if not answer.answered:
+                deferred.append((key, qname, qtype))
+                continue
+            settle(key, answer)
+
+        result.requeued = len(deferred)
+        for __ in range(requeue_attempts):
+            if not deferred:
+                break
+            if requeue_delay_ms:
+                self.network.clock_ms += requeue_delay_ms
+            still_failing = []
+            for key, qname, qtype in deferred:
+                answer = self.query(
+                    qname, qtype, want_dnssec=want_dnssec,
+                    checking_disabled=checking_disabled,
+                )
+                if answer.answered:
+                    result.recovered += 1
+                    settle(key, answer)
+                else:
+                    still_failing.append((key, qname, qtype))
+            deferred = still_failing
+
+        for key, __qname, __qtype in deferred:
+            # Exhausted: record the timeout so a resume does not re-burn
+            # budget on it (re-scan without the checkpoint to insist).
+            result.failed.append(key)
+            settle(key, StubAnswer.timeout())
+
+        if checkpoint is not None:
+            checkpoint.flush()
+        self.stats.requeued += result.requeued
+        self.stats.recovered += result.recovered
+        self.stats.resumed += result.resumed
+        result.answers = [answers[job_key(qname, qtype)] for qname, qtype in jobs]
+        return result

@@ -43,6 +43,30 @@ def _ask_probe(client, resolver_ip, probe_set, key, unique):
     return answer
 
 
+def _confirmed_probe(client, resolver_ip, probe_set, key, unique, confirm):
+    """One probe cell, re-queried until two consecutive answers agree.
+
+    A resolver-side transient (an upstream query lost to network weather
+    makes the resolver SERVFAIL once) is indistinguishable from policy in
+    a single answer. The paper's §5.2 move — query again with a fresh
+    label so the cache cannot echo the damage — generalises per cell:
+    accept an answer only once two consecutive asks agree on
+    (rcode, AD, answered). With *confirm* extra asks exhausted, the last
+    answer stands and the matrix-level stability pass gets to object.
+    """
+    answer = _ask_probe(client, resolver_ip, probe_set, key, unique)
+    for extra in range(confirm):
+        again = _ask_probe(client, resolver_ip, probe_set, key, f"{unique}c{extra}")
+        if (
+            again.rcode == answer.rcode
+            and again.ad == answer.ad
+            and again.answered == answer.answered
+        ):
+            return again
+        answer = again
+    return answer
+
+
 def probe_resolver(
     network,
     resolver_ip,
@@ -51,23 +75,39 @@ def probe_resolver(
     unique,
     iterations=PROBE_ZONE_ITERATIONS,
     keep_ede=True,
+    breaker=None,
+    retries=1,
+    confirm=0,
 ):
-    """Probe one resolver; returns the matrix for classify_resolver()."""
-    client = StubClient(network, source_ip)
+    """Probe one resolver; returns the matrix for classify_resolver().
+
+    With a shared *breaker*, probes to a quarantined resolver fail fast
+    (they come back as unanswered entries) instead of burning the full
+    per-probe retry schedule on a host that is known dead. *retries* is
+    the stub transport's per-query retry count; *confirm* > 0 turns on
+    per-cell answer confirmation (see :func:`_confirmed_probe`).
+    """
+    client = StubClient(network, source_ip, retries=retries, breaker=breaker)
     matrix = {}
     matrix["valid"] = _to_probe_result(
-        _ask_probe(client, resolver_ip, probe_set, "valid", unique), keep_ede
+        _confirmed_probe(client, resolver_ip, probe_set, "valid", unique, confirm),
+        keep_ede,
     )
     matrix["expired"] = _to_probe_result(
-        _ask_probe(client, resolver_ip, probe_set, "expired", unique), keep_ede
+        _confirmed_probe(client, resolver_ip, probe_set, "expired", unique, confirm),
+        keep_ede,
     )
     for count in iterations:
         if count == 0:
             continue
-        answer = _ask_probe(client, resolver_ip, probe_set, count, unique)
+        answer = _confirmed_probe(
+            client, resolver_ip, probe_set, count, unique, confirm
+        )
         matrix[count] = _to_probe_result(answer, keep_ede)
     matrix["it-2501-expired"] = _to_probe_result(
-        _ask_probe(client, resolver_ip, probe_set, "it-2501-expired", unique),
+        _confirmed_probe(
+            client, resolver_ip, probe_set, "it-2501-expired", unique, confirm
+        ),
         keep_ede,
     )
     return matrix
@@ -118,11 +158,144 @@ class SurveyEntry:
     resolver: object  # testbed.resolvers.DeployedResolver
     matrix: dict
     classification: object
+    #: Satisfied from a checkpoint without re-querying.
+    resumed: bool = False
+    #: Entered the end-of-campaign requeue before producing this matrix.
+    requeued: bool = False
+
+
+@dataclass(frozen=True)
+class SurveyRetryPolicy:
+    """Graceful degradation knobs for :class:`ResolverSurvey`.
+
+    *max_attempts* bounds the per-resolver probe attempts in the main
+    pass; a matrix is *healthy* when every probe was answered. With
+    *require_stable*, two consecutive healthy matrices must agree
+    (rcode + AD per probe) before a resolver is admitted — the paper's
+    §5.2 re-probe generalised to the whole matrix, which filters out
+    fault-induced SERVFAILs that a single pass cannot distinguish from
+    policy. *stub_retries* is the stub transport's per-query retry count
+    and *confirm* the number of per-cell confirmation re-asks (each with
+    a fresh cache-busting label) — both defend individual cells so the
+    matrix-level check converges. Unhealthy resolvers are quarantined
+    and requeued after the main pass, *requeue_attempts* times, with
+    *requeue_delay_ms* of simulated time between passes so outages can
+    clear.
+    """
+
+    max_attempts: int = 3
+    require_stable: bool = False
+    requeue_attempts: int = 2
+    requeue_delay_ms: float = 2000.0
+    stub_retries: int = 3
+    confirm: int = 2
+
+
+def _matrix_healthy(matrix):
+    return all(result.answered for result in matrix.values())
+
+
+def _matrices_agree(first, second):
+    if first.keys() != second.keys():
+        return False
+    return all(
+        first[key].rcode == second[key].rcode
+        and first[key].ad == second[key].ad
+        and first[key].answered == second[key].answered
+        for key in first
+    )
+
+
+def probe_with_policy(
+    network,
+    resolver_ip,
+    probe_set,
+    source_ip,
+    unique,
+    iterations,
+    policy,
+    keep_ede=True,
+    breaker=None,
+):
+    """Probe one resolver under a :class:`SurveyRetryPolicy`.
+
+    Returns ``(matrix, healthy)``: *healthy* means every probe answered
+    and, with ``require_stable``, two consecutive attempts agreed. The
+    last matrix is returned either way so callers can keep the evidence.
+    """
+    previous = None
+    matrix = None
+    for attempt in range(policy.max_attempts):
+        matrix = probe_resolver(
+            network,
+            resolver_ip,
+            probe_set,
+            source_ip,
+            f"{unique}-t{attempt}",
+            iterations=iterations,
+            keep_ede=keep_ede,
+            breaker=breaker,
+            retries=policy.stub_retries,
+            confirm=policy.confirm,
+        )
+        if not _matrix_healthy(matrix):
+            previous = None
+            continue
+        if not policy.require_stable:
+            return matrix, True
+        if previous is not None and _matrices_agree(previous, matrix):
+            return matrix, True
+        previous = matrix
+    return matrix, False
+
+
+def matrix_to_record(matrix):
+    """A probe matrix as a JSON-able checkpoint record (keys keep type)."""
+    probes = []
+    for key, result in matrix.items():
+        tag = "i" if isinstance(key, int) else "s"
+        probes.append(
+            [
+                tag,
+                key,
+                {
+                    "rcode": int(result.rcode),
+                    "ad": bool(result.ad),
+                    "ede": list(result.ede_codes),
+                    "ra": bool(result.ra),
+                    "answered": bool(result.answered),
+                },
+            ]
+        )
+    return {"probes": probes}
+
+
+def matrix_from_record(record):
+    matrix = {}
+    for tag, key, fields_ in record["probes"]:
+        matrix[int(key) if tag == "i" else str(key)] = ProbeResult(
+            rcode=fields_["rcode"],
+            ad=fields_["ad"],
+            ede_codes=tuple(fields_["ede"]),
+            ra=fields_["ra"],
+            answered=fields_["answered"],
+        )
+    return matrix
 
 
 @dataclass
 class ResolverSurvey:
-    """Runs the full survey over a deployed resolver population."""
+    """Runs the full survey over a deployed resolver population.
+
+    With a :class:`SurveyRetryPolicy` the survey degrades gracefully
+    under network weather: unhealthy resolvers (unanswered probes —
+    dead, flapping, or circuit-quarantined) are set aside during the
+    main pass and requeued at the end of the campaign; what still fails
+    is admitted with a ``degraded`` note rather than silently
+    misclassified. With *checkpoint_path*, completed matrices persist to
+    JSON and a resumed survey re-classifies them locally — zero
+    duplicate queries.
+    """
 
     network: object
     probe_set: object
@@ -133,16 +306,106 @@ class ResolverSurvey:
     #: the paper's §5.2 verification step ("querying these resolvers again
     #: often results in different response patterns").
     verify_item12_stability: bool = False
+    #: Graceful-degradation knobs (None = legacy single-pass behaviour).
+    retry_policy: object = None
+    #: JSON checkpoint for resumable campaigns (None = not persisted).
+    checkpoint_path: str = None
+    #: Shared per-destination circuit breaker (created lazily when a
+    #: retry policy is set).
+    breaker: object = None
     entries: list = field(default_factory=list)
 
     def run(self, deployed_resolvers):
         """Probe every resolver (open from outside, closed from inside)."""
+        from repro.net.resilience import CircuitBreaker
+        from repro.scanner.campaign import CampaignCheckpoint
+
+        policy = self.retry_policy
+        if policy is not None and self.breaker is None:
+            recovery = min(1500.0, policy.requeue_delay_ms or 1500.0)
+            self.breaker = CircuitBreaker(
+                clock=lambda: self.network.clock_ms, recovery_ms=recovery
+            )
+        checkpoint = (
+            CampaignCheckpoint(self.checkpoint_path) if self.checkpoint_path else None
+        )
         self.entries = []
+        deferred = []
         for index, deployed in enumerate(deployed_resolvers):
             if deployed.access == "closed":
                 # Unreachable from the scanner; the Atlas campaign covers it.
                 continue
             unique = f"r{index}"
+            key = f"{deployed.ip}#{index}"
+            if checkpoint is not None and checkpoint.done(key):
+                matrix = matrix_from_record(checkpoint.get(key))
+                # Classification is a pure function of the matrix, so a
+                # resume recomputes it without touching the network (the
+                # item-12 stability verdict is baked into the stored
+                # matrix's provenance — no re-probing).
+                classification = classify_resolver(matrix, resolver=deployed.ip)
+                self.entries.append(
+                    SurveyEntry(deployed, matrix, classification, resumed=True)
+                )
+                continue
+            matrix, healthy = self._probe_with_policy(deployed, unique)
+            if not healthy and policy is not None:
+                deferred.append((index, deployed, matrix))
+                continue
+            self._admit(deployed, unique, matrix, checkpoint, key)
+
+        self._requeue(deferred, checkpoint)
+        if checkpoint is not None:
+            checkpoint.flush()
+        return self.entries
+
+    def _requeue(self, deferred, checkpoint):
+        """End-of-campaign second chance for quarantined resolvers."""
+        policy = self.retry_policy
+        if policy is None:
+            return
+        for attempt in range(policy.requeue_attempts):
+            if not deferred:
+                return
+            if policy.requeue_delay_ms:
+                self.network.clock_ms += policy.requeue_delay_ms
+            still_failing = []
+            for index, deployed, last_matrix in deferred:
+                unique = f"r{index}-rq{attempt}"
+                matrix, healthy = self._probe_with_policy(deployed, unique)
+                if healthy:
+                    self._admit(
+                        deployed, unique, matrix, checkpoint,
+                        f"{deployed.ip}#{index}", requeued=True,
+                    )
+                else:
+                    still_failing.append((index, deployed, matrix))
+            deferred = still_failing
+        for index, deployed, matrix in deferred:
+            # Out of attempts: keep the evidence, but say it is damaged
+            # rather than let a dead resolver masquerade as non-validating.
+            classification = classify_resolver(matrix, resolver=deployed.ip)
+            classification.notes.append(
+                "degraded: probes unanswered after end-of-campaign requeue"
+            )
+            self.entries.append(
+                SurveyEntry(deployed, matrix, classification, requeued=True)
+            )
+
+    def _admit(self, deployed, unique, matrix, checkpoint, key, requeued=False):
+        classification = classify_resolver(matrix, resolver=deployed.ip)
+        if self.verify_item12_stability and classification.item12_gap:
+            self._verify_gap(deployed, unique, classification)
+        self.entries.append(
+            SurveyEntry(deployed, matrix, classification, requeued=requeued)
+        )
+        if checkpoint is not None:
+            checkpoint.record(key, matrix_to_record(matrix))
+
+    def _probe_with_policy(self, deployed, unique):
+        """Probe once (legacy) or until healthy/stable (with a policy)."""
+        policy = self.retry_policy
+        if policy is None:
             matrix = probe_resolver(
                 self.network,
                 deployed.ip,
@@ -151,11 +414,17 @@ class ResolverSurvey:
                 unique,
                 iterations=self.iterations,
             )
-            classification = classify_resolver(matrix, resolver=deployed.ip)
-            if self.verify_item12_stability and classification.item12_gap:
-                self._verify_gap(deployed, unique, classification)
-            self.entries.append(SurveyEntry(deployed, matrix, classification))
-        return self.entries
+            return matrix, True
+        return probe_with_policy(
+            self.network,
+            deployed.ip,
+            self.probe_set,
+            self.scanner_source_ip,
+            unique,
+            self.iterations,
+            policy,
+            breaker=self.breaker,
+        )
 
     def _verify_gap(self, deployed, unique, classification):
         stable, __ = probe_stability(

@@ -1,0 +1,343 @@
+"""Tests for resumable campaigns and chaos-run convergence.
+
+Covers the checkpoint protocol (atomic JSON, corrupt-file tolerance),
+the scan engine's requeue/recover path, the zero-duplicate-queries
+resume guarantee, and the headline acceptance scenario: a survey run
+under burst loss, a flapping resolver, and a garbage-emitting
+authoritative classifies every resolver exactly as a clean run does.
+"""
+
+import json
+
+import pytest
+
+from repro.dns.message import Message, make_response
+from repro.dns.rcode import Rcode
+from repro.dns.types import RdataType
+from repro.net.faults import Blackout, Corruption, FaultPlan, Flapping, GilbertElliott
+from repro.net.network import Host, Network
+from repro.resolver.stub import StubAnswer
+from repro.scanner.campaign import (
+    CampaignCheckpoint,
+    answer_from_record,
+    answer_to_record,
+    job_key,
+)
+from repro.scanner.engine import ScanEngine
+from repro.scanner.resolver_scan import (
+    ResolverSurvey,
+    SurveyRetryPolicy,
+    matrix_from_record,
+    matrix_to_record,
+)
+from repro.testbed.internet import build_internet
+from repro.testbed.population import (
+    PopulationConfig,
+    generate_population,
+    generate_tlds,
+)
+from repro.testbed.resolvers import deploy_resolvers
+from repro.testbed.rfc9276_wild import build_probe_zones
+
+
+class Answering(Host):
+    """A stand-in resolver that answers every query and counts qnames."""
+
+    def __init__(self):
+        self.seen = []
+
+    def handle_datagram(self, wire, src_ip, via_tcp=False):
+        query = Message.from_wire(wire)
+        self.seen.append(str(query.question[0].name))
+        return make_response(query, recursion_available=True).to_wire()
+
+
+class TestJobKey:
+    def test_normalises_case_and_dot(self):
+        assert job_key("WWW.Example.COM.", RdataType.A) == "www.example.com/1"
+        assert job_key("www.example.com", 1) == "www.example.com/1"
+
+
+class TestAnswerRecords:
+    def test_roundtrip(self):
+        answer = StubAnswer(
+            rcode=Rcode.NXDOMAIN, ad=True, ra=True, answer=[],
+            ede_codes=(27,), answered=True,
+        )
+        rebuilt = answer_from_record(answer_to_record(answer))
+        assert rebuilt.rcode == Rcode.NXDOMAIN
+        assert rebuilt.ad and rebuilt.ra and rebuilt.answered
+        assert rebuilt.ede_codes == (27,)
+
+    def test_timeout_roundtrip(self):
+        rebuilt = answer_from_record(answer_to_record(StubAnswer.timeout()))
+        assert not rebuilt.answered
+
+
+class TestCheckpoint:
+    def test_persists_and_reloads(self, tmp_path):
+        path = tmp_path / "ck.json"
+        checkpoint = CampaignCheckpoint(path)
+        checkpoint.record("a/1", {"rcode": 0})
+        checkpoint.flush()
+
+        reloaded = CampaignCheckpoint(path)
+        assert reloaded.done("a/1")
+        assert reloaded.get("a/1") == {"rcode": 0}
+        assert not reloaded.done("b/1")
+
+    def test_incremental_flush(self, tmp_path):
+        path = tmp_path / "ck.json"
+        checkpoint = CampaignCheckpoint(path, flush_every=2)
+        checkpoint.record("a/1", {})
+        assert not path.exists()  # below the flush threshold
+        checkpoint.record("b/1", {})
+        assert path.exists()
+        assert len(CampaignCheckpoint(path)) == 2
+
+    def test_corrupt_file_starts_fresh(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text("{truncated by a crash", encoding="utf-8")
+        checkpoint = CampaignCheckpoint(path)
+        assert len(checkpoint) == 0
+
+    def test_version_mismatch_starts_fresh(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text(
+            json.dumps({"version": 999, "records": {"a/1": {}}}), encoding="utf-8"
+        )
+        assert len(CampaignCheckpoint(path)) == 0
+
+    def test_atomic_replace_leaves_no_tmp(self, tmp_path):
+        path = tmp_path / "ck.json"
+        checkpoint = CampaignCheckpoint(path)
+        checkpoint.record("a/1", {})
+        checkpoint.flush()
+        assert not (tmp_path / "ck.json.tmp").exists()
+
+
+class TestMatrixRecords:
+    def test_roundtrip_preserves_key_types(self):
+        from repro.core.resolver_compliance import ProbeResult
+
+        matrix = {
+            "valid": ProbeResult(rcode=Rcode.NOERROR, ad=True),
+            150: ProbeResult(rcode=Rcode.SERVFAIL, ede_codes=(27,)),
+        }
+        rebuilt = matrix_from_record(matrix_to_record(matrix))
+        assert set(rebuilt) == {"valid", 150}
+        assert rebuilt[150].rcode == Rcode.SERVFAIL
+        assert rebuilt[150].ede_codes == (27,)
+        assert rebuilt["valid"].ad
+
+
+class TestRunCampaign:
+    def _engine(self):
+        net = Network()
+        resolver = Answering()
+        net.attach("192.0.2.53", resolver)
+        return net, resolver, ScanEngine(net, "198.51.100.1", "192.0.2.53")
+
+    def test_plain_run_answers_all(self):
+        __, __, engine = self._engine()
+        jobs = [(f"d{i}.test", RdataType.A) for i in range(5)]
+        result = engine.run_campaign(jobs)
+        assert len(result.answers) == 5
+        assert all(a.answered for a in result.answers)
+        assert result.requeued == 0 and result.failed == []
+
+    def test_duplicate_jobs_answered_once(self):
+        __, resolver, engine = self._engine()
+        jobs = [("dup.test", RdataType.A), ("DUP.test.", RdataType.A)]
+        result = engine.run_campaign(jobs)
+        assert len(result.answers) == 2
+        assert len(resolver.seen) == 1
+
+    def test_resume_issues_zero_duplicate_queries(self, tmp_path):
+        net, resolver, engine = self._engine()
+        path = tmp_path / "scan.json"
+        jobs = [(f"d{i}.test", RdataType.A) for i in range(8)]
+        engine.run_campaign(jobs, checkpoint=CampaignCheckpoint(path))
+        assert len(resolver.seen) == 8
+
+        # A fresh engine (fresh process, conceptually) resumes the campaign.
+        engine2 = ScanEngine(net, "198.51.100.2", "192.0.2.53")
+        datagrams_before = net.stats.datagrams
+        result = engine2.run_campaign(jobs, checkpoint=CampaignCheckpoint(path))
+        assert result.resumed == 8
+        assert engine2.stats.queries == 0
+        assert net.stats.datagrams == datagrams_before  # nothing hit the wire
+        assert len(result.answers) == 8
+        assert all(a.answered for a in result.answers)
+
+    def test_interrupted_campaign_finishes_remainder_only(self, tmp_path):
+        net, resolver, engine = self._engine()
+        path = tmp_path / "scan.json"
+        jobs = [(f"d{i}.test", RdataType.A) for i in range(10)]
+        engine.run_campaign(jobs[:4], checkpoint=CampaignCheckpoint(path))
+
+        engine2 = ScanEngine(net, "198.51.100.2", "192.0.2.53")
+        result = engine2.run_campaign(jobs, checkpoint=CampaignCheckpoint(path))
+        assert result.resumed == 4
+        assert engine2.stats.queries == 6
+        # Every target was queried exactly once across both sessions.
+        assert sorted(resolver.seen) == sorted(
+            f"d{i}.test." for i in range(10)
+        )
+
+    def test_requeue_recovers_after_outage(self, tmp_path):
+        net, resolver, engine = self._engine()
+        # The resolver is dark for the first five simulated seconds; the
+        # requeue pass waits past the window and recovers every target.
+        net.set_faults(FaultPlan([Blackout("192.0.2.53", 0.0, 5000.0)]))
+        jobs = [(f"d{i}.test", RdataType.A) for i in range(3)]
+        result = engine.run_campaign(
+            jobs, requeue_attempts=1, requeue_delay_ms=10_000.0
+        )
+        assert result.requeued == 3
+        assert result.recovered == 3
+        assert result.failed == []
+        assert all(a.answered for a in result.answers)
+
+    def test_exhausted_targets_recorded_as_failed(self, tmp_path):
+        net, __, engine = self._engine()
+        net.set_faults(FaultPlan([Blackout("192.0.2.53", 0.0, 1e12)]))
+        path = tmp_path / "scan.json"
+        jobs = [("dead.test", RdataType.A)]
+        result = engine.run_campaign(
+            jobs,
+            checkpoint=CampaignCheckpoint(path),
+            requeue_attempts=1,
+            requeue_delay_ms=100.0,
+        )
+        assert result.failed == ["dead.test/1"]
+        assert not result.answers[0].answered
+
+        # The failure is checkpointed: a resume does not re-burn budget.
+        engine2 = ScanEngine(net, "198.51.100.2", "192.0.2.53")
+        resumed = engine2.run_campaign(jobs, checkpoint=CampaignCheckpoint(path))
+        assert resumed.resumed == 1
+        assert engine2.stats.queries == 0
+
+
+#: Small-but-representative population for the acceptance scenario.
+ACCEPTANCE_CONFIG = PopulationConfig(
+    n_domains=20,
+    n_tlds=20,
+    tld_dnssec=18,
+    tld_nsec3=16,
+    tld_zero_iterations=8,
+    tld_identity_digital=3,
+    tld_saltless=8,
+    tld_salt8=6,
+    tld_salt10=1,
+)
+
+SURVEY_ITERATIONS = (1, 25, 50, 100, 150, 151, 500)
+
+
+def _build_survey_world(seed=13):
+    tlds = generate_tlds(ACCEPTANCE_CONFIG)
+    domains = generate_population(ACCEPTANCE_CONFIG, tlds=tlds)
+    inet = build_internet(domains, tlds, seed=seed)
+    probes = build_probe_zones(inet)
+    deployment = deploy_resolvers(
+        inet, open_v4=6, open_v6=2, closed_v4=0, closed_v6=0, seed=seed
+    )
+    return inet, probes, deployment
+
+
+def _classification_fields(classification):
+    return (
+        classification.is_validating,
+        classification.limits_iterations,
+        classification.implements_item6,
+        classification.insecure_threshold,
+        classification.implements_item8,
+        classification.servfail_threshold,
+        classification.ede27_support,
+        classification.item7_violation,
+    )
+
+
+@pytest.mark.slow
+class TestChaosSurveyAcceptance:
+    def test_chaos_survey_matches_clean_classifications(self):
+        """Burst loss + one flapping resolver + one garbage-spewing probe
+        authoritative must not change a single resolver classification."""
+        clean_inet, clean_probes, clean_deployment = _build_survey_world()
+        clean_survey = ResolverSurvey(
+            clean_inet.network,
+            clean_probes,
+            clean_inet.allocator.next_v4(),
+            iterations=SURVEY_ITERATIONS,
+        )
+        clean_entries = clean_survey.run(clean_deployment)
+
+        chaos_inet, chaos_probes, chaos_deployment = _build_survey_world()
+        flapped_ip = chaos_deployment[0].ip
+        chaos_inet.network.set_faults(
+            FaultPlan(
+                [
+                    GilbertElliott(p_enter=0.05, p_exit=0.35, loss_bad=0.5, seed=99),
+                    Flapping(flapped_ip, period_ms=3000.0, down_fraction=0.4),
+                    Corruption(
+                        rate=0.3,
+                        kinds=("garbage",),
+                        dst_ip=chaos_probes.server_ips[0],
+                        seed=99,
+                    ),
+                ]
+            )
+        )
+        chaos_survey = ResolverSurvey(
+            chaos_inet.network,
+            chaos_probes,
+            chaos_inet.allocator.next_v4(),
+            iterations=SURVEY_ITERATIONS,
+            retry_policy=SurveyRetryPolicy(require_stable=True),
+        )
+        chaos_entries = chaos_survey.run(chaos_deployment)
+
+        assert len(clean_entries) == len(chaos_entries)
+        faults = chaos_inet.network.faults.injected
+        assert sum(faults.values()) > 0, "the weather never fired"
+        # Requeued resolvers land at the end of the chaos entry list, so
+        # compare by resolver address, not by position.
+        chaos_by_ip = {entry.resolver.ip: entry for entry in chaos_entries}
+        assert set(chaos_by_ip) == {entry.resolver.ip for entry in clean_entries}
+        for clean in clean_entries:
+            chaos = chaos_by_ip[clean.resolver.ip]
+            assert _classification_fields(clean.classification) == (
+                _classification_fields(chaos.classification)
+            ), f"classification drifted for {clean.resolver.ip}"
+
+    def test_survey_resume_issues_zero_queries(self, tmp_path):
+        inet, probes, deployment = _build_survey_world(seed=17)
+        path = tmp_path / "survey.json"
+        survey = ResolverSurvey(
+            inet.network,
+            probes,
+            inet.allocator.next_v4(),
+            iterations=SURVEY_ITERATIONS,
+            retry_policy=SurveyRetryPolicy(),
+            checkpoint_path=str(path),
+        )
+        entries = survey.run(deployment)
+        assert entries and not any(e.resumed for e in entries)
+
+        datagrams_before = inet.network.stats.datagrams
+        resumed_survey = ResolverSurvey(
+            inet.network,
+            probes,
+            inet.allocator.next_v4(),
+            iterations=SURVEY_ITERATIONS,
+            retry_policy=SurveyRetryPolicy(),
+            checkpoint_path=str(path),
+        )
+        resumed_entries = resumed_survey.run(deployment)
+        assert inet.network.stats.datagrams == datagrams_before
+        assert all(e.resumed for e in resumed_entries)
+        assert [
+            _classification_fields(e.classification) for e in resumed_entries
+        ] == [_classification_fields(e.classification) for e in entries]

@@ -1,0 +1,358 @@
+"""Tests for the fault-injection subsystem and the resilience primitives."""
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.dns.message import Message, make_query, make_response
+from repro.dns.rcode import Rcode
+from repro.dns.types import RdataType
+from repro.net.faults import (
+    Blackout,
+    Corruption,
+    FaultContext,
+    FaultPlan,
+    Flapping,
+    GilbertElliott,
+    LatencyJitter,
+    RateLimitRefused,
+    parse_fault_spec,
+)
+from repro.net.network import Host, Network
+from repro.net.resilience import BackoffPolicy, CircuitBreaker
+from repro.net.transport import QueryFailure, Transport
+
+
+class Echo(Host):
+    def __init__(self):
+        self.received = 0
+
+    def handle_datagram(self, wire, src_ip, via_tcp=False):
+        self.received += 1
+        return make_response(Message.from_wire(wire)).to_wire()
+
+
+def _ctx(network, dst_ip="192.0.2.1", wire=b"\x00" * 16, via_tcp=False):
+    return FaultContext(
+        src_ip="198.51.100.1",
+        dst_ip=dst_ip,
+        wire=wire,
+        via_tcp=via_tcp,
+        network=network,
+    )
+
+
+class TestGilbertElliott:
+    def test_deterministic_under_seed(self):
+        net = Network()
+        rolls = []
+        for __ in range(2):
+            model = GilbertElliott(p_enter=0.3, p_exit=0.3, loss_bad=0.8, seed=7)
+            rolls.append(
+                [model.drop_reason(_ctx(net)) is not None for __ in range(200)]
+            )
+        assert rolls[0] == rolls[1]
+        assert any(rolls[0])  # the chain does enter the bad state
+
+    def test_losses_cluster_in_bursts(self):
+        net = Network()
+        model = GilbertElliott(p_enter=0.05, p_exit=0.2, loss_bad=0.9, seed=3)
+        outcomes = [model.drop_reason(_ctx(net)) is not None for __ in range(2000)]
+        drops = outcomes.count(True)
+        # Count drops that immediately follow a drop: bursty loss has far
+        # more of them than the ~p*drops an independent process would give.
+        adjacent = sum(
+            1 for a, b in zip(outcomes, outcomes[1:]) if a and b
+        )
+        assert drops > 50
+        assert adjacent > 0.3 * drops
+
+    def test_tcp_exempt_by_default(self):
+        net = Network()
+        model = GilbertElliott(p_enter=1.0, p_exit=0.0, loss_bad=1.0, seed=1)
+        assert model.drop_reason(_ctx(net, via_tcp=True)) is None
+        assert model.drop_reason(_ctx(net, via_tcp=False)) == "loss"
+
+    def test_dst_filter(self):
+        net = Network()
+        model = GilbertElliott(
+            p_enter=1.0, p_exit=0.0, loss_bad=1.0, seed=1, dst_ip="192.0.2.9"
+        )
+        assert model.drop_reason(_ctx(net, dst_ip="192.0.2.1")) is None
+        assert model.drop_reason(_ctx(net, dst_ip="192.0.2.9")) == "loss"
+
+
+class TestLatencyJitter:
+    def test_delay_bounded_and_deterministic(self):
+        net = Network()
+        a = LatencyJitter(jitter_ms=10.0, spike_ms=500.0, spike_rate=0.1, seed=4)
+        b = LatencyJitter(jitter_ms=10.0, spike_ms=500.0, spike_rate=0.1, seed=4)
+        delays = [a.delay_ms(_ctx(net)) for __ in range(300)]
+        assert delays == [b.delay_ms(_ctx(net)) for __ in range(300)]
+        assert all(d >= 0.0 for d in delays)
+        assert max(delays) > 500.0  # at least one spike fired
+        assert min(delays) < 10.0
+
+
+class TestScheduledOutages:
+    def test_blackout_window(self):
+        net = Network()
+        model = Blackout("192.0.2.1", start_ms=100.0, end_ms=200.0)
+        net.clock_ms = 50.0
+        assert model.drop_reason(_ctx(net)) is None
+        net.clock_ms = 150.0
+        assert model.drop_reason(_ctx(net)) == "down"
+        assert model.drop_reason(_ctx(net, dst_ip="192.0.2.2")) is None
+        net.clock_ms = 200.0
+        assert model.drop_reason(_ctx(net)) is None
+
+    def test_flapping_phases(self):
+        model = Flapping("192.0.2.1", period_ms=1000.0, down_fraction=0.25)
+        assert model.is_down(0.0)
+        assert model.is_down(249.0)
+        assert not model.is_down(250.0)
+        assert not model.is_down(999.0)
+        assert model.is_down(1000.0)  # the next period starts down again
+
+    def test_flapping_offset(self):
+        model = Flapping(
+            "192.0.2.1", period_ms=1000.0, down_fraction=0.5, offset_ms=500.0
+        )
+        assert not model.is_down(0.0)
+        assert model.is_down(600.0)
+
+
+class TestCorruption:
+    def _response_wire(self):
+        return make_response(make_query("x.test", RdataType.A, msg_id=77)).to_wire()
+
+    def test_styles_damage_or_preserve_parseability(self):
+        net = Network()
+        wire = self._response_wire()
+        for style in Corruption.KINDS:
+            model = Corruption(rate=1.0, kinds=(style,), seed=11)
+            mutated = model.corrupt(_ctx(net), wire)
+            assert mutated != wire
+            if style == "truncate":
+                assert len(mutated) == max(2, len(wire) // 2)
+            if style == "wrongid":
+                # Still parses; only the id moved (off-path spoof signature).
+                parsed = Message.from_wire(mutated)
+                assert parsed.id != 77
+
+    def test_rate_zero_never_fires(self):
+        net = Network()
+        model = Corruption(rate=0.0, seed=1)
+        wire = self._response_wire()
+        assert model.corrupt(_ctx(net), wire) is wire
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Corruption(kinds=("bitrot",))
+
+
+class TestRateLimitRefused:
+    def test_refuses_after_burst(self):
+        net = Network()
+        model = RateLimitRefused(qps=10.0, burst=3)
+        query_wire = make_query("x.test", RdataType.A).to_wire()
+        verdicts = [
+            model.synthesize(_ctx(net, wire=query_wire)) for __ in range(5)
+        ]
+        assert verdicts[:3] == [None, None, None]
+        refused = Message.from_wire(verdicts[3])
+        assert refused.rcode == Rcode.REFUSED
+        assert refused.is_response
+
+    def test_bucket_refills_on_simulated_clock(self):
+        net = Network()
+        model = RateLimitRefused(qps=10.0, burst=1)
+        query_wire = make_query("x.test", RdataType.A).to_wire()
+        assert model.synthesize(_ctx(net, wire=query_wire)) is None
+        assert model.synthesize(_ctx(net, wire=query_wire)) is not None
+        net.clock_ms += 200.0  # 0.2 s at 10 qps -> 2 tokens (capped at burst)
+        assert model.synthesize(_ctx(net, wire=query_wire)) is None
+
+    def test_unparseable_query_dropped_not_answered(self):
+        net = Network()
+        model = RateLimitRefused(qps=10.0, burst=0)
+        assert model.synthesize(_ctx(net, wire=b"\x01\x02")) == b""
+
+
+class TestFaultPlan:
+    def test_injection_counter_by_kind(self):
+        net = Network()
+        plan = FaultPlan([Blackout("192.0.2.1", 0.0, 1e9)])
+        delay, verdict = plan.on_send(_ctx(net))
+        assert verdict.drop_reason == "fault-blackout"
+        assert plan.injected["blackout"] == 1
+
+    def test_first_drop_wins(self):
+        net = Network()
+        plan = FaultPlan(
+            [Blackout("192.0.2.1", 0.0, 1e9), Blackout("192.0.2.1", 0.0, 1e9)]
+        )
+        plan.on_send(_ctx(net))
+        assert plan.injected["blackout"] == 1
+
+    def test_response_corruption_chain(self):
+        net = Network()
+        plan = FaultPlan([Corruption(rate=1.0, kinds=("garbage",), seed=2)])
+        wire = make_response(make_query("x.test", RdataType.A)).to_wire()
+        mutated = plan.on_response(_ctx(net), wire)
+        assert mutated != wire
+        assert plan.injected["corrupt"] == 1
+
+    def test_obs_counter_emitted(self):
+        obs.disable()
+        obs.reset()
+        obs.enable()
+        try:
+            net = Network()
+            plan = FaultPlan([Blackout("192.0.2.1", 0.0, 1e9)])
+            plan.on_send(_ctx(net))
+            rendered = obs.registry.render_prometheus()
+            assert 'repro_net_faults_injected_total{kind="blackout"} 1' in rendered
+        finally:
+            obs.disable()
+            obs.reset()
+
+
+class TestNetworkIntegration:
+    def test_blackout_drops_and_counts(self):
+        net = Network()
+        echo = Echo()
+        net.attach("192.0.2.1", echo)
+        net.set_faults(FaultPlan([Blackout("192.0.2.1", 0.0, 1e9)]))
+        raw = net.send(
+            "198.51.100.1", "192.0.2.1", make_query("x.test", RdataType.A).to_wire()
+        )
+        assert raw is None
+        assert echo.received == 0
+        assert net.stats.dropped == 1
+
+    def test_jitter_advances_clock(self):
+        net = Network(base_latency_ms=0.0)
+        net.attach("192.0.2.1", Echo())
+        net.set_faults(
+            FaultPlan([LatencyJitter(jitter_ms=50.0, spike_rate=0.0, seed=6)])
+        )
+        before = net.clock_ms
+        net.send(
+            "198.51.100.1", "192.0.2.1", make_query("x.test", RdataType.A).to_wire()
+        )
+        assert net.clock_ms > before
+
+    def test_refused_synthesis_reaches_client(self):
+        net = Network()
+        echo = Echo()
+        net.attach("192.0.2.1", echo)
+        net.set_faults(FaultPlan([RateLimitRefused(qps=1.0, burst=0)]))
+        transport = Transport(net, "198.51.100.1", retries=0)
+        response = transport.query("192.0.2.1", make_query("x.test", RdataType.A))
+        assert response.rcode == Rcode.REFUSED
+        assert echo.received == 0  # synthesised before the host saw it
+
+
+class TestFaultSpecParser:
+    def test_preset_expansion(self):
+        plan = parse_fault_spec("chaos", seed=1)
+        kinds = [model.kind for model in plan.models]
+        assert kinds == ["burst", "jitter", "corrupt"]
+
+    def test_full_grammar(self):
+        plan = parse_fault_spec(
+            "burst:0.1:0.5:0.9,jitter:5:100:0.02,blackout:192.0.2.7:100:200,"
+            "flap:192.0.2.8:3000:0.25:100,corrupt:0.3:garbage+wrongid,"
+            "refuse:50:10:192.0.2.9",
+            seed=2,
+        )
+        burst, jitter, blackout, flap, corrupt, refuse = plan.models
+        assert (burst.p_enter, burst.p_exit, burst.loss_bad) == (0.1, 0.5, 0.9)
+        assert (jitter.jitter_ms, jitter.spike_ms, jitter.spike_rate) == (5.0, 100.0, 0.02)
+        assert (blackout.dst_ip, blackout.start_ms, blackout.end_ms) == ("192.0.2.7", 100.0, 200.0)
+        assert (flap.dst_ip, flap.period_ms, flap.down_fraction, flap.offset_ms) == ("192.0.2.8", 3000.0, 0.25, 100.0)
+        assert (corrupt.rate, corrupt.kinds) == (0.3, ("garbage", "wrongid"))
+        assert (refuse.qps, refuse.burst, refuse.dst_ip) == (50.0, 10.0, "192.0.2.9")
+
+    def test_seeded_models_reproducible(self):
+        net = Network()
+        first = parse_fault_spec("burst:0.3:0.3:0.8", seed=5).models[0]
+        second = parse_fault_spec("burst:0.3:0.3:0.8", seed=5).models[0]
+        rolls_a = [first.drop_reason(_ctx(net)) for __ in range(100)]
+        rolls_b = [second.drop_reason(_ctx(net)) for __ in range(100)]
+        assert rolls_a == rolls_b
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault model"):
+            parse_fault_spec("hurricane")
+
+    def test_blackout_requires_window(self):
+        with pytest.raises(ValueError, match="blackout"):
+            parse_fault_spec("blackout:192.0.2.1")
+
+    def test_too_many_arguments_rejected(self):
+        with pytest.raises(ValueError, match="too many"):
+            parse_fault_spec("jitter:1:2:3:4")
+
+
+class TestBackoffPolicy:
+    def test_exponential_and_capped(self):
+        policy = BackoffPolicy(base_ms=10.0, factor=2.0, max_ms=35.0, jitter=0.0)
+        rng = random.Random(0)
+        assert policy.delay_ms(1, rng) == 10.0
+        assert policy.delay_ms(2, rng) == 20.0
+        assert policy.delay_ms(3, rng) == 35.0  # capped
+        assert policy.delay_ms(9, rng) == 35.0
+
+    def test_jitter_adds_bounded_fraction(self):
+        policy = BackoffPolicy(base_ms=100.0, factor=1.0, max_ms=100.0, jitter=0.5)
+        rng = random.Random(1)
+        for __ in range(50):
+            delay = policy.delay_ms(1, rng)
+            assert 100.0 <= delay <= 150.0
+
+
+class TestCircuitBreaker:
+    def test_full_lifecycle(self):
+        clock = {"ms": 0.0}
+        breaker = CircuitBreaker(
+            clock=lambda: clock["ms"], failure_threshold=2, recovery_ms=100.0
+        )
+        dst = "192.0.2.1"
+        assert breaker.state(dst) == "closed"
+        breaker.record_failure(dst)
+        assert breaker.allow(dst)
+        breaker.record_failure(dst)
+        assert breaker.state(dst) == "open"
+        assert not breaker.allow(dst)
+        assert breaker.quarantined() == [dst]
+
+        clock["ms"] = 100.0  # recovery elapsed: one probe allowed
+        assert breaker.allow(dst)
+        assert breaker.state(dst) == "half-open"
+        breaker.record_success(dst)
+        assert breaker.state(dst) == "closed"
+        assert (dst, "open", "half-open") in breaker.transitions
+
+    def test_half_open_failure_reopens(self):
+        clock = {"ms": 0.0}
+        breaker = CircuitBreaker(
+            clock=lambda: clock["ms"], failure_threshold=1, recovery_ms=50.0
+        )
+        breaker.record_failure("d")
+        clock["ms"] = 60.0
+        assert breaker.allow("d")
+        breaker.record_failure("d")  # half-open probe failed
+        assert breaker.state("d") == "open"
+        assert not breaker.allow("d")
+
+    def test_success_resets_failure_streak(self):
+        breaker = CircuitBreaker(clock=lambda: 0.0, failure_threshold=3)
+        breaker.record_failure("d")
+        breaker.record_failure("d")
+        breaker.record_success("d")
+        breaker.record_failure("d")
+        breaker.record_failure("d")
+        assert breaker.state("d") == "closed"

@@ -23,6 +23,68 @@ def flaky_setup(testbed):
 
 
 class TestFlakyResolver:
+    def test_refused_rate_produces_refused_answers(self, flaky_setup, testbed):
+        inet = flaky_setup["inet"]
+        inner = inet.network.host_at(flaky_setup["stable_ip"])
+        refuser_ip = inet.allocator.next_v4()
+        inet.network.attach(
+            refuser_ip,
+            FlakyResolver(inner, servfail_rate=0.0, drop_rate=0.0,
+                          refused_rate=0.5, seed=11),
+        )
+        stub = StubClient(inet.network, inet.allocator.next_v4(), retries=0)
+        rcodes = set()
+        for index in range(20):
+            answer = stub.ask(
+                refuser_ip,
+                testbed["probes"].probe_name("valid", f"rf{index}"),
+                RdataType.A,
+            )
+            if answer.answered:
+                rcodes.add(answer.rcode)
+        assert Rcode.REFUSED in rcodes
+        assert Rcode.NOERROR in rcodes
+
+    def test_decisions_counter_tracks_outcomes(self, flaky_setup, testbed):
+        inet = flaky_setup["inet"]
+        inner = inet.network.host_at(flaky_setup["stable_ip"])
+        counted_ip = inet.allocator.next_v4()
+        wrapper = FlakyResolver(inner, servfail_rate=0.3, drop_rate=0.1,
+                                refused_rate=0.2, seed=23)
+        inet.network.attach(counted_ip, wrapper)
+        stub = StubClient(inet.network, inet.allocator.next_v4(), retries=0)
+        for index in range(40):
+            stub.ask(
+                counted_ip,
+                testbed["probes"].probe_name("valid", f"dc{index}"),
+                RdataType.A,
+            )
+        assert sum(wrapper.decisions.values()) == 40
+        for kind in ("pass", "drop", "servfail", "refused"):
+            assert wrapper.decisions[kind] > 0, f"kind {kind} never rolled"
+
+    def test_decisions_emit_obs_counter(self, flaky_setup, testbed):
+        from repro import obs
+
+        inet = flaky_setup["inet"]
+        inner = inet.network.host_at(flaky_setup["stable_ip"])
+        metered_ip = inet.allocator.next_v4()
+        wrapper = FlakyResolver(inner, servfail_rate=1.0, seed=3)
+        inet.network.attach(metered_ip, wrapper)
+        stub = StubClient(inet.network, inet.allocator.next_v4(), retries=0)
+        obs.enable()
+        try:
+            stub.ask(
+                metered_ip,
+                testbed["probes"].probe_name("valid", "ob0"),
+                RdataType.A,
+            )
+            rendered = obs.registry.render_prometheus()
+        finally:
+            obs.disable()
+            obs.reset()
+        assert 'repro_flaky_decisions_total{kind="servfail"} 1' in rendered
+
     def test_sometimes_servfails_valid_queries(self, flaky_setup, testbed):
         inet = flaky_setup["inet"]
         stub = StubClient(inet.network, inet.allocator.next_v4(), retries=0)

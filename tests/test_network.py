@@ -4,7 +4,9 @@ import pytest
 
 from repro.net.address import AddressAllocator, is_ipv6, normalize
 from repro.net.network import Host, Network
-from repro.net.transport import QueryFailure, Transport
+from repro.net.resilience import BackoffPolicy, CircuitBreaker
+from repro.net.transport import CircuitOpenError, QueryFailure, Transport
+from repro.dns.flags import Flag
 from repro.dns.message import Message, make_query, make_response
 from repro.dns.rcode import Rcode
 from repro.dns.types import RdataType
@@ -183,3 +185,161 @@ class TestTransport:
         assert not response.has_flag(Flag.TC)
         assert len(response.answer) == 1
         assert net.stats.tcp_queries == 1
+
+
+class Truncating(Host):
+    """Always answers TC=1 on UDP; TCP behaviour is pluggable per test."""
+
+    def __init__(self, tcp_behaviour):
+        self.tcp_behaviour = tcp_behaviour
+        self.tcp_attempts = 0
+
+    def handle_datagram(self, wire, src_ip, via_tcp=False):
+        query = Message.from_wire(wire)
+        if not via_tcp:
+            response = make_response(query)
+            response.set_flag(Flag.TC)
+            return response.to_wire()
+        self.tcp_attempts += 1
+        return self.tcp_behaviour(query, self.tcp_attempts)
+
+
+class TestTransportEdgePaths:
+    """The hostile-response paths a scanner meets on the real Internet."""
+
+    def test_tcp_failure_carries_qname_and_dst(self):
+        net = Network()
+        net.attach("192.0.2.1", Truncating(lambda query, attempt: None))
+        transport = Transport(net, "198.51.100.1", tcp_retries=1)
+        with pytest.raises(QueryFailure) as excinfo:
+            transport.query("192.0.2.1", make_query("edge.test", RdataType.A))
+        assert str(excinfo.value.qname).rstrip(".") == "edge.test"
+        assert excinfo.value.dst_ip == "192.0.2.1"
+
+    def test_tcp_wrong_id_rejected(self):
+        def wrong_id(query, attempt):
+            response = make_response(query)
+            response.id = (query.id + 1) & 0xFFFF
+            return response.to_wire()
+
+        net = Network()
+        net.attach("192.0.2.1", Truncating(wrong_id))
+        transport = Transport(net, "198.51.100.1", tcp_retries=0)
+        with pytest.raises(QueryFailure, match="id mismatch"):
+            transport.query("192.0.2.1", make_query("x.test", RdataType.A))
+
+    def test_tcp_malformed_wire_rejected(self):
+        net = Network()
+        net.attach(
+            "192.0.2.1", Truncating(lambda query, attempt: b"\xff\xee\xdd")
+        )
+        transport = Transport(net, "198.51.100.1", tcp_retries=0)
+        with pytest.raises(QueryFailure, match="malformed"):
+            transport.query("192.0.2.1", make_query("x.test", RdataType.A))
+
+    def test_tcp_retry_recovers_single_loss(self):
+        def flaky_then_fine(query, attempt):
+            if attempt == 1:
+                return None
+            return make_response(query).to_wire()
+
+        net = Network()
+        host = Truncating(flaky_then_fine)
+        net.attach("192.0.2.1", host)
+        transport = Transport(net, "198.51.100.1", tcp_retries=1)
+        response = transport.query("192.0.2.1", make_query("x.test", RdataType.A))
+        assert response.rcode == Rcode.NOERROR
+        assert host.tcp_attempts == 2
+
+    def test_udp_malformed_wire_retried_then_fails(self):
+        class Garbage(Host):
+            def __init__(self):
+                self.attempts = 0
+
+            def handle_datagram(self, wire, src_ip, via_tcp=False):
+                self.attempts += 1
+                return b"\x00\x01garbage"
+
+        net = Network()
+        host = Garbage()
+        net.attach("192.0.2.1", host)
+        transport = Transport(net, "198.51.100.1", retries=2)
+        with pytest.raises(QueryFailure):
+            transport.query("192.0.2.1", make_query("x.test", RdataType.A))
+        assert host.attempts == 3  # garbage burned every attempt
+
+    def test_backoff_advances_simulated_clock(self):
+        net = Network()
+        net.attach("192.0.2.1", Mute())
+        policy = BackoffPolicy(base_ms=100.0, factor=2.0, max_ms=1000.0, jitter=0.0)
+        transport = Transport(net, "198.51.100.1", retries=2, backoff=policy)
+        before = net.clock_ms
+        with pytest.raises(QueryFailure):
+            transport.query("192.0.2.1", make_query("x.test", RdataType.A))
+        assert net.clock_ms - before >= 100.0 + 200.0
+
+    def test_no_backoff_keeps_clock_cheap(self):
+        net = Network(base_latency_ms=0.0)
+        net.attach("192.0.2.1", Mute())
+        transport = Transport(net, "198.51.100.1", retries=2, backoff=None)
+        before = net.clock_ms
+        with pytest.raises(QueryFailure):
+            transport.query("192.0.2.1", make_query("x.test", RdataType.A))
+        assert net.clock_ms == before
+
+    def test_timeout_budget_bounds_retries(self):
+        net = Network()
+        net.attach("192.0.2.1", Mute())
+        policy = BackoffPolicy(base_ms=500.0, factor=1.0, max_ms=500.0, jitter=0.0)
+        transport = Transport(
+            net, "198.51.100.1", retries=10, backoff=policy, timeout_budget_ms=600.0
+        )
+        with pytest.raises(QueryFailure, match="budget"):
+            transport.query("192.0.2.1", make_query("x.test", RdataType.A))
+        # 10 retries were allowed but the budget cut the schedule short.
+        assert net.stats.datagrams <= 3
+
+    def test_circuit_breaker_opens_and_fails_fast(self):
+        net = Network()
+        net.attach("192.0.2.1", Mute())
+        breaker = CircuitBreaker(
+            clock=lambda: net.clock_ms, failure_threshold=2, recovery_ms=5000.0
+        )
+        transport = Transport(
+            net, "198.51.100.1", retries=0, backoff=None, breaker=breaker
+        )
+        for __ in range(2):
+            with pytest.raises(QueryFailure):
+                transport.query("192.0.2.1", make_query("x.test", RdataType.A))
+        assert breaker.state("192.0.2.1") == "open"
+        sent_before = net.stats.datagrams
+        with pytest.raises(CircuitOpenError):
+            transport.query("192.0.2.1", make_query("x.test", RdataType.A))
+        assert net.stats.datagrams == sent_before  # failed fast, no traffic
+
+    def test_circuit_recovers_through_half_open(self):
+        net = Network()
+        echo = Echo()
+        mute = Mute()
+        current = {"host": mute}
+
+        class Switch(Host):
+            def handle_datagram(self, wire, src_ip, via_tcp=False):
+                return current["host"].handle_datagram(wire, src_ip, via_tcp=via_tcp)
+
+        net.attach("192.0.2.1", Switch())
+        breaker = CircuitBreaker(
+            clock=lambda: net.clock_ms, failure_threshold=1, recovery_ms=50.0
+        )
+        transport = Transport(
+            net, "198.51.100.1", retries=0, backoff=None, breaker=breaker
+        )
+        with pytest.raises(QueryFailure):
+            transport.query("192.0.2.1", make_query("x.test", RdataType.A))
+        assert breaker.state("192.0.2.1") == "open"
+
+        net.clock_ms += 60.0  # outage clears, recovery window elapses
+        current["host"] = echo
+        response = transport.query("192.0.2.1", make_query("x.test", RdataType.A))
+        assert response.rcode == Rcode.NOERROR
+        assert breaker.state("192.0.2.1") == "closed"
