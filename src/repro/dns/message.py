@@ -64,6 +64,7 @@ class Message:
         self.authority = []
         self.additional = []
         self.edns = None
+        self._wire_memo = None
 
     # -- flag helpers -----------------------------------------------------
 
@@ -128,6 +129,29 @@ class Message:
         return self
 
     # -- wire format --------------------------------------------------------
+
+    def encode(self):
+        """Wire bytes, memoized for the send-side hot path.
+
+        A campaign resends identical query templates thousands of times
+        (transport retries, TCP fallback, per-shard clients): the first
+        call pays the full :meth:`to_wire`, later calls splice the current
+        ``id`` into the cached bytes, so :meth:`refresh_id` between sends
+        stays cheap. The memo is **not** invalidated on section edits —
+        callers that mutate a message after sending must use
+        :meth:`to_wire` (servers building responses already do).
+        """
+        memo = self._wire_memo
+        if memo is None:
+            memo = self.to_wire()
+            self._wire_memo = memo
+            return memo
+        return self.id.to_bytes(2, "big") + memo[2:]
+
+    def refresh_id(self):
+        """Redraw the message id (a resend that must not match stale replies)."""
+        self.id = int.from_bytes(os.urandom(2), "big")
+        return self
 
     def to_wire(self, max_size=None):
         """Encode to wire bytes; sets TC and truncates if *max_size* exceeded."""

@@ -26,10 +26,39 @@ class UnknownHashAlgorithm(ValueError):
     """Raised for NSEC3 hash algorithm numbers other than 1 (SHA-1)."""
 
 
-def _iterated_digest(owner_wire, salt, iterations):
+#: Digest memo, one table per chain parameters: the scan hot path hashes
+#: the same probe owners against the same ``(salt, iterations)`` over and
+#: over (closest-encloser proofs re-hash the zone apex for every query).
+#: Bounded: tables are cleared, not grown, past the limits.
+_MEMO_PARAMS_LIMIT = 64
+_MEMO_OWNERS_LIMIT = 4096
+_digest_memo = {}
+
+
+def _compute_iterated_digest(owner_wire, salt, iterations):
+    """The raw RFC 5155 iterated hash, no caching (benchmarks use this)."""
     digest = hashlib.sha1(owner_wire + salt).digest()
     for __ in range(iterations):
         digest = hashlib.sha1(digest + salt).digest()
+    return digest
+
+
+def _iterated_digest(owner_wire, salt, iterations):
+    # The meter charges full price even on a memo hit: the cost model
+    # describes a resolver that recomputes per query (the CVE-2023-50868
+    # exposure), while the memo only saves *our* host CPU.
+    table_key = (salt, iterations)
+    table = _digest_memo.get(table_key)
+    if table is None:
+        if len(_digest_memo) >= _MEMO_PARAMS_LIMIT:
+            _digest_memo.clear()
+        table = _digest_memo.setdefault(table_key, {})
+    digest = table.get(owner_wire)
+    if digest is None:
+        digest = _compute_iterated_digest(owner_wire, salt, iterations)
+        if len(table) >= _MEMO_OWNERS_LIMIT:
+            table.clear()
+        table[owner_wire] = digest
     meter.charge_nsec3(iterations, len(owner_wire), len(salt))
     return digest
 

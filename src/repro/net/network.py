@@ -1,9 +1,12 @@
 """The datagram fabric connecting simulated hosts.
 
-Delivery is synchronous (a query returns its response), but every exchange
-moves a simulated clock by the path latency and is subject to loss, so
-resolvers and scanners experience timeouts and retries exactly as their
-real counterparts do.
+Delivery is synchronous from the caller's point of view (a query returns
+its response), but time is owned by a :class:`~repro.net.sim.SimKernel`:
+every exchange is a delay-yielding generator whose waits — path latency,
+injected fault delays — become events on the kernel clock, so resolvers
+and scanners experience timeouts and retries exactly as their real
+counterparts do, and a campaign executor can overlap many sessions on the
+same clock.
 """
 
 from __future__ import annotations
@@ -14,6 +17,7 @@ from dataclasses import dataclass, fields
 from repro import obs
 from repro.net.address import is_ipv6, normalize
 from repro.net.faults import FaultContext
+from repro.net.sim import SimKernel
 
 #: The public network id: hosts here are reachable from anywhere.
 PUBLIC = "public"
@@ -53,7 +57,9 @@ class NetworkStats:
 class Network:
     """IP registry plus delivery with loss, latency, and closed networks."""
 
-    def __init__(self, loss_rate=0.0, base_latency_ms=10.0, seed=0, faults=None):
+    def __init__(
+        self, loss_rate=0.0, base_latency_ms=10.0, seed=0, faults=None, kernel=None
+    ):
         self._hosts = {}
         #: host ip -> network id; queries to a non-public network id are
         #: only delivered when the source is in the same network.
@@ -61,13 +67,26 @@ class Network:
         self._rng = random.Random(seed)
         self.loss_rate = loss_rate
         self.base_latency_ms = base_latency_ms
-        self.clock_ms = 0.0
+        #: The simulation kernel owning this network's clock. Networks can
+        #: share one kernel (one run, one clock); by default each gets its
+        #: own.
+        self.kernel = kernel if kernel is not None else SimKernel()
         self.stats = NetworkStats()
         #: Optional :class:`repro.net.faults.FaultPlan` judging every datagram.
         self.faults = faults
-        # Span durations measure simulated time: the most recently built
-        # network owns the tracer clock.
-        obs.bind_clock(lambda: self.clock_ms)
+        # Span durations measure simulated time. This bind is implicit
+        # (non-exclusive): it keeps the legacy last-network-wins behaviour
+        # until a run claims the tracer clock via ``kernel.bind_obs()``.
+        self.kernel.bind_obs(exclusive=False)
+
+    @property
+    def clock_ms(self):
+        """Simulated time, read through the kernel (frame-aware)."""
+        return self.kernel.clock.read()
+
+    @clock_ms.setter
+    def clock_ms(self, value):
+        self.kernel.clock.write(value)
 
     # -- registration -------------------------------------------------------
 
@@ -111,14 +130,23 @@ class Network:
         """Deliver *wire* from *src_ip* to *dst_ip*; returns response bytes.
 
         ``None`` models packet loss or an unreachable / refusing host.
+        The exchange runs on the kernel: at the top level each wait is a
+        heap event; nested sends (a resolver recursing inside
+        ``handle_datagram``) and sends inside a session frame run inline.
         """
+        return self.kernel.execute(self.exchange(src_ip, dst_ip, wire, via_tcp))
+
+    def exchange(self, src_ip, dst_ip, wire, via_tcp=False):
+        """Generator form of :meth:`send`: yields delays, returns response."""
         src_ip = normalize(src_ip)
         dst_ip = normalize(dst_ip)
         self.stats.datagrams += 1
         if via_tcp:
             self.stats.tcp_queries += 1
         if not obs.enabled:
-            response, __ = self._deliver(src_ip, dst_ip, wire, via_tcp)
+            response, __ = yield from self._exchange_steps(
+                src_ip, dst_ip, wire, via_tcp
+            )
             return response
 
         transport = "tcp" if via_tcp else "udp"
@@ -127,7 +155,7 @@ class Network:
             if obs.tracing
             else None
         )
-        response, drop = self._deliver(src_ip, dst_ip, wire, via_tcp)
+        response, drop = yield from self._exchange_steps(src_ip, dst_ip, wire, via_tcp)
         if span is not None:
             span.set(delivered=response is not None)
             if drop:
@@ -155,15 +183,21 @@ class Network:
             byte_counter.labels(direction="response").inc(len(response))
         return response
 
-    def _deliver(self, src_ip, dst_ip, wire, via_tcp):
-        """Move one datagram; returns ``(response, drop_reason)``."""
-        self.clock_ms += self._path_latency()
+    def _exchange_steps(self, src_ip, dst_ip, wire, via_tcp):
+        """Move one datagram; yields waits, returns ``(response, drop_reason)``.
+
+        The yield points are exactly where the serial fabric used to do
+        ``clock_ms +=``, in the same order relative to every RNG draw, so
+        driving this generator inline reproduces the legacy clock and
+        randomness trajectories bit for bit.
+        """
+        yield self._path_latency()
         ctx = None
         if self.faults is not None:
             ctx = FaultContext(src_ip, dst_ip, wire, via_tcp, self)
             delay, verdict = self.faults.on_send(ctx)
             if delay:
-                self.clock_ms += delay
+                yield delay
             if verdict is not None:
                 if verdict.drop_reason:
                     self.stats.dropped += 1
@@ -171,7 +205,7 @@ class Network:
                 # A synthesized response (e.g. rate-limited REFUSED): the
                 # query crossed the path and a real answer came back.
                 self.stats.bytes_sent += len(wire) + len(verdict.response)
-                self.clock_ms += self._path_latency()
+                yield self._path_latency()
                 return verdict.response, ""
         host = self._hosts.get(dst_ip)
         if host is None:
@@ -200,7 +234,7 @@ class Network:
                 return None, "fault-response"
             response = mutated
         if response is not None:
-            self.clock_ms += self._path_latency()
+            yield self._path_latency()
             self.stats.bytes_sent += len(response)
         return response, ""
 

@@ -12,6 +12,12 @@ Hardened against the weather :mod:`repro.net.faults` can produce:
 - an optional shared :class:`~repro.net.resilience.CircuitBreaker`
   quarantines destinations that keep failing, failing fast while the
   circuit is open.
+
+The whole retry state machine is written as a delay-yielding generator
+(:meth:`Transport.session`): backoff waits and path latencies are events
+on the :class:`~repro.net.sim.SimKernel` clock, which lets a campaign
+executor keep many query sessions in flight at once. :meth:`Transport.query`
+is the synchronous driver around it.
 """
 
 from __future__ import annotations
@@ -85,7 +91,17 @@ class Transport:
         :class:`CircuitOpenError` (without touching the network) when the
         destination is quarantined.
         """
-        wire = message.to_wire()
+        return self.network.kernel.execute(self.session(dst_ip, message))
+
+    def session(self, dst_ip, message):
+        """Generator form of :meth:`query`: yields waits, returns the response.
+
+        One in-flight query session: the schedule half emits backoff and
+        path delays, the complete half parses and settles. Drive it with
+        :meth:`~repro.net.sim.SimKernel.execute` (or ``yield from`` it
+        inside another session).
+        """
+        wire = message.encode()
         qname = message.question[0].name if message.question else None
         if self.breaker is not None and not self.breaker.allow(dst_ip):
             if obs.enabled:
@@ -97,11 +113,11 @@ class Transport:
         reason = f"no response from {dst_ip}"
         for attempt in range(self.retries + 1):
             if attempt:
-                self._back_off(attempt, "udp")
+                yield from self._back_off(attempt, "udp")
             if self._budget_spent(started_ms):
                 reason = f"timeout budget exhausted for {dst_ip}"
                 break
-            raw = self.network.send(self.source_ip, dst_ip, wire)
+            raw = yield from self.network.exchange(self.source_ip, dst_ip, wire)
             if raw is None:
                 continue
             try:
@@ -111,7 +127,10 @@ class Transport:
             if response.id != message.id:
                 continue
             if response.has_flag(Flag.TC):
-                return self._query_tcp(dst_ip, message, qname, started_ms)
+                result = yield from self._tcp_session(
+                    dst_ip, message, qname, started_ms
+                )
+                return result
             self._settle(dst_ip, True)
             return response
         self._settle(dst_ip, False)
@@ -119,16 +138,16 @@ class Transport:
             self._count_failure("udp")
         raise QueryFailure(reason, qname=qname, dst_ip=dst_ip)
 
-    def _query_tcp(self, dst_ip, message, qname=None, started_ms=None):
+    def _tcp_session(self, dst_ip, message, qname=None, started_ms=None):
         reason = f"TCP retry to {dst_ip} failed"
         for attempt in range(self.tcp_retries + 1):
             if attempt:
-                self._back_off(attempt, "tcp")
+                yield from self._back_off(attempt, "tcp")
             if started_ms is not None and self._budget_spent(started_ms):
                 reason = f"timeout budget exhausted for {dst_ip}"
                 break
-            raw = self.network.send(
-                self.source_ip, dst_ip, message.to_wire(), via_tcp=True
+            raw = yield from self.network.exchange(
+                self.source_ip, dst_ip, message.encode(), via_tcp=True
             )
             if raw is None:
                 continue
@@ -151,7 +170,7 @@ class Transport:
 
     def _back_off(self, attempt, transport):
         if self.backoff is not None:
-            self.network.clock_ms += self.backoff.delay_ms(attempt, self._rng)
+            yield self.backoff.delay_ms(attempt, self._rng)
         if obs.enabled:
             obs.registry.counter(
                 "repro_transport_retries_total",

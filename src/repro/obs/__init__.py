@@ -23,10 +23,15 @@ Instrumentation idiom::
     with obs.span("net.hop", dst=ip) as sp:   # NULL span when tracing off
         ...
 
-The tracer's clock is bound to the active simulated network
-(:meth:`bind_clock`, called from ``Network.__init__``), so span
-durations are simulated milliseconds, directly comparable to the
-latency/timeout behaviour the resolvers experience.
+The tracer's clock is bound to the simulation kernel that owns the run
+(:func:`bind_clock`), so span durations are simulated milliseconds,
+directly comparable to the latency/timeout behaviour the resolvers
+experience. ``Network.__init__`` binds *implicitly* (non-exclusive,
+last network wins — the historical behaviour); a run that builds more
+than one network should **claim** the clock via
+``kernel.bind_obs()`` / ``bind_clock(..., exclusive=True)``, after
+which implicit binds no longer steal it. :func:`unbind_clock` releases
+a claim (test teardown).
 """
 
 from __future__ import annotations
@@ -54,6 +59,7 @@ __all__ = [
     "disable",
     "reset",
     "bind_clock",
+    "unbind_clock",
     "span",
 ]
 
@@ -102,9 +108,38 @@ def reset():
     tracer.clear()
 
 
-def bind_clock(clock):
-    """Point the tracer at a simulated clock (zero-arg callable → ms)."""
+#: Who currently owns the tracer clock (None until someone claims it).
+_clock_owner = None
+#: True when the current binding was made with ``exclusive=True``.
+_clock_claimed = False
+
+
+def bind_clock(clock, owner=None, exclusive=False):
+    """Point the tracer at a simulated clock (zero-arg callable → ms).
+
+    Plain calls keep the historical last-caller-wins behaviour — until a
+    caller *claims* the clock with ``exclusive=True`` (normally
+    ``SimKernel.bind_obs()``, once per run). While claimed, non-exclusive
+    binds from other owners are ignored, so constructing a second
+    ``Network`` can no longer silently rebind the tracer mid-run. A new
+    exclusive claim (a new run) takes over. Returns True when the bind
+    took effect.
+    """
+    global _clock_owner, _clock_claimed
+    if _clock_claimed and not exclusive and owner is not _clock_owner:
+        return False
+    _clock_owner = owner
+    _clock_claimed = bool(exclusive)
     tracer.clock = clock
+    return True
+
+
+def unbind_clock():
+    """Release any claim and reset the tracer clock to zero."""
+    global _clock_owner, _clock_claimed
+    _clock_owner = None
+    _clock_claimed = False
+    tracer.clock = lambda: 0.0
 
 
 def span(name, **attributes):

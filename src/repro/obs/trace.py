@@ -10,8 +10,8 @@ starts becomes its parent.
 Spans measure two things:
 
 - **simulated time** — ``start_ms``/``end_ms`` read from the tracer's
-  clock (bound to :attr:`repro.net.network.Network.clock_ms`), so span
-  durations reflect path latency, not host CPU;
+  clock (bound to the :class:`repro.net.sim.SimKernel` clock that owns
+  the run), so span durations reflect path latency, not host CPU;
 - **CPU cost units** — a delta of the global
   :data:`repro.dnssec.costmodel.meter` between start and finish, so a
   span over an NSEC3-heavy validation shows exactly where the SHA-1
@@ -83,8 +83,8 @@ class Tracer:
     """Builds span trees over a simulated clock.
 
     ``clock`` is a zero-argument callable returning milliseconds;
-    :meth:`repro.obs.bind_clock` points it at the active network's
-    ``clock_ms``. Finished root spans are kept in a bounded deque so a
+    :func:`repro.obs.bind_clock` points it at the simulation kernel
+    owning the run. Finished root spans are kept in a bounded deque so a
     long instrumented run cannot grow memory without bound.
     """
 

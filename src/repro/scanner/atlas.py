@@ -36,9 +36,15 @@ class AtlasCampaign:
     #: Same graceful-degradation knobs as :class:`ResolverSurvey` — Atlas
     #: probes cross the same hostile network the scanner does.
     retry_policy: object = None
+    #: In-flight window on the simulation kernel (Atlas probes run from
+    #: independent vantage points, so their sessions naturally overlap).
+    concurrency: int = 1
     entries: list = field(default_factory=list)
 
     def run(self, deployed_resolvers):
+        from repro.net.sim import CampaignExecutor
+
+        executor = CampaignExecutor(self.network.kernel, self.concurrency)
         self.entries = []
         count = 0
         for index, deployed in enumerate(deployed_resolvers):
@@ -48,27 +54,9 @@ class AtlasCampaign:
                 break
             if not deployed.probe_source_ip:
                 continue
-            if self.retry_policy is None:
-                matrix = probe_resolver(
-                    self.network,
-                    deployed.ip,
-                    self.probe_set,
-                    deployed.probe_source_ip,
-                    unique=f"atlas{index}",
-                    iterations=self.iterations,
-                    keep_ede=False,  # Atlas does not expose EDE
-                )
-            else:
-                matrix, healthy = probe_with_policy(
-                    self.network,
-                    deployed.ip,
-                    self.probe_set,
-                    deployed.probe_source_ip,
-                    f"atlas{index}",
-                    self.iterations,
-                    self.retry_policy,
-                    keep_ede=False,
-                )
+            matrix, healthy = executor.submit(
+                lambda d=deployed, i=index: self._probe(d, i)
+            )
             classification = classify_resolver(matrix, resolver=deployed.ip)
             if self.retry_policy is not None and not healthy:
                 classification.notes.append(
@@ -76,7 +64,32 @@ class AtlasCampaign:
                 )
             self.entries.append(SurveyEntry(deployed, matrix, classification))
             count += 1
+        executor.drain()
         return self.entries
+
+    def _probe(self, deployed, index):
+        """One closed resolver's probe session; returns (matrix, healthy)."""
+        if self.retry_policy is None:
+            matrix = probe_resolver(
+                self.network,
+                deployed.ip,
+                self.probe_set,
+                deployed.probe_source_ip,
+                unique=f"atlas{index}",
+                iterations=self.iterations,
+                keep_ede=False,  # Atlas does not expose EDE
+            )
+            return matrix, True
+        return probe_with_policy(
+            self.network,
+            deployed.ip,
+            self.probe_set,
+            deployed.probe_source_ip,
+            f"atlas{index}",
+            self.iterations,
+            self.retry_policy,
+            keep_ede=False,
+        )
 
     def classifications(self):
         return [entry.classification for entry in self.entries]

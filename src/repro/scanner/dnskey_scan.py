@@ -24,4 +24,7 @@ def dnskey_scan(engine, domain_names):
             continue
         if any(int(rrset.rrtype) == int(RdataType.DNSKEY) for rrset in answer.answer):
             enabled.append(name)
+    # Settle the engine's in-flight window so stage 2 starts after every
+    # stage-1 session has completed on the simulated clock.
+    engine.drain()
     return enabled

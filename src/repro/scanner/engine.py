@@ -9,12 +9,14 @@ ablation are meaningful.
 
 from __future__ import annotations
 
+import zlib
 from collections import Counter
 from dataclasses import dataclass, field
 
 from repro import obs
 from repro.dns.rcode import Rcode
 from repro.dns.types import RdataType
+from repro.net.sim import CampaignExecutor
 from repro.resolver.stub import StubAnswer, StubClient
 from repro.scanner.campaign import (
     CampaignResult,
@@ -22,6 +24,20 @@ from repro.scanner.campaign import (
     answer_to_record,
     job_key,
 )
+
+
+def shard_source_ip(base_ip, index):
+    """A deterministic scanner-fleet source address for shard *index*.
+
+    Drawn from 100.64.0.0/10 (the CGNAT block), which none of the
+    testbed allocators (10.0.0.0/16, 192.0.2.0/24, 198.18.0.0/15,
+    2001:db8::/32) ever hand out, so shard sources can never collide
+    with a deployed host. The base address is mixed in so two sharded
+    engines on one network keep distinct fleets.
+    """
+    basis = zlib.crc32(str(base_ip).encode("utf-8")) & 0x3FF
+    host = (basis * 251 + index) % (1 << 22)
+    return f"100.{64 + (host >> 16)}.{(host >> 8) & 0xFF}.{host & 0xFF}"
 
 
 @dataclass
@@ -84,6 +100,14 @@ class ScanEngine:
     extra times (the upstream path may just have had a bad moment — the
     paper re-queried flaky responders for the same reason). *breaker*
     is an optional shared circuit breaker handed to the transport.
+
+    *concurrency* is the in-flight window: each query becomes a session
+    on the network's simulation kernel, so up to that many overlap on
+    the simulated clock (answers are byte-identical at any window size —
+    sessions execute in submission order; only time overlaps). The
+    default of 1 preserves exact serial behaviour. *shards* splits the
+    stub-client hot path across that many source addresses (the paper's
+    scan fleet), which also spreads per-source rate-limit buckets.
     """
 
     def __init__(
@@ -95,6 +119,8 @@ class ScanEngine:
         retries=1,
         target_retries=0,
         breaker=None,
+        concurrency=1,
+        shards=1,
     ):
         self.network = network
         self.client = StubClient(network, source_ip, retries=retries, breaker=breaker)
@@ -102,8 +128,38 @@ class ScanEngine:
         self.max_qps = max_qps
         self.target_retries = target_retries
         self.stats = ScanStats()
+        self.concurrency = max(1, int(concurrency))
+        self.shards = max(1, int(shards))
+        if self.shards > 1:
+            self._clients = [self.client] + [
+                StubClient(
+                    network,
+                    shard_source_ip(source_ip, index),
+                    retries=retries,
+                    breaker=breaker,
+                )
+                for index in range(1, self.shards)
+            ]
+        else:
+            self._clients = None
+        self.executor = CampaignExecutor(network.kernel, self.concurrency)
+        self._submitted = 0
 
-    def _ask(self, qname, qtype, want_dnssec, checking_disabled):
+    def _client_for(self, index):
+        """The shard client owning query *index* (``self.client`` unsharded)."""
+        if self._clients is None:
+            return self.client
+        return self._clients[index % self.shards]
+
+    def drain(self):
+        """Wait for every in-flight session; syncs stats to the makespan."""
+        self.executor.drain()
+        if self.stats.queries:
+            self.stats.finished_ms = max(
+                self.stats.finished_ms, self.network.kernel.now
+            )
+
+    def _ask(self, qname, qtype, want_dnssec, checking_disabled, client=None):
         """One rate-limited attempt (no outcome bookkeeping)."""
         if self.stats.queries == 0:
             self.stats.started_ms = self.network.clock_ms
@@ -115,7 +171,7 @@ class ScanEngine:
             )
             if self.network.clock_ms < earliest:
                 self.network.clock_ms = earliest
-        answer = self.client.ask(
+        answer = (client or self.client).ask(
             self.resolver_ip,
             qname,
             qtype,
@@ -145,14 +201,27 @@ class ScanEngine:
 
         Only the final outcome lands in ``stats.rcodes``/``unanswered``;
         intermediate re-asks count as ``stats.reprobes`` (and as queries,
-        for pacing — they are real traffic).
+        for pacing — they are real traffic). With ``concurrency > 1``
+        the query runs as one in-flight session on the kernel — the
+        answer is still returned synchronously, while its simulated cost
+        overlaps the window.
         """
-        answer = self._ask(qname, qtype, want_dnssec, checking_disabled)
+        index = self._submitted
+        self._submitted += 1
+        return self.executor.submit(
+            lambda: self._query_session(
+                qname, qtype, want_dnssec, checking_disabled,
+                self._client_for(index),
+            )
+        )
+
+    def _query_session(self, qname, qtype, want_dnssec, checking_disabled, client):
+        answer = self._ask(qname, qtype, want_dnssec, checking_disabled, client)
         for __ in range(self.target_retries):
             if not self._transient(answer):
                 break
             self.stats.reprobes += 1
-            answer = self._ask(qname, qtype, want_dnssec, checking_disabled)
+            answer = self._ask(qname, qtype, want_dnssec, checking_disabled, client)
         if answer.answered:
             self.stats.rcodes[answer.rcode] += 1
         else:
@@ -166,7 +235,7 @@ class ScanEngine:
         scan with CD set (measuring what zones publish rather than what a
         validator accepts) keep that behaviour through the batch API.
         """
-        return [
+        answers = [
             self.query(
                 qname,
                 qtype,
@@ -175,6 +244,8 @@ class ScanEngine:
             )
             for qname, qtype in jobs
         ]
+        self.drain()
+        return answers
 
     def run_campaign(
         self,
@@ -227,6 +298,9 @@ class ScanEngine:
         for __ in range(requeue_attempts):
             if not deferred:
                 break
+            # The requeue pass waits out the delay *after* every main-pass
+            # session has completed on the kernel clock.
+            self.drain()
             if requeue_delay_ms:
                 self.network.clock_ms += requeue_delay_ms
             still_failing = []
@@ -248,6 +322,7 @@ class ScanEngine:
             result.failed.append(key)
             settle(key, StubAnswer.timeout())
 
+        self.drain()
         if checkpoint is not None:
             checkpoint.flush()
         self.stats.requeued += result.requeued

@@ -102,7 +102,9 @@ def scan_domain(engine, domain, rng, delegation_count=0, open_zone=False):
 def nsec3_scan(engine, domains, seed=1355):
     """Stage-2 scan over many domains; returns DomainScanResults."""
     rng = random.Random(seed)
-    return [scan_domain(engine, domain, rng) for domain in domains]
+    results = [scan_domain(engine, domain, rng) for domain in domains]
+    engine.drain()
+    return results
 
 
 def scan_tlds(engine, tld_specs, seed=31):
@@ -128,4 +130,5 @@ def scan_tlds(engine, tld_specs, seed=31):
                 open_zone=open_zone,
             )
         )
+    engine.drain()
     return results

@@ -313,13 +313,19 @@ class ResolverSurvey:
     #: Shared per-destination circuit breaker (created lazily when a
     #: retry policy is set).
     breaker: object = None
+    #: In-flight window on the simulation kernel: how many resolvers'
+    #: probe sessions overlap on the simulated clock (1 = serial; the
+    #: answers are identical at any width, only elapsed time changes).
+    concurrency: int = 1
     entries: list = field(default_factory=list)
 
     def run(self, deployed_resolvers):
         """Probe every resolver (open from outside, closed from inside)."""
         from repro.net.resilience import CircuitBreaker
+        from repro.net.sim import CampaignExecutor
         from repro.scanner.campaign import CampaignCheckpoint
 
+        self._executor = CampaignExecutor(self.network.kernel, self.concurrency)
         policy = self.retry_policy
         if policy is not None and self.breaker is None:
             recovery = min(1500.0, policy.requeue_delay_ms or 1500.0)
@@ -348,13 +354,17 @@ class ResolverSurvey:
                     SurveyEntry(deployed, matrix, classification, resumed=True)
                 )
                 continue
-            matrix, healthy = self._probe_with_policy(deployed, unique)
+            matrix, healthy = self._executor.submit(
+                lambda d=deployed, u=unique: self._probe_with_policy(d, u)
+            )
             if not healthy and policy is not None:
                 deferred.append((index, deployed, matrix))
                 continue
             self._admit(deployed, unique, matrix, checkpoint, key)
 
+        self._executor.drain()
         self._requeue(deferred, checkpoint)
+        self._executor.drain()
         if checkpoint is not None:
             checkpoint.flush()
         return self.entries
@@ -367,12 +377,15 @@ class ResolverSurvey:
         for attempt in range(policy.requeue_attempts):
             if not deferred:
                 return
+            self._executor.drain()
             if policy.requeue_delay_ms:
                 self.network.clock_ms += policy.requeue_delay_ms
             still_failing = []
             for index, deployed, last_matrix in deferred:
                 unique = f"r{index}-rq{attempt}"
-                matrix, healthy = self._probe_with_policy(deployed, unique)
+                matrix, healthy = self._executor.submit(
+                    lambda d=deployed, u=unique: self._probe_with_policy(d, u)
+                )
                 if healthy:
                     self._admit(
                         deployed, unique, matrix, checkpoint,
