@@ -54,6 +54,46 @@ def test_cve_amplification_curve(benchmark, bench_internet, victim):
     assert amplification[500] > amplification[150] > amplification[50]
 
 
+def test_guarded_resolver_cost_is_bounded(benchmark, bench_internet):
+    """A work budget caps per-query cost on the worst probe zone.
+
+    The "strict" profile (2,000 SHA-1 compressions) is far below what an
+    it-500 denial costs an unguarded resolver; the guarded resolver must
+    abort with SERVFAIL + EDE while staying within the budget plus at
+    most one NSEC3 hash of overshoot.
+    """
+    from repro.resolver.guard import GUARD_PROFILES
+
+    inet = bench_internet["inet"]
+    probes = bench_internet["probes"]
+    profile = GUARD_PROFILES["strict"]
+    guarded = inet.make_resolver(
+        VENDOR_POLICIES["legacy"], name="cve-guarded", guard=profile
+    )
+    stub = StubClient(inet.network, inet.allocator.next_v4())
+
+    def guarded_denial_cost():
+        before = meter.snapshot()
+        answer = stub.ask(
+            guarded.ip, probes.probe_name(500, "strict-bench"), RdataType.A
+        )
+        assert answer.rcode == Rcode.SERVFAIL
+        assert answer.ede_codes
+        return (meter.snapshot() - before).sha1_compressions
+
+    cost = benchmark.pedantic(guarded_denial_cost, rounds=1, iterations=1)
+    assert cost <= profile.max_hash_cost + 1_000
+    assert guarded.guard_events.get("hash_cost", 0) >= 1
+
+    # The same probe against an unguarded resolver burns multiples of the
+    # budget — the bound above is doing real work.
+    unguarded = inet.make_resolver(VENDOR_POLICIES["legacy"], name="cve-unbounded")
+    before = meter.snapshot()
+    answer = stub.ask(unguarded.ip, probes.probe_name(500, "strict-free"), RdataType.A)
+    assert answer.rcode == Rcode.NXDOMAIN
+    assert (meter.snapshot() - before).sha1_compressions > profile.max_hash_cost
+
+
 def test_nsec3_hash_throughput(benchmark):
     """Microbenchmark: one NSEC3 hash at the RFC 5155 ceiling (2,500 it)."""
     benchmark(nsec3_hash_name, "some-name.example.com", b"\xab\xcd" * 4, 2500)

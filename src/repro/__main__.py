@@ -7,6 +7,9 @@ Commands:
 - ``scan``   — the domain pipeline only;
 - ``survey`` — the resolver survey only;
 - ``trace`` — run one probe query with tracing on and print its span tree;
+- ``attack`` — run adversarial NSEC3/DNSSEC workloads (CVE-2023-50868
+  encloser zones, KeyTrap-style key-tag collisions) against an unguarded
+  and a resource-guarded resolver and report per-query cost;
 - ``timeline`` — the modelled longitudinal view of RFC 9276 adoption;
 - ``guidance`` — print the twelve RFC 9276 items (paper Table 1).
 
@@ -41,6 +44,8 @@ from repro.dns.rcode import Rcode
 from repro.dns.types import RdataType
 from repro.obs import render_span_tree
 from repro.net.faults import parse_fault_spec
+from repro.dnssec.costmodel import meter
+from repro.resolver.guard import GUARD_PROFILES
 from repro.resolver.policy import VENDOR_POLICIES
 from repro.resolver.stub import StubClient
 from repro.scanner.atlas import AtlasCampaign
@@ -270,6 +275,97 @@ def cmd_trace(args):
     _dump_metrics(args, inet)
 
 
+def cmd_attack(args):
+    """Run the adversarial workloads against guarded and unguarded resolvers.
+
+    For every attack zone, fire ``--queries`` unique (cache-busting)
+    probes at a legacy-policy resolver without guards and at one running
+    the ``--guard`` profile, and report the worst per-query simulated
+    cost each saw. The guarded resolver is expected to SERVFAIL (with an
+    Extended DNS Error) once a budget trips, capping its cost at the
+    ceiling plus at most one metered operation; the unguarded one burns
+    the full amplification — the CI smoke job asserts exactly that split
+    from the exported metrics.
+    """
+    from repro.testbed.adversary import build_attack_zones
+
+    if _metrics_requested(args):
+        obs.enable()
+    inet, __, __, __tlds = _build(args, with_probes=False)
+    _apply_faults(args, inet)
+    attack = build_attack_zones(inet, seed=args.seed + 50_861)
+    profile = GUARD_PROFILES[args.guard]
+    resolvers = (
+        (
+            "unguarded",
+            inet.make_resolver(VENDOR_POLICIES["legacy"], name="attack-unguarded"),
+        ),
+        (
+            args.guard,
+            inet.make_resolver(
+                VENDOR_POLICIES["legacy"], name="attack-guarded", guard=profile
+            ),
+        ),
+    )
+    print(f"adversarial workloads ({args.queries} unique queries per zone):")
+    print(
+        f"  {'zone':18s} {'profile':12s} {'rcodes':18s} "
+        f"{'max sha1':>9s} {'max verify':>10s} {'servfail':>8s}"
+    )
+    for kind in attack.attack_kinds():
+        for label, resolver in resolvers:
+            max_sha1 = max_verify = servfails = 0
+            rcodes = set()
+            for index in range(args.queries):
+                qname = attack.attack_name(kind, unique=f"q{index}")
+                before = meter.snapshot()
+                verdict = resolver.resolve_and_validate(qname, RdataType.A)
+                delta = meter.snapshot() - before
+                max_sha1 = max(max_sha1, delta.sha1_compressions)
+                max_verify = max(max_verify, delta.signature_verifications)
+                rcodes.add(Rcode.to_text(verdict.rcode))
+                if verdict.rcode == Rcode.SERVFAIL:
+                    servfails += 1
+            print(
+                f"  {kind:18s} {label:12s} {'/'.join(sorted(rcodes)):18s} "
+                f"{max_sha1:9d} {max_verify:10d} {servfails:7d}/{args.queries}"
+            )
+            if obs.enabled:
+                cost_gauge = obs.registry.gauge(
+                    "repro_attack_cost_max",
+                    "Worst per-query simulated cost observed per attack "
+                    "zone and resolver profile.",
+                    labelnames=("profile", "zone", "dimension"),
+                )
+                cost_gauge.labels(
+                    profile=label, zone=kind, dimension="sha1_compressions"
+                ).set(max_sha1)
+                cost_gauge.labels(
+                    profile=label, zone=kind, dimension="verifications"
+                ).set(max_verify)
+    guarded = resolvers[1][1]
+    if guarded.guard_events:
+        print(
+            "guard events: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(guarded.guard_events.items()))
+        )
+    if obs.enabled:
+        budget_gauge = obs.registry.gauge(
+            "repro_attack_guard_budget",
+            "Configured ceilings of the guard profile under test.",
+            labelnames=("profile", "dimension"),
+        )
+        for dimension, value in (
+            ("sha1_compressions", profile.max_hash_cost),
+            ("verifications", profile.max_signature_verifications),
+            ("upstream_queries", profile.max_upstream_queries),
+        ):
+            if value is not None:
+                budget_gauge.labels(profile=args.guard, dimension=dimension).set(value)
+    _sim_summary(args, inet)
+    _dump_metrics(args, inet)
+
+
 def cmd_timeline(args):
     """Print the modelled RFC 9276 adoption timeline."""
     states = compliance_timeline()
@@ -377,6 +473,32 @@ def main(argv=None):
         "--metrics-format", choices=("json", "prometheus"), default="json"
     )
     trace.set_defaults(handler=cmd_trace)
+
+    attack = sub.add_parser(
+        "attack",
+        help="adversarial NSEC3/DNSSEC workloads vs a resource-guarded resolver",
+    )
+    attack.add_argument("--domains", type=int, default=60)
+    attack.add_argument("--tlds", type=int, default=40)
+    attack.add_argument("--seed", type=int, default=7)
+    attack.add_argument(
+        "--queries",
+        type=int,
+        default=6,
+        help="unique (cache-busting) probes per attack zone (default: 6)",
+    )
+    attack.add_argument(
+        "--guard",
+        choices=sorted(GUARD_PROFILES),
+        default="guarded",
+        help="guard profile for the protected resolver (default: guarded)",
+    )
+    attack.add_argument("--metrics-out", metavar="PATH")
+    attack.add_argument(
+        "--metrics-format", choices=("json", "prometheus"), default="json"
+    )
+    attack.add_argument("--faults", metavar="SPEC")
+    attack.set_defaults(handler=cmd_attack)
 
     timeline = sub.add_parser("timeline", help="modelled adoption timeline")
     timeline.set_defaults(handler=cmd_timeline)

@@ -17,6 +17,7 @@ OPTION_EDE = 15
 
 # -- Extended DNS Error INFO-CODEs relevant to the study (RFC 8914 §4) ----
 EDE_OTHER = 0
+EDE_STALE_ANSWER = 3
 EDE_DNSSEC_INDETERMINATE = 5
 EDE_DNSSEC_BOGUS = 6
 EDE_SIGNATURE_EXPIRED = 7
@@ -25,6 +26,7 @@ EDE_UNSUPPORTED_NSEC3_ITERATIONS = 27
 
 EDE_NAMES = {
     EDE_OTHER: "Other",
+    EDE_STALE_ANSWER: "Stale Answer",
     EDE_DNSSEC_INDETERMINATE: "DNSSEC Indeterminate",
     EDE_DNSSEC_BOGUS: "DNSSEC Bogus",
     EDE_SIGNATURE_EXPIRED: "Signature Expired",

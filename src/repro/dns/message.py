@@ -12,7 +12,13 @@ from repro.dns.rdata import parse_rdata
 from repro.dns.rdata.opt import OPT
 from repro.dns.rrset import RRset
 from repro.dns.types import Opcode, RdataClass, RdataType
-from repro.dns.wire import Reader, WireError, Writer
+from repro.dns.wire import (
+    MAX_DECODE_RECORDS,
+    MAX_EDNS_OPTIONS,
+    Reader,
+    WireError,
+    Writer,
+)
 
 HEADER_LENGTH = 12
 
@@ -251,6 +257,12 @@ class Message:
         ancount = reader.read_u16()
         nscount = reader.read_u16()
         arcount = reader.read_u16()
+        total_records = qdcount + ancount + nscount + arcount
+        if total_records > MAX_DECODE_RECORDS:
+            raise WireError(
+                f"message claims {total_records} records "
+                f"(decode cap {MAX_DECODE_RECORDS})"
+            )
         for __ in range(qdcount):
             name = reader.read_name()
             rrtype = reader.read_u16()
@@ -266,6 +278,10 @@ class Message:
     @staticmethod
     def _read_section(reader, count, msg):
         section = []
+        # RRset merge index: without it a section of n records that never
+        # coalesce costs O(n²) scans — the parse-work amplification the
+        # decode caps exist to prevent; with it the caps are belt and braces.
+        index = {}
         for __ in range(count):
             name = reader.read_name()
             rrtype = reader.read_u16()
@@ -275,20 +291,19 @@ class Message:
             rdata = parse_rdata(rrtype, reader, rdlength)
             if rrtype == RdataType.OPT:
                 msg.edns = Edns.from_opt(rdata, rdclass, ttl)
+                if len(msg.edns.options) > MAX_EDNS_OPTIONS:
+                    raise WireError(
+                        f"OPT record carries {len(msg.edns.options)} options "
+                        f"(decode cap {MAX_EDNS_OPTIONS})"
+                    )
                 continue
-            merged = False
-            for rrset in section:
-                if (
-                    rrset.name == name
-                    and int(rrset.rrtype) == rrtype
-                    and int(rrset.rdclass) == rdclass
-                ):
-                    rrset.add(rdata)
-                    merged = True
-                    break
-            if not merged:
-                rrset = RRset(name, rrtype, ttl, [rdata], RdataClass(rdclass) if rdclass in RdataClass._value2member_map_ else RdataClass.IN)
-                section.append(rrset)
+            existing = index.get((name, rrtype, rdclass))
+            if existing is not None:
+                existing.add(rdata)
+                continue
+            rrset = RRset(name, rrtype, ttl, [rdata], RdataClass(rdclass) if rdclass in RdataClass._value2member_map_ else RdataClass.IN)
+            section.append(rrset)
+            index[(name, rrtype, rdclass)] = rrset
         return section
 
     def __repr__(self):

@@ -11,6 +11,18 @@ class WireError(ValueError):
     """Raised when a DNS message cannot be parsed from wire bytes."""
 
 
+#: Decode-time ceiling on the summed header section counts. Each count
+#: field can claim up to 65,535 records; garbage from the Corruption
+#: fault model (or a hostile server) could otherwise drive the parser
+#: through ~256 K record headers per datagram. Generous on purpose: a
+#: single-message AXFR of any zone this testbed builds stays far below it.
+MAX_DECODE_RECORDS = 16_384
+
+#: Decode-time ceiling on EDNS options carried in one OPT record. Real
+#: messages carry a handful (EDE, cookies); hundreds is an attack shape.
+MAX_EDNS_OPTIONS = 64
+
+
 class Writer:
     """Accumulates wire bytes and performs name compression.
 

@@ -44,6 +44,11 @@ class CostMeter:
     sha1_compressions: int = 0
     nsec3_hashes: int = 0
     signature_verifications: int = 0
+    #: Optional zero-arg callback fired after every charge. The resolver
+    #: resource guard (:mod:`repro.resolver.guard`) installs its per-query
+    #: budget check here while a budget is active; it stays None otherwise
+    #: so the uninstrumented hot path pays one attribute test per charge.
+    listener: object = None
 
     def charge_nsec3(self, iterations, input_length, salt_length):
         """Account one full NSEC3 hash of a name.
@@ -56,9 +61,13 @@ class CostMeter:
         later_blocks = _sha1_blocks(20 + salt_length)
         self.sha1_compressions += first_blocks + iterations * later_blocks
         self.nsec3_hashes += 1
+        if self.listener is not None:
+            self.listener()
 
     def charge_verification(self):
         self.signature_verifications += 1
+        if self.listener is not None:
+            self.listener()
 
     def snapshot(self):
         return CostSnapshot(

@@ -36,6 +36,7 @@ class Cache:
         self.name = name
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def _now(self):
         return self._clock()
@@ -46,6 +47,15 @@ class Cache:
             "Cache lookups, by cache role and result.",
             labelnames=("cache", "result"),
         ).labels(cache=self.name, result=result).inc()
+
+    def _count_evictions(self, reason, amount):
+        self.evictions += amount
+        if amount and obs.enabled:
+            obs.registry.counter(
+                "repro_cache_evictions_total",
+                "Capacity evictions, by cache role and reason.",
+                labelnames=("cache", "reason"),
+            ).labels(cache=self.name, reason=reason).inc(amount)
 
     def get(self, key):
         """The live entry for *key*, or None (expired entries are dropped)."""
@@ -66,13 +76,20 @@ class Cache:
             self._count_lookup("hit")
         return entry
 
+    def peek(self, key):
+        """The entry for *key* even when expired (RFC 8767 serve-stale reads).
+
+        Does not drop expired entries and does not count toward the
+        hit/miss statistics — the caller decides whether stale is usable.
+        """
+        return self._store.get(key)
+
     def put(self, key, value, ttl_seconds, secure=False):
         """Store *value* for *ttl_seconds* of simulated time."""
         if len(self._store) >= self.max_entries:
             self._evict_expired()
             if len(self._store) >= self.max_entries:
-                # Degenerate fallback: drop an arbitrary entry.
-                self._store.pop(next(iter(self._store)))
+                self._evict_oldest()
         self._store[key] = CacheEntry(
             value, self._now() + ttl_seconds * 1000.0, secure
         )
@@ -82,6 +99,14 @@ class Cache:
         dead = [key for key, entry in self._store.items() if entry.expires_ms <= now]
         for key in dead:
             del self._store[key]
+        self._count_evictions("expired", len(dead))
+
+    def _evict_oldest(self):
+        """Evict the entry expiring soonest (deterministic: ties resolve to
+        the earliest-inserted entry, since ``min`` scans in insertion order)."""
+        oldest = min(self._store, key=lambda key: self._store[key].expires_ms)
+        del self._store[oldest]
+        self._count_evictions("overflow", 1)
 
     def drop(self, key):
         """Remove *key* if present; returns True when something was dropped."""

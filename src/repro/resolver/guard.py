@@ -1,0 +1,300 @@
+"""Resolver-side resource guards: work budgets, watchdogs, load shedding.
+
+The paper's premise is that NSEC3 parameters are a resource-exhaustion
+vector: CVE-2023-50868 burns resolver CPU through closest-encloser proofs
+with high iteration counts, and KeyTrap (Heftrig et al. 2024) does the
+same through signature validation against colliding key tags. Patched
+resolvers defend with *per-query work limits* — BIND's limit on NSEC3
+iterations-per-fetch, Unbound's suspicion counters, the validation caps
+every vendor shipped in February 2024. This module models that defence
+layer so the reproduction can measure resolver availability (not just
+classification verdicts) under the adversarial zones in
+:mod:`repro.testbed.adversary`.
+
+Three cooperating mechanisms:
+
+- :class:`WorkBudget` — a per-query ledger charged with NSEC3 hash cost
+  and signature verifications (piggybacking on the process-global
+  :data:`repro.dnssec.costmodel.meter` via its listener hook) plus
+  upstream fetch fan-out and delegation-chain depth. Any ceiling breach
+  raises :class:`BudgetExceeded` and the resolver answers SERVFAIL with
+  an Extended DNS Error.
+- a **watchdog deadline** on the simulated clock: sessions that burn
+  wall-clock (retries, timeouts, slow upstreams) past ``deadline_ms``
+  are aborted with :class:`DeadlineExceeded`.
+- :class:`AdmissionController` — bounds *concurrent* in-flight work on
+  the resolver. Arrival times come from the sim-kernel session frames
+  (PR 3's ``CampaignExecutor``), so at concurrency 1 queries never
+  overlap and nothing is shed; at higher widths the controller
+  deterministically REFUSEs (or serves stale from cache, RFC 8767
+  style) once ``max_inflight`` sessions overlap.
+
+Queries execute synchronously in Python even when the campaign executor
+overlaps them on the simulated clock, so one module-level budget stack is
+race-free at any concurrency — and nested upstream work (including the
+authoritative server's own NSEC3 hashing during an exchange) is charged
+to the client query that caused it, matching ``bench_cve_cost``'s
+definition of per-query cost.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro import obs
+from repro.dns.edns import EDE_OTHER, EDE_UNSUPPORTED_NSEC3_ITERATIONS
+from repro.dnssec.costmodel import meter
+
+
+class ResourceGuardError(Exception):
+    """A per-query resource ceiling was breached; abort with SERVFAIL."""
+
+    def __init__(self, kind, detail, ede_code=EDE_OTHER):
+        super().__init__(f"{kind}: {detail}")
+        self.kind = kind
+        self.detail = detail
+        self.ede_code = ede_code
+
+
+class BudgetExceeded(ResourceGuardError):
+    """A work ceiling (hash cost, verifications, fan-out, depth) was hit."""
+
+
+class DeadlineExceeded(ResourceGuardError):
+    """The watchdog deadline on the simulated clock expired mid-query."""
+
+    def __init__(self, detail):
+        super().__init__("deadline", detail, ede_code=EDE_OTHER)
+
+
+@dataclass(frozen=True)
+class GuardConfig:
+    """Ceilings for one resolver profile; ``None`` disables a dimension.
+
+    ``max_hash_cost`` is in SHA-1 compressions (the unit
+    :data:`~repro.dnssec.costmodel.meter` charges), so one NSEC3 hash at
+    N iterations with an S-byte salt costs roughly
+    ``(N + 1) * blocks(20 + S)`` toward the ceiling.
+    """
+
+    name: str = "guarded"
+    max_hash_cost: int = 8_000
+    max_signature_verifications: int = 32
+    max_upstream_queries: int = 64
+    max_chain_depth: int = 16
+    deadline_ms: float = 4_000.0
+    max_inflight: int = 16
+    serve_stale: bool = True
+
+
+#: Named profiles for the CLI and tests. "guarded" mirrors the posture of
+#: a post-February-2024 resolver (per-fetch NSEC3/validation caps);
+#: "strict" is an aggressive small-budget profile that trips even on the
+#: mid-range it-N probe zones; "deadline-only" bounds nothing but time.
+GUARD_PROFILES = {
+    "guarded": GuardConfig(name="guarded"),
+    "strict": GuardConfig(
+        name="strict",
+        max_hash_cost=2_000,
+        max_signature_verifications=16,
+        max_upstream_queries=40,
+        max_chain_depth=12,
+        deadline_ms=2_000.0,
+        max_inflight=8,
+    ),
+    "deadline-only": GuardConfig(
+        name="deadline-only",
+        max_hash_cost=None,
+        max_signature_verifications=None,
+        max_upstream_queries=None,
+        max_chain_depth=None,
+        deadline_ms=4_000.0,
+        max_inflight=None,
+    ),
+}
+
+
+class WorkBudget:
+    """The work ledger for one client query against a :class:`GuardConfig`.
+
+    Hash and verification charges are read as deltas of the global meter
+    (captured at construction); upstream fan-out is counted explicitly by
+    the iterative engine. :meth:`check` runs after every charge — the
+    overshoot past a ceiling is therefore bounded by a single operation
+    (one NSEC3 hash, one verification, one upstream exchange).
+    """
+
+    __slots__ = (
+        "config",
+        "clock",
+        "started_ms",
+        "_base_sha1",
+        "_base_verify",
+        "upstream_queries",
+    )
+
+    def __init__(self, config, clock):
+        self.config = config
+        self.clock = clock
+        self.started_ms = clock()
+        self._base_sha1 = meter.sha1_compressions
+        self._base_verify = meter.signature_verifications
+        self.upstream_queries = 0
+
+    @property
+    def hash_cost(self):
+        """SHA-1 compressions charged since this query started."""
+        return meter.sha1_compressions - self._base_sha1
+
+    @property
+    def verifications(self):
+        return meter.signature_verifications - self._base_verify
+
+    @property
+    def elapsed_ms(self):
+        return self.clock() - self.started_ms
+
+    def check(self):
+        """Raise when any ceiling is breached (called after every charge)."""
+        config = self.config
+        if config.max_hash_cost is not None and self.hash_cost > config.max_hash_cost:
+            raise BudgetExceeded(
+                "hash_cost",
+                f"{self.hash_cost} SHA-1 compressions > {config.max_hash_cost}",
+                ede_code=EDE_UNSUPPORTED_NSEC3_ITERATIONS,
+            )
+        if (
+            config.max_signature_verifications is not None
+            and self.verifications > config.max_signature_verifications
+        ):
+            raise BudgetExceeded(
+                "verifications",
+                f"{self.verifications} signature verifications "
+                f"> {config.max_signature_verifications}",
+            )
+        if config.deadline_ms is not None and self.elapsed_ms > config.deadline_ms:
+            raise DeadlineExceeded(
+                f"{self.elapsed_ms:.0f}ms elapsed > {config.deadline_ms:.0f}ms"
+            )
+
+    def charge_upstream(self):
+        """Count one upstream exchange; enforce the fan-out ceiling."""
+        self.upstream_queries += 1
+        config = self.config
+        if (
+            config.max_upstream_queries is not None
+            and self.upstream_queries > config.max_upstream_queries
+        ):
+            raise BudgetExceeded(
+                "upstream_fanout",
+                f"{self.upstream_queries} upstream queries "
+                f"> {config.max_upstream_queries}",
+            )
+        self.check()
+
+    def charge_depth(self, depth):
+        """Enforce the delegation-chain depth ceiling at *depth*."""
+        if self.config.max_chain_depth is not None and depth > self.config.max_chain_depth:
+            raise BudgetExceeded(
+                "chain_depth",
+                f"chain depth {depth} > {self.config.max_chain_depth}",
+            )
+
+
+#: The active-budget stack. Client queries nest (a guarded resolver could
+#: in principle sit upstream of another), so this is a stack, not a slot;
+#: the *top* budget is the one charged — it owns the innermost query.
+_active = []
+
+
+def current():
+    """The innermost active :class:`WorkBudget`, or None."""
+    return _active[-1] if _active else None
+
+
+def _on_meter_charge():
+    _active[-1].check()
+
+
+class _BudgetScope:
+    """Context manager pushing a budget and wiring the meter listener."""
+
+    __slots__ = ("budget",)
+
+    def __init__(self, budget):
+        self.budget = budget
+
+    def __enter__(self):
+        _active.append(self.budget)
+        meter.listener = _on_meter_charge
+        return self.budget
+
+    def __exit__(self, *exc):
+        _active.pop()
+        if not _active:
+            meter.listener = None
+        return False
+
+
+def activate(budget):
+    """``with activate(budget):`` — charge all metered work to *budget*."""
+    return _BudgetScope(budget)
+
+
+class AdmissionController:
+    """Deterministic in-flight bound on the simulated clock.
+
+    Completed queries report their busy interval ``[start, end]``; an
+    arrival at time *t* first retires intervals ending at or before *t*,
+    then is shed when ``capacity`` intervals are still open. Because the
+    campaign executor runs sessions synchronously in submission order,
+    the controller sees arrivals in a deterministic order for a given
+    seed and concurrency — shedding decisions are reproducible.
+    """
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self._busy = []  # min-heap of interval end times (ms)
+        self.admitted = 0
+        self.shed = 0
+
+    def in_flight(self, now):
+        while self._busy and self._busy[0] <= now:
+            heapq.heappop(self._busy)
+        return len(self._busy)
+
+    def admit(self, now):
+        """True when a query arriving at *now* may start work."""
+        if self.capacity is not None and self.in_flight(now) >= self.capacity:
+            self.shed += 1
+            return False
+        self.admitted += 1
+        return True
+
+    def complete(self, start_ms, end_ms):
+        """Record the busy interval of an admitted query."""
+        heapq.heappush(self._busy, max(end_ms, start_ms))
+
+
+# -- metrics ------------------------------------------------------------------
+
+
+def count_budget_exceeded(resolver, kind):
+    if not obs.enabled:
+        return
+    obs.registry.counter(
+        "repro_guard_budget_exceeded_total",
+        "Queries aborted by the resource guard, by resolver and ceiling.",
+        labelnames=("resolver", "kind"),
+    ).labels(resolver=resolver, kind=kind).inc()
+
+
+def count_shed(resolver, action):
+    if not obs.enabled:
+        return
+    obs.registry.counter(
+        "repro_guard_shed_total",
+        "Queries shed by the admission controller ('refused' or 'stale').",
+        labelnames=("resolver", "action"),
+    ).labels(resolver=resolver, action=action).inc()

@@ -15,6 +15,7 @@ from repro.dns.name import Name, root
 from repro.dns.rcode import Rcode
 from repro.dns.types import RdataType
 from repro.net.transport import QueryFailure, Transport
+from repro.resolver import guard as resource_guard
 from repro.resolver.cache import Cache, delegation_key
 
 #: Maximum delegations followed for one query (sanity bound).
@@ -149,7 +150,13 @@ class IterativeResolver:
         self.cache.put(delegation_key(cut.zone), cut, ttl_seconds=3600)
 
     def _query_any(self, servers, qname, qtype, want_dnssec):
+        budget = resource_guard.current()
         for server in servers:
+            if budget is not None:
+                # Fan-out ceiling plus a watchdog check before each
+                # exchange (transport retries advance the sim clock);
+                # ResourceGuardError unwinds to the validating layer.
+                budget.charge_upstream()
             self.queries_sent += 1
             try:
                 message = make_query(

@@ -22,6 +22,7 @@ from repro import obs
 from repro.dns.edns import (
     EDE_DNSSEC_BOGUS,
     EDE_SIGNATURE_EXPIRED,
+    EDE_STALE_ANSWER,
 )
 from repro.dns.flags import Flag
 from repro.dns.message import Message, make_response
@@ -43,6 +44,7 @@ from repro.dnssec.validator import (
     validate_rrset,
 )
 from repro.net.network import Host
+from repro.resolver import guard as resource_guard
 from repro.resolver.cache import Cache, delegation_key, negative_key
 from repro.resolver.iterative import IterativeResolver
 from repro.resolver.policy import Nsec3Policy
@@ -51,6 +53,14 @@ from repro.resolver.policy import Nsec3Policy
 #: follow the records (RFC 2308: negative entries use the SOA minimum).
 VERDICT_TTL = 300
 VERDICT_TTL_CAP = 86_400
+
+#: Ceiling on :meth:`ValidatingResolver.zone_security` recursion — a
+#: pathological delegation chain (or a loop the memo misses) turns into
+#: BOGUS + EDE instead of unbounded recursion.
+MAX_CHAIN_DEPTH = 32
+#: Ceiling on the parent walk in :meth:`ValidatingResolver._flush_chain`
+#: (names cap at 127 labels; the explicit bound documents the invariant).
+MAX_FLUSH_WALK = 128
 
 
 @dataclass
@@ -107,6 +117,7 @@ class ValidatingResolver(Host):
         validate=True,
         name="resolver",
         now=SIMULATION_NOW,
+        guard=None,
     ):
         self.network = network
         self.ip = ip
@@ -119,6 +130,17 @@ class ValidatingResolver(Host):
         self.engine = IterativeResolver(network, ip, root_addresses, cache=self.cache)
         #: zone Name -> (SecurityStatus, dnskey_rrset or None)
         self._zone_security = {}
+        #: Optional :class:`repro.resolver.guard.GuardConfig`; None (the
+        #: default everywhere) keeps the legacy unbounded behaviour, so
+        #: survey classifications are untouched by the guard subsystem.
+        self.guard = guard
+        self.admission = (
+            resource_guard.AdmissionController(guard.max_inflight)
+            if guard is not None and guard.max_inflight is not None
+            else None
+        )
+        #: Per-ceiling abort counts (kind -> n), kept even with obs off.
+        self.guard_events = {}
 
     # -- datagram entry point ---------------------------------------------------
 
@@ -135,9 +157,18 @@ class ValidatingResolver(Host):
             response.rcode = Rcode.REFUSED
             return response.to_wire()
         question = query.question[0]
-        verdict = self.resolve_and_validate(
-            question.name, question.rrtype, checking_disabled=query.has_flag(Flag.CD)
-        )
+        verdict = self._admission_shed(question)
+        if verdict is None:
+            start_ms = self.network.clock_ms
+            try:
+                verdict = self.resolve_and_validate(
+                    question.name,
+                    question.rrtype,
+                    checking_disabled=query.has_flag(Flag.CD),
+                )
+            finally:
+                if self.admission is not None:
+                    self.admission.complete(start_ms, self.network.clock_ms)
         verdict.apply(response)
         if not query.dnssec_ok:
             response.answer = [
@@ -152,10 +183,64 @@ class ValidatingResolver(Host):
         max_size = query.edns.payload_size if query.edns else 512
         return response.to_wire(max_size=None if via_tcp else max_size)
 
+    # -- load shedding ----------------------------------------------------------
+
+    def _admission_shed(self, question):
+        """Shed this arrival when too much work is in flight; None = admit.
+
+        Overload answers follow RFC 8767 where possible: an expired cached
+        verdict for the same question is served with EDE 3 (Stale Answer);
+        otherwise the query is REFUSED outright.
+        """
+        if self.admission is None:
+            return None
+        if self.admission.admit(self.network.clock_ms):
+            return None
+        qname = Name.from_text(question.name)
+        qtype = int(question.rrtype)
+        if self.guard.serve_stale:
+            stale = self.cache.peek(negative_key(qname, qtype))
+            if stale is not None:
+                cached = stale.value
+                resource_guard.count_shed(self.name, "stale")
+                return Verdict(
+                    cached.rcode,
+                    cached.answer,
+                    cached.authority,
+                    ad=cached.ad,
+                    ede=cached.ede + ((EDE_STALE_ANSWER, "served stale under load"),),
+                )
+        resource_guard.count_shed(self.name, "refused")
+        return Verdict(Rcode.REFUSED, [], [])
+
     # -- main resolution path ------------------------------------------------------
 
     def resolve_and_validate(self, qname, qtype, checking_disabled=False):
-        """Resolve one question and return the validated :class:`Verdict`."""
+        """Resolve one question and return the validated :class:`Verdict`.
+
+        With a :class:`~repro.resolver.guard.GuardConfig` attached, all
+        metered work this query causes (NSEC3 hashing, signature
+        verification — including work performed by upstream servers during
+        nested exchanges — plus upstream fan-out and elapsed simulated
+        time) is charged to a per-query budget; breaching any ceiling
+        aborts the query with SERVFAIL and an Extended DNS Error.
+        """
+        if self.guard is None:
+            return self._resolve_observed(qname, qtype, checking_disabled)
+        budget = resource_guard.WorkBudget(
+            self.guard, clock=lambda: self.network.clock_ms
+        )
+        try:
+            with resource_guard.activate(budget):
+                return self._resolve_observed(qname, qtype, checking_disabled)
+        except resource_guard.ResourceGuardError as exc:
+            self.guard_events[exc.kind] = self.guard_events.get(exc.kind, 0) + 1
+            resource_guard.count_budget_exceeded(self.name, exc.kind)
+            return Verdict(
+                Rcode.SERVFAIL, [], [], ede=((exc.ede_code, exc.detail[:80]),)
+            )
+
+    def _resolve_observed(self, qname, qtype, checking_disabled=False):
         if not obs.enabled:
             return self._resolve_and_validate(qname, qtype, checking_disabled)
         cost_start = meter.snapshot()
@@ -209,9 +294,14 @@ class ValidatingResolver(Host):
         return verdict
 
     def _flush_chain(self, qname):
-        """Drop cached delegation evidence on the path to *qname*."""
+        """Drop cached delegation evidence on the path to *qname*.
+
+        The walk is explicitly bounded by :data:`MAX_FLUSH_WALK`: a name
+        can never carry more labels than that, so hitting the bound means
+        a broken ``parent()`` chain — stop rather than loop forever.
+        """
         name = Name.from_text(qname)
-        while True:
+        for __ in range(MAX_FLUSH_WALK):
             self.cache.drop(delegation_key(name))
             if name.is_root():
                 return
@@ -231,7 +321,12 @@ class ValidatingResolver(Host):
         zone = Name.from_text(zone)
         if zone in self._zone_security:
             return self._zone_security[zone]
-        if _depth > 32:
+        budget = resource_guard.current()
+        if budget is not None:
+            budget.charge_depth(_depth)
+        if _depth > MAX_CHAIN_DEPTH:
+            # The BOGUS propagates into a SERVFAIL verdict carrying
+            # EDE 6 (DNSSEC Bogus) via _validated_verdict.
             return SecurityStatus.BOGUS, None
         if zone == root:
             result = self._root_security()

@@ -82,8 +82,13 @@ class Internet:
         network_id="public",
         ipv6=False,
         name=None,
+        guard=None,
     ):
-        """Attach a new recursive resolver to the network and return it."""
+        """Attach a new recursive resolver to the network and return it.
+
+        *guard* is an optional :class:`repro.resolver.guard.GuardConfig`;
+        the default None keeps the resolver's legacy unbounded behaviour.
+        """
         ip = self.allocator.next_v6() if ipv6 else self.allocator.next_v4()
         resolver = ValidatingResolver(
             self.network,
@@ -93,6 +98,7 @@ class Internet:
             policy=policy or Nsec3Policy(),
             validate=validate,
             name=name or f"resolver-{len(self.resolvers)}",
+            guard=guard,
         )
         self.network.attach(ip, resolver, network_id=network_id)
         self.resolvers.append(resolver)

@@ -1,0 +1,102 @@
+"""Fuzz-style decode robustness: garbage bytes must fail as WireError only.
+
+The resilient transport treats "does not parse" as one condition
+(:class:`repro.dns.wire.WireError`); any other exception escaping
+``Message.from_wire`` would crash a resolver or scanner mid-campaign.
+These tests drive seeded random and corrupted inputs through the decoder
+and check both that contract and the decode-work caps (record counts,
+EDNS option counts) added against parse-amplification attacks.
+"""
+
+import random
+
+import pytest
+
+from repro.dns.flags import Flag
+from repro.dns.message import Message, make_query, make_response
+from repro.dns.rdata import A, NS
+from repro.dns.rdata.opt import EdnsOption
+from repro.dns.rrset import RRset
+from repro.dns.types import RdataType
+from repro.dns.wire import MAX_DECODE_RECORDS, MAX_EDNS_OPTIONS, WireError
+
+
+def _sample_response():
+    """A realistic response message with every section populated."""
+    query = make_query("www.fuzz-target.example", RdataType.A, want_dnssec=True)
+    response = make_response(query, recursion_available=True)
+    response.set_flag(Flag.AA)
+    response.answer.append(
+        RRset("www.fuzz-target.example", RdataType.A, 300, [A("192.0.2.80")])
+    )
+    response.authority.append(
+        RRset("fuzz-target.example", RdataType.NS, 3600, [NS("ns1.fuzz-target.example.")])
+    )
+    response.additional.append(
+        RRset("ns1.fuzz-target.example", RdataType.A, 3600, [A("192.0.2.53")])
+    )
+    return response
+
+
+def test_random_bytes_decode_only_raises_wire_error():
+    rng = random.Random(0xD05)
+    for __ in range(400):
+        blob = bytes(rng.randrange(256) for __ in range(rng.randrange(0, 96)))
+        try:
+            Message.from_wire(blob)
+        except WireError:
+            pass  # the only acceptable failure mode
+
+
+def test_bit_flip_corruption_only_raises_wire_error():
+    wire = _sample_response().to_wire()
+    rng = random.Random(0xF11)
+    for __ in range(300):
+        corrupted = bytearray(wire)
+        for __ in range(rng.randrange(1, 6)):
+            corrupted[rng.randrange(len(corrupted))] ^= 1 << rng.randrange(8)
+        try:
+            Message.from_wire(bytes(corrupted))
+        except WireError:
+            pass
+
+
+def test_every_truncation_point_only_raises_wire_error():
+    wire = _sample_response().to_wire()
+    for cut in range(len(wire)):
+        try:
+            Message.from_wire(wire[:cut])
+        except WireError:
+            pass
+
+
+def test_valid_message_roundtrips():
+    response = _sample_response()
+    decoded = Message.from_wire(response.to_wire())
+    assert decoded.question == response.question
+    assert decoded.find_rrset(decoded.answer, "www.fuzz-target.example", RdataType.A)
+
+
+def test_record_count_cap_rejects_huge_claims():
+    # A bare header claiming 4 x 65,535 records: the decoder must reject
+    # it up front instead of iterating a quarter-million record headers.
+    header = (0x1234).to_bytes(2, "big") + b"\x80\x00" + b"\xff\xff" * 4
+    with pytest.raises(WireError, match="decode cap"):
+        Message.from_wire(header)
+    assert 4 * 0xFFFF > MAX_DECODE_RECORDS
+
+
+def test_edns_option_count_cap():
+    query = make_query("cap.example", RdataType.A)
+    query.edns.options = [
+        EdnsOption(65001 + (i % 3), b"pad") for i in range(MAX_EDNS_OPTIONS + 1)
+    ]
+    with pytest.raises(WireError, match="decode cap"):
+        Message.from_wire(query.to_wire())
+
+
+def test_edns_options_at_the_cap_decode():
+    query = make_query("cap.example", RdataType.A)
+    query.edns.options = [EdnsOption(65001, b"pad") for __ in range(MAX_EDNS_OPTIONS)]
+    decoded = Message.from_wire(query.to_wire())
+    assert len(decoded.edns.options) == MAX_EDNS_OPTIONS
