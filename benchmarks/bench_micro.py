@@ -69,7 +69,16 @@ def ecdsa_pair():
 
 
 def test_rsa512_sign(benchmark, rsa_pair):
+    """CRT path: freshly generated keys carry (p, q, dp, dq, qinv)."""
     benchmark(rsa_pair.sign, b"benchmark message")
+
+
+def test_rsa512_sign_plain_d(benchmark, rsa_pair):
+    """The fallback plain-d exponentiation the CRT path replaces."""
+    from repro import fastpath
+
+    with fastpath.disabled("rsa_crt"):
+        benchmark(rsa_pair.sign, b"benchmark message")
 
 
 def test_rsa512_verify_uncached(benchmark, rsa_pair):
@@ -89,9 +98,18 @@ def test_ecdsa_verify_uncached(benchmark, ecdsa_pair):
 
 
 def test_verify_memoized(benchmark, ecdsa_pair):
-    signature = ecdsa_pair.sign(b"benchmark message")
-    verify_signature(ecdsa_pair.dnskey, b"benchmark message", signature)  # warm
-    benchmark(verify_signature, ecdsa_pair.dnskey, b"benchmark message", signature)
+    """The validator-level RRSIG memo: a warm hit skips the curve math."""
+    from repro.dns.rrset import RRset as _RRset
+    from repro.dnssec.signer import make_rrsig_rrset, sign_rrset
+    from repro.dnssec.validator import validate_rrset, verification_memo
+
+    rrset = _RRset("www.example.com", RdataType.A, 300, [A("192.0.2.1")])
+    rrsig = sign_rrset(rrset, ecdsa_pair, "example.com")
+    rrsigs = make_rrsig_rrset(rrset, [rrsig])
+    dnskeys = _RRset("example.com", RdataType.DNSKEY, 3600, [ecdsa_pair.dnskey])
+    verification_memo.clear()
+    assert validate_rrset(rrset, rrsigs, dnskeys).secure  # warm
+    benchmark(validate_rrset, rrset, rrsigs, dnskeys)
 
 
 _NSEC3_OWNER = Name.from_text("bench.example.com").canonical_wire()

@@ -1,0 +1,149 @@
+"""Record the PR 5 performance artifact (``BENCH_5.json``).
+
+Runs the study's dominant workload — the §4.2 resolver survey at bench
+scale — twice in separate interpreter processes, once with every fast
+path enabled and once with ``REPRO_FASTPATH_DISABLE=all``, and writes
+wall-clock numbers plus cache hit/miss counters to ``BENCH_5.json`` in
+the repository root::
+
+    PYTHONPATH=src python benchmarks/record.py
+
+The equivalence claim (identical survey results with caches on or off)
+is asserted inline: both runs must classify every resolver identically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+OUTPUT = os.path.join(REPO_ROOT, "BENCH_5.json")
+
+
+def _measure():
+    """Worker mode: build the testbed, run the survey, dump JSON to stdout."""
+    import dataclasses
+
+    from benchmarks.conftest import BENCH_CONFIG, RESOLVER_COUNTS, TRANCO_SIZE
+    from repro.dnssec.validator import verification_memo
+    from repro.scanner.atlas import AtlasCampaign
+    from repro.scanner.resolver_scan import ResolverSurvey
+    from repro.server.authoritative import AuthoritativeServer
+    from repro.testbed.internet import build_internet
+    from repro.testbed.population import (
+        generate_population,
+        generate_tlds,
+        inject_tail_domains,
+    )
+    from repro.testbed.resolvers import deploy_resolvers
+    from repro.testbed.rfc9276_wild import build_probe_zones
+    from repro.testbed.tranco import assign_tranco_ranks
+
+    build_start = time.perf_counter()
+    tlds = generate_tlds(BENCH_CONFIG)
+    domains = inject_tail_domains(generate_population(BENCH_CONFIG, tlds=tlds))
+    domains = assign_tranco_ranks(domains, list_size=TRANCO_SIZE)
+    inet = build_internet(domains, tlds, seed=42)
+    probes = build_probe_zones(inet)
+    build_seconds = time.perf_counter() - build_start
+
+    survey_start = time.perf_counter()
+    deployment = deploy_resolvers(inet, seed=77, **RESOLVER_COUNTS)
+    survey = ResolverSurvey(inet.network, probes, inet.allocator.next_v4())
+    open_entries = survey.run(deployment)
+    closed_entries = AtlasCampaign(inet.network, probes).run(deployment)
+    survey_seconds = time.perf_counter() - survey_start
+
+    answer_cache = {"hits": 0, "misses": 0, "evictions": 0, "invalidations": 0}
+    for host in inet.network._hosts.values():
+        if isinstance(host, AuthoritativeServer):
+            cache = host.answer_cache
+            answer_cache["hits"] += cache.hits
+            answer_cache["misses"] += cache.misses
+            answer_cache["evictions"] += cache.evictions
+            answer_cache["invalidations"] += cache.invalidations
+
+    def _rate(hits, misses):
+        total = hits + misses
+        return round(hits / total, 4) if total else None
+
+    entries = open_entries + closed_entries
+    json.dump(
+        {
+            "build_seconds": round(build_seconds, 2),
+            "survey_seconds": round(survey_seconds, 2),
+            "total_seconds": round(build_seconds + survey_seconds, 2),
+            "resolvers_classified": len(entries),
+            "classifications": sorted(
+                f"{entry.resolver.ip}:"
+                f"{json.dumps(dataclasses.asdict(entry.classification), sort_keys=True)}"
+                for entry in entries
+            ),
+            "validator_memo": {
+                "hits": verification_memo.hits,
+                "misses": verification_memo.misses,
+                "evictions": verification_memo.evictions,
+                "hit_rate": _rate(verification_memo.hits, verification_memo.misses),
+            },
+            "answer_cache": dict(
+                answer_cache,
+                hit_rate=_rate(answer_cache["hits"], answer_cache["misses"]),
+            ),
+        },
+        sys.stdout,
+    )
+
+
+def _run_worker(disable):
+    pythonpath = os.pathsep.join([os.path.join(REPO_ROOT, "src"), REPO_ROOT])
+    env = dict(os.environ, PYTHONPATH=pythonpath)
+    if disable:
+        env["REPRO_FASTPATH_DISABLE"] = disable
+    else:
+        env.pop("REPRO_FASTPATH_DISABLE", None)
+    proc = subprocess.run(
+        [sys.executable, os.path.abspath(__file__), "--measure"],
+        env=env,
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(proc.stdout)
+
+
+def main():
+    if "--measure" in sys.argv:
+        _measure()
+        return
+    print("measuring with fast paths ON ...", flush=True)
+    on = _run_worker("")
+    print(f"  {on['total_seconds']}s "
+          f"(build {on['build_seconds']}s, survey {on['survey_seconds']}s)")
+    print("measuring with REPRO_FASTPATH_DISABLE=all ...", flush=True)
+    off = _run_worker("all")
+    print(f"  {off['total_seconds']}s "
+          f"(build {off['build_seconds']}s, survey {off['survey_seconds']}s)")
+
+    if on.pop("classifications") != off.pop("classifications"):
+        raise SystemExit("FATAL: survey results differ with fast paths off")
+    speedup = off["total_seconds"] / on["total_seconds"]
+    record = {
+        "bench": "resolver survey (§4.2 pipeline, bench scale)",
+        "fastpaths_on": on,
+        "fastpaths_off": off,
+        "speedup": round(speedup, 2),
+        "results_identical": True,
+    }
+    with open(OUTPUT, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"speedup {speedup:.2f}x, results identical; wrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -36,7 +36,7 @@ import json
 import sys
 import time
 
-from repro import __version__, obs
+from repro import __version__, fastpath, obs
 from repro.analysis.longitudinal import compliance_timeline, paper_anchor
 from repro.core.guidance import GUIDANCE
 from repro.core.report import render_study_report
@@ -443,6 +443,13 @@ def main(argv=None):
             "'burst:0.05:0.35:0.5,jitter:20,corrupt:0.1' "
             "(see repro.net.faults.parse_fault_spec)",
         )
+        command.add_argument(
+            "--disable-fastpath",
+            metavar="LIST",
+            help="disable cost-transparent fast paths for equivalence runs: "
+            f"a comma list of {', '.join(fastpath.KNOWN_SWITCHES)}, or 'all' "
+            "(env: REPRO_FASTPATH_DISABLE)",
+        )
         command.set_defaults(handler=handler)
 
     trace = sub.add_parser(
@@ -498,6 +505,7 @@ def main(argv=None):
         "--metrics-format", choices=("json", "prometheus"), default="json"
     )
     attack.add_argument("--faults", metavar="SPEC")
+    attack.add_argument("--disable-fastpath", metavar="LIST")
     attack.set_defaults(handler=cmd_attack)
 
     timeline = sub.add_parser("timeline", help="modelled adoption timeline")
@@ -506,6 +514,11 @@ def main(argv=None):
     guidance.set_defaults(handler=cmd_guidance)
 
     args = parser.parse_args(argv)
+    if getattr(args, "disable_fastpath", None):
+        try:
+            fastpath.disable(args.disable_fastpath)
+        except ValueError as exc:
+            parser.error(str(exc))
     args.handler(args)
     return 0
 

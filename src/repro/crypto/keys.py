@@ -96,31 +96,15 @@ def generate_keypair(algorithm=ALG_ECDSAP256SHA256, ksk=False, rsa_bits=1024, rn
     return KeyPair(algorithm, flags, private)
 
 
-#: Memo of verification outcomes keyed by content digest. Verification is a
-#: pure function of (key, message, signature); large measurement campaigns
-#: re-verify the very same RRSIGs thousands of times across resolvers, and
-#: this cache mirrors the effect without changing any outcome. The DNSSEC
-#: cost meter counts verification *requests* at the call sites, so CPU-cost
-#: experiments are unaffected.
-_VERIFY_MEMO = {}
-_VERIFY_MEMO_MAX = 200_000
-
-
 def verify_signature(dnskey, message, signature):
-    """Verify *signature* over *message* with the public key in *dnskey*."""
-    import hashlib as _hashlib
+    """Verify *signature* over *message* with the public key in *dnskey*.
 
-    memo_key = _hashlib.sha256(
-        dnskey.to_wire() + b"\x00" + signature + b"\x00" + message
-    ).digest()
-    cached = _VERIFY_MEMO.get(memo_key)
-    if cached is not None:
-        return cached
-    result = _verify_signature_uncached(dnskey, message, signature)
-    if len(_VERIFY_MEMO) >= _VERIFY_MEMO_MAX:
-        _VERIFY_MEMO.clear()
-    _VERIFY_MEMO[memo_key] = result
-    return result
+    Always performs the real public-key operation. The bounded,
+    metered verification memo lives one layer up in
+    :mod:`repro.dnssec.validator`, where RRset canonical forms make the
+    memo key cheap and hit/miss counters are exported.
+    """
+    return _verify_signature_uncached(dnskey, message, signature)
 
 
 def _verify_signature_uncached(dnskey, message, signature):

@@ -10,6 +10,7 @@ from __future__ import annotations
 import hashlib
 import random
 
+from repro import fastpath
 from repro.crypto.primes import generate_prime
 
 # DigestInfo DER prefixes for EMSA-PKCS1-v1_5 (RFC 8017 §9.2 notes).
@@ -18,41 +19,85 @@ _DIGEST_PREFIX = {
     "sha256": bytes.fromhex("3031300d060960864801650304020105000420"),
 }
 
+# EMSA-PKCS1-v1_5 head (everything before the digest) per (em_len, hash):
+# the padding run and DigestInfo prefix depend only on those two, and a
+# signer re-derives them for every record in a zone.
+_EMSA_HEAD = {}
+
+
+def _emsa_head(em_len, hash_name):
+    head = _EMSA_HEAD.get((em_len, hash_name))
+    if head is None:
+        prefix = _DIGEST_PREFIX[hash_name]
+        digest_len = hashlib.new(hash_name).digest_size
+        t_len = len(prefix) + digest_len
+        if em_len < t_len + 11:
+            raise ValueError("RSA modulus too small for this digest")
+        padding = b"\xff" * (em_len - t_len - 3)
+        head = b"\x00\x01" + padding + b"\x00" + prefix
+        _EMSA_HEAD[(em_len, hash_name)] = head
+    return head
+
 
 class RsaPrivateKey:
-    """An RSA private key (n, e, d)."""
+    """An RSA private key.
 
-    __slots__ = ("n", "e", "d", "bits")
+    ``(n, e, d)`` always; when the factors are known (freshly generated
+    keys) the CRT parameters ``(p, q, dp, dq, qinv)`` are stored too and
+    :meth:`sign` exponentiates modulo the half-size factors — the same
+    signature, ~3–4x faster. Keys rebuilt from ``(n, e, d)`` alone fall
+    back to the plain-``d`` path.
+    """
 
-    def __init__(self, n, e, d):
+    __slots__ = ("n", "e", "d", "bits", "size", "p", "q", "dp", "dq", "qinv")
+
+    def __init__(self, n, e, d, p=None, q=None):
         self.n = n
         self.e = e
         self.d = d
         self.bits = n.bit_length()
+        self.size = (self.bits + 7) // 8
+        self.p = p
+        self.q = q
+        if p is not None and q is not None:
+            self.dp = d % (p - 1)
+            self.dq = d % (q - 1)
+            self.qinv = pow(q, -1, p)
+        else:
+            self.dp = self.dq = self.qinv = None
 
     def public(self):
         return RsaPublicKey(self.n, self.e)
 
     def sign(self, message, hash_name="sha256"):
         """EMSA-PKCS1-v1_5 signature over *message*."""
-        em = _pkcs1_encode(message, (self.bits + 7) // 8, hash_name)
-        signature = pow(int.from_bytes(em, "big"), self.d, self.n)
-        return signature.to_bytes((self.bits + 7) // 8, "big")
+        em = _pkcs1_encode(message, self.size, hash_name)
+        c = int.from_bytes(em, "big")
+        if self.dp is not None and fastpath.enabled("rsa_crt"):
+            # Garner's recombination (RFC 8017 §5.1.2 second form).
+            m1 = pow(c, self.dp, self.p)
+            m2 = pow(c, self.dq, self.q)
+            h = (self.qinv * (m1 - m2)) % self.p
+            signature = m2 + h * self.q
+        else:
+            signature = pow(c, self.d, self.n)
+        return signature.to_bytes(self.size, "big")
 
 
 class RsaPublicKey:
     """An RSA public key (n, e)."""
 
-    __slots__ = ("n", "e", "bits")
+    __slots__ = ("n", "e", "bits", "size")
 
     def __init__(self, n, e):
         self.n = n
         self.e = e
         self.bits = n.bit_length()
+        self.size = (self.bits + 7) // 8
 
     def verify(self, message, signature, hash_name="sha256"):
         """True iff *signature* is a valid PKCS#1 v1.5 signature of *message*."""
-        k = (self.bits + 7) // 8
+        k = self.size
         if len(signature) != k:
             return False
         decrypted = pow(int.from_bytes(signature, "big"), self.e, self.n)
@@ -61,20 +106,16 @@ class RsaPublicKey:
 
 
 def _pkcs1_encode(message, em_len, hash_name):
-    prefix = _DIGEST_PREFIX[hash_name]
     digest = hashlib.new(hash_name, message).digest()
-    t = prefix + digest
-    if em_len < len(t) + 11:
-        raise ValueError("RSA modulus too small for this digest")
-    padding = b"\xff" * (em_len - len(t) - 3)
-    return b"\x00\x01" + padding + b"\x00" + t
+    return _emsa_head(em_len, hash_name) + digest
 
 
 def generate_rsa_key(bits=1024, rng=None):
     """Generate an RSA key. 1024-bit keys keep the simulation fast.
 
     e is fixed to 65537; p and q are regenerated until the modulus has
-    exactly *bits* bits and e is invertible mod λ(n).
+    exactly *bits* bits and e is invertible mod λ(n). The factors are
+    kept on the key so signing can use the CRT.
     """
     rng = rng or random
     e = 65537
@@ -91,7 +132,7 @@ def generate_rsa_key(bits=1024, rng=None):
             d = pow(e, -1, phi)
         except ValueError:
             continue
-        return RsaPrivateKey(n, e, d)
+        return RsaPrivateKey(n, e, d, p=p, q=q)
 
 
 def encode_public_key(key):

@@ -22,6 +22,10 @@ from repro.dns.wire import (
 
 HEADER_LENGTH = 12
 
+#: Flag() construction is an enum metaclass call; decode resolves the
+#: masked flag word through this table instead (7 bits → ≤128 entries).
+_FLAG_CACHE = {}
+
 
 class Question:
     """A question section entry."""
@@ -29,9 +33,12 @@ class Question:
     __slots__ = ("name", "rrtype", "rdclass")
 
     def __init__(self, name, rrtype, rdclass=RdataClass.IN):
-        self.name = Name.from_text(name)
+        self.name = name if type(name) is Name else Name.from_text(name)
         self.rrtype = int(rrtype)
-        self.rdclass = RdataClass(int(rdclass))
+        if type(rdclass) is RdataClass:
+            self.rdclass = rdclass
+        else:
+            self.rdclass = RdataClass(int(rdclass))
 
     def __eq__(self, other):
         if not isinstance(other, Question):
@@ -246,7 +253,11 @@ class Message:
             raise WireError("message shorter than header")
         msg = cls(reader.read_u16())
         flags_word = reader.read_u16()
-        msg.flags = Flag(flags_word & 0x87B0)
+        flag_bits = flags_word & 0x87B0
+        flags = _FLAG_CACHE.get(flag_bits)
+        if flags is None:
+            flags = _FLAG_CACHE.setdefault(flag_bits, Flag(flag_bits))
+        msg.flags = flags
         opcode_value = (flags_word >> 11) & 0xF
         try:
             msg.opcode = Opcode(opcode_value)

@@ -21,6 +21,15 @@ class NameError_(ValueError):
     """Raised for malformed domain names (bad labels, overlong names)."""
 
 
+#: Bounded intern table for trusted (wire-parsed or sliced) names, keyed
+#: on the exact-case label tuple. A campaign decodes the same handful of
+#: owner names millions of times; interning lets every parse share one
+#: object and therefore one ``_key``/``_hash``/``_canonical_wire`` memo.
+#: Cleared outright at the cap — same policy as the other memo tables.
+_INTERN = {}
+_INTERN_LIMIT = 65536
+
+
 def _validate_labels(labels):
     total = 1  # trailing root length byte
     for label in labels:
@@ -43,18 +52,47 @@ class Name:
     True
     """
 
-    __slots__ = ("labels", "_hash")
+    __slots__ = ("labels", "_hash", "_canonical_key", "_canonical_wire", "_text")
 
     def __init__(self, labels):
         labels = tuple(bytes(label) for label in labels)
         _validate_labels(labels)
         object.__setattr__(self, "labels", labels)
         object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_canonical_key", None)
+        object.__setattr__(self, "_canonical_wire", None)
+        object.__setattr__(self, "_text", None)
 
     def __setattr__(self, name, value):
         raise AttributeError("Name objects are immutable")
 
     # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def _trusted(cls, labels):
+        """Wrap a label tuple whose invariants are already established.
+
+        Wire parsing enforces the label/name length limits while reading
+        and slicing an existing name can only shrink it, so both skip the
+        per-label revalidation — name construction is the decode path's
+        hottest allocation. *labels* must be a tuple of bytes.
+
+        Trusted names are interned (bounded) so repeated parses of the
+        same owner share one object and its memoized canonical forms.
+        """
+        self = _INTERN.get(labels)
+        if self is not None:
+            return self
+        self = object.__new__(cls)
+        object.__setattr__(self, "labels", labels)
+        object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_canonical_key", None)
+        object.__setattr__(self, "_canonical_wire", None)
+        object.__setattr__(self, "_text", None)
+        if len(_INTERN) >= _INTERN_LIMIT:
+            _INTERN.clear()
+        _INTERN[labels] = self
+        return self
 
     @classmethod
     def from_text(cls, text):
@@ -111,7 +149,10 @@ class Name:
     # -- rendering -------------------------------------------------------
 
     def to_text(self):
-        """Presentation format, always with a trailing dot."""
+        """Presentation format, always with a trailing dot (memoized)."""
+        text = self._text
+        if text is not None:
+            return text
         if not self.labels:
             return "."
         parts = []
@@ -126,7 +167,9 @@ class Name:
                 else:
                     chunk.append(f"\\{byte:03d}")
             parts.append("".join(chunk))
-        return ".".join(parts) + "."
+        text = ".".join(parts) + "."
+        object.__setattr__(self, "_text", text)
+        return text
 
     def __str__(self):
         return self.to_text()
@@ -146,13 +189,21 @@ class Name:
         return bytes(out)
 
     def canonical_wire(self):
-        """RFC 4034 §6.2 canonical form: wire format with labels lowercased."""
-        out = bytearray()
-        for label in self.labels:
-            out.append(len(label))
-            out.extend(label.lower())
-        out.append(0)
-        return bytes(out)
+        """RFC 4034 §6.2 canonical form: wire format with labels lowercased.
+
+        Memoized: signing, NSEC3 hashing, and DS digests all canonicalise
+        the same owner names over and over, and names are immutable.
+        """
+        wire = self._canonical_wire
+        if wire is None:
+            out = bytearray()
+            for label in self.labels:
+                out.append(len(label))
+                out.extend(label.lower())
+            out.append(0)
+            wire = bytes(out)
+            object.__setattr__(self, "_canonical_wire", wire)
+        return wire
 
     # -- structure -------------------------------------------------------
 
@@ -168,7 +219,7 @@ class Name:
         """Immediate parent. The root's parent raises :class:`NameError_`."""
         if not self.labels:
             raise NameError_("the root name has no parent")
-        return Name(self.labels[1:])
+        return Name._trusted(self.labels[1:])
 
     def split(self, depth):
         """Return ``(prefix, suffix)`` where *suffix* keeps *depth* labels.
@@ -179,7 +230,7 @@ class Name:
         if depth > len(self.labels):
             raise NameError_(f"cannot keep {depth} labels of {self}")
         cut = len(self.labels) - depth
-        return Name(self.labels[:cut]), Name(self.labels[cut:])
+        return Name._trusted(self.labels[:cut]), Name._trusted(self.labels[cut:])
 
     def relativize_labels(self, suffix):
         """Labels of *self* below *suffix* (``self`` must be under *suffix*)."""
@@ -199,13 +250,8 @@ class Name:
 
     def is_subdomain_of(self, other):
         """True if *self* equals *other* or lies beneath it (case-insensitive)."""
-        if len(other.labels) > len(self.labels):
-            return False
-        offset = len(self.labels) - len(other.labels)
-        for mine, theirs in zip(self.labels[offset:], other.labels):
-            if mine.lower() != theirs.lower():
-                return False
-        return True
+        other_key = other._key()
+        return self._key()[: len(other_key)] == other_key
 
     def common_ancestor(self, other):
         """Deepest name that is an ancestor of both (possibly the root)."""
@@ -215,15 +261,25 @@ class Name:
                 break
             shared.append(mine)
         shared.reverse()
-        return Name(shared)
+        return Name._trusted(tuple(shared))
 
     # -- ordering & equality ----------------------------------------------
 
     def _key(self):
-        """RFC 4034 §6.1 canonical order key: reversed lowercased labels."""
-        return tuple(label.lower() for label in reversed(self.labels))
+        """RFC 4034 §6.1 canonical order key: reversed lowercased labels.
+
+        Memoized: this key backs equality, ordering, hashing, and subtree
+        containment — the busiest comparisons in the scan engine.
+        """
+        key = self._canonical_key
+        if key is None:
+            key = tuple(label.lower() for label in reversed(self.labels))
+            object.__setattr__(self, "_canonical_key", key)
+        return key
 
     def __eq__(self, other):
+        if self is other:
+            return True
         if not isinstance(other, Name):
             return NotImplemented
         return self._key() == other._key()

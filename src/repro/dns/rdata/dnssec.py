@@ -46,13 +46,15 @@ class DNSKEY(Rdata):
     in :mod:`repro.crypto`.
     """
 
-    __slots__ = ("flags", "protocol", "algorithm", "key")
+    __slots__ = ("flags", "protocol", "algorithm", "key", "_wire", "_key_tag")
 
     def __init__(self, flags, protocol, algorithm, key):
         object.__setattr__(self, "flags", int(flags))
         object.__setattr__(self, "protocol", int(protocol))
         object.__setattr__(self, "algorithm", int(algorithm))
         object.__setattr__(self, "key", bytes(key))
+        object.__setattr__(self, "_wire", None)
+        object.__setattr__(self, "_key_tag", None)
 
     def __setattr__(self, name, value):
         raise AttributeError("rdata objects are immutable")
@@ -66,14 +68,28 @@ class DNSKEY(Rdata):
     def is_revoked(self):
         return bool(self.flags & FLAG_REVOKE)
 
+    def to_wire(self):
+        # Memoized: the validator rebuilds the wire form for every key-tag
+        # comparison and memo key; DNSKEYs are immutable.
+        wire = self._wire
+        if wire is None:
+            wire = super().to_wire()
+            object.__setattr__(self, "_wire", wire)
+        return wire
+
     def key_tag(self):
-        """RFC 4034 Appendix B key tag over the wire-format rdata."""
+        """RFC 4034 Appendix B key tag over the wire-format rdata (memoized)."""
+        tag = self._key_tag
+        if tag is not None:
+            return tag
         wire = self.to_wire()
         acc = 0
         for index, byte in enumerate(wire):
             acc += byte << 8 if index % 2 == 0 else byte
         acc += (acc >> 16) & 0xFFFF
-        return acc & 0xFFFF
+        tag = acc & 0xFFFF
+        object.__setattr__(self, "_key_tag", tag)
+        return tag
 
     def write_wire(self, writer):
         writer.write_u16(self.flags)
@@ -115,6 +131,8 @@ class RRSIG(Rdata):
         "key_tag",
         "signer",
         "signature",
+        "_prefix",
+        "_rdata_wire",
     )
 
     def __init__(
@@ -138,6 +156,8 @@ class RRSIG(Rdata):
         object.__setattr__(self, "key_tag", int(key_tag))
         object.__setattr__(self, "signer", Name.from_text(signer))
         object.__setattr__(self, "signature", bytes(signature))
+        object.__setattr__(self, "_prefix", None)
+        object.__setattr__(self, "_rdata_wire", None)
 
     def __setattr__(self, name, value):
         raise AttributeError("rdata objects are immutable")
@@ -146,33 +166,48 @@ class RRSIG(Rdata):
         """Wire-format rdata with the signature field empty.
 
         This is the ``RRSIG_RDATA`` prefix over which signatures are
-        computed (RFC 4034 §3.1.8.1); the signer name is in canonical form.
+        computed (RFC 4034 §3.1.8.1); the signer name is in canonical
+        form. Memoized: the validator rebuilds it per verification.
         """
-        writer = Writer(enable_compression=False)
-        writer.write_u16(self.type_covered)
-        writer.write_u8(self.algorithm)
-        writer.write_u8(self.labels)
-        writer.write_u32(self.original_ttl)
-        writer.write_u32(self.expiration)
-        writer.write_u32(self.inception)
-        writer.write_u16(self.key_tag)
-        writer.write(self.signer.canonical_wire())
-        return writer.getvalue()
+        prefix = self._prefix
+        if prefix is None:
+            writer = Writer(enable_compression=False)
+            writer.write_u16(self.type_covered)
+            writer.write_u8(self.algorithm)
+            writer.write_u8(self.labels)
+            writer.write_u32(self.original_ttl)
+            writer.write_u32(self.expiration)
+            writer.write_u32(self.inception)
+            writer.write_u16(self.key_tag)
+            writer.write(self.signer.canonical_wire())
+            prefix = writer.getvalue()
+            object.__setattr__(self, "_prefix", prefix)
+        return prefix
 
     def is_valid_at(self, now):
         """True when *now* falls inside the inception/expiration window."""
         return self.inception <= now <= self.expiration
 
     def write_wire(self, writer):
-        writer.write_u16(self.type_covered)
-        writer.write_u8(self.algorithm)
-        writer.write_u8(self.labels)
-        writer.write_u32(self.original_ttl)
-        writer.write_u32(self.expiration)
-        writer.write_u32(self.inception)
-        writer.write_u16(self.key_tag)
-        writer.write_name(self.signer, compress=False)
-        writer.write(self.signature)
+        # The signer name is never compressed (RFC 4034 §3.1.7), so the
+        # rdata is position-independent and its encoding is memoized —
+        # every signed response re-emits the same RRSIG rdatas. Unlike
+        # :meth:`rdata_prefix` this preserves the signer's original case.
+        wire = self._rdata_wire
+        if wire is None:
+            sub = Writer(enable_compression=False)
+            sub.write_u16(self.type_covered)
+            sub.write_u8(self.algorithm)
+            sub.write_u8(self.labels)
+            sub.write_u32(self.original_ttl)
+            sub.write_u32(self.expiration)
+            sub.write_u32(self.inception)
+            sub.write_u16(self.key_tag)
+            sub.write(self.signer.to_wire())
+            sub.write(self.signature)
+            wire = sub.getvalue()
+            object.__setattr__(self, "_rdata_wire", wire)
+        writer.write(wire)
 
     @classmethod
     def from_wire(cls, reader, rdlength):

@@ -19,11 +19,12 @@ class NSEC(Rdata):
     was designed to mitigate (paper §2.2).
     """
 
-    __slots__ = ("next_name", "types")
+    __slots__ = ("next_name", "types", "_wire")
 
     def __init__(self, next_name, types):
         object.__setattr__(self, "next_name", Name.from_text(next_name))
         object.__setattr__(self, "types", tuple(sorted(set(int(t) for t in types))))
+        object.__setattr__(self, "_wire", None)
 
     def __setattr__(self, name, value):
         raise AttributeError("rdata objects are immutable")
@@ -32,8 +33,13 @@ class NSEC(Rdata):
         return int(rrtype) in self.types
 
     def write_wire(self, writer):
-        writer.write_name(self.next_name, compress=False)
-        writer.write(encode_bitmap(self.types))
+        # next_name is never compressed (RFC 3597/4034), so the rdata is
+        # position-independent and the encoding is memoized.
+        wire = self._wire
+        if wire is None:
+            wire = self.next_name.to_wire() + encode_bitmap(self.types)
+            object.__setattr__(self, "_wire", wire)
+        writer.write(wire)
 
     @classmethod
     def from_wire(cls, reader, rdlength):

@@ -45,7 +45,10 @@ def _salt_from_text(text):
 class NSEC3(Rdata):
     """A hashed authenticated denial record."""
 
-    __slots__ = ("hash_algorithm", "flags", "iterations", "salt", "next_hash", "types")
+    __slots__ = (
+        "hash_algorithm", "flags", "iterations", "salt", "next_hash", "types",
+        "_wire",
+    )
 
     def __init__(self, hash_algorithm, flags, iterations, salt, next_hash, types):
         iterations = int(iterations)
@@ -60,6 +63,7 @@ class NSEC3(Rdata):
         object.__setattr__(self, "salt", salt)
         object.__setattr__(self, "next_hash", bytes(next_hash))
         object.__setattr__(self, "types", tuple(sorted(set(int(t) for t in types))))
+        object.__setattr__(self, "_wire", None)
 
     def __setattr__(self, name, value):
         raise AttributeError("rdata objects are immutable")
@@ -77,10 +81,23 @@ class NSEC3(Rdata):
         return (self.hash_algorithm, self.iterations, self.salt)
 
     def write_wire(self, writer):
-        _encode_params(writer, self.hash_algorithm, self.flags, self.iterations, self.salt)
-        writer.write_u8(len(self.next_hash))
-        writer.write(self.next_hash)
-        writer.write(encode_bitmap(self.types))
+        # Rdata contains no domain name, so the wire form is position-
+        # independent: memoized — zone chain entries are re-encoded into
+        # every denial response (the bitmap encoding dominated encode time).
+        wire = self._wire
+        if wire is None:
+            out = bytearray()
+            out.append(self.hash_algorithm & 0xFF)
+            out.append(self.flags & 0xFF)
+            out += self.iterations.to_bytes(2, "big")
+            out.append(len(self.salt))
+            out += self.salt
+            out.append(len(self.next_hash))
+            out += self.next_hash
+            out += encode_bitmap(self.types)
+            wire = bytes(out)
+            object.__setattr__(self, "_wire", wire)
+        writer.write(wire)
 
     @classmethod
     def from_wire(cls, reader, rdlength):

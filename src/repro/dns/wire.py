@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import struct
 
-from repro.dns.name import Name, NameError_, MAX_NAME_WIRE_LENGTH
+from repro.dns.name import Name, MAX_NAME_WIRE_LENGTH
 
 
 class WireError(ValueError):
@@ -48,34 +48,50 @@ class Writer:
         self._buf.append(value & 0xFF)
 
     def write_u16(self, value):
-        self._buf.extend(struct.pack("!H", value & 0xFFFF))
+        buf = self._buf
+        buf.append((value >> 8) & 0xFF)
+        buf.append(value & 0xFF)
 
     def write_u32(self, value):
-        self._buf.extend(struct.pack("!I", value & 0xFFFFFFFF))
+        buf = self._buf
+        buf.append((value >> 24) & 0xFF)
+        buf.append((value >> 16) & 0xFF)
+        buf.append((value >> 8) & 0xFF)
+        buf.append(value & 0xFF)
 
     def set_u16(self, offset, value):
         """Patch a previously written 16-bit field (e.g. RDLENGTH)."""
         self._buf[offset : offset + 2] = struct.pack("!H", value & 0xFFFF)
 
     def write_name(self, name, compress=None):
-        """Write *name*, emitting a compression pointer when a suffix matches."""
+        """Write *name*, emitting a compression pointer when a suffix matches.
+
+        Suffixes are keyed by slices of the name's memoized canonical key
+        (reversed lowercased labels) rather than re-lowercasing per write;
+        reversal is a bijection so the target map is equivalent.
+        """
         if compress is None:
             compress = self._compress
         labels = name.labels
-        for index in range(len(labels) + 1):
-            suffix_key = tuple(label.lower() for label in labels[index:])
-            if compress and suffix_key in self._targets:
-                pointer = self._targets[suffix_key]
-                self.write_u16(0xC000 | pointer)
+        key = name._key()
+        count = len(labels)
+        buf = self._buf
+        targets = self._targets
+        for index in range(count + 1):
+            suffix_key = key[: count - index]
+            if compress and suffix_key in targets:
+                pointer = targets[suffix_key]
+                buf.append(0xC0 | (pointer >> 8))
+                buf.append(pointer & 0xFF)
                 return
-            if index == len(labels):
-                self.write_u8(0)
+            if index == count:
+                buf.append(0)
                 return
-            if len(self._buf) < 0x4000 and suffix_key:
-                self._targets[suffix_key] = len(self._buf)
+            if len(buf) < 0x4000 and suffix_key:
+                targets[suffix_key] = len(buf)
             label = labels[index]
-            self.write_u8(len(label))
-            self.write(label)
+            buf.append(len(label))
+            buf.extend(label)
 
 
 class Reader:
@@ -101,20 +117,35 @@ class Reader:
         return chunk
 
     def read_u8(self):
-        return self.read(1)[0]
+        pos = self.pos
+        data = self.data
+        if pos >= len(data):
+            raise WireError(f"truncated message: need 1 byte at offset {pos}")
+        self.pos = pos + 1
+        return data[pos]
 
     def read_u16(self):
-        return struct.unpack("!H", self.read(2))[0]
+        pos = self.pos
+        data = self.data
+        if pos + 2 > len(data):
+            raise WireError(f"truncated message: need 2 bytes at offset {pos}")
+        self.pos = pos + 2
+        return (data[pos] << 8) | data[pos + 1]
 
     def read_u32(self):
-        return struct.unpack("!I", self.read(4))[0]
+        pos = self.pos
+        data = self.data
+        if pos + 4 > len(data):
+            raise WireError(f"truncated message: need 4 bytes at offset {pos}")
+        self.pos = pos + 4
+        return int.from_bytes(data[pos : pos + 4], "big")
 
     def read_name(self):
         """Read a (possibly compressed) name starting at the current offset."""
         labels = []
         pos = self.pos
         jumped = False
-        seen = set()
+        seen = None  # allocated lazily: most names contain no pointer
         total = 0
         while True:
             if pos >= len(self.data):
@@ -124,9 +155,12 @@ class Reader:
                 if pos + 1 >= len(self.data):
                     raise WireError("truncated compression pointer")
                 target = ((length & 0x3F) << 8) | self.data[pos + 1]
-                if target in seen:
+                if seen is None:
+                    seen = {target}
+                elif target in seen:
                     raise WireError("compression pointer loop")
-                seen.add(target)
+                else:
+                    seen.add(target)
                 if not jumped:
                     self.pos = pos + 2
                     jumped = True
@@ -145,7 +179,7 @@ class Reader:
                 if total > MAX_NAME_WIRE_LENGTH:
                     raise WireError("name exceeds 255 octets")
                 pos += 1 + length
-        try:
-            return Name(labels)
-        except NameError_ as exc:
-            raise WireError(str(exc)) from exc
+        # The loop established every Name invariant (labels non-empty,
+        # ≤ 63 octets by the 0xC0 tag check, total ≤ 255), so skip the
+        # revalidating constructor on this hot path.
+        return Name._trusted(tuple(labels))

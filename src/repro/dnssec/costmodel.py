@@ -49,6 +49,12 @@ class CostMeter:
     #: budget check here while a budget is active; it stays None otherwise
     #: so the uninstrumented hot path pays one attribute test per charge.
     listener: object = None
+    #: Optional list capturing each charge as a ``(sha1, nsec3, verify)``
+    #: delta tuple. The authoritative answer cache records the charge
+    #: sequence of a response build here and :meth:`replay`\ s it on a
+    #: cache hit, so budgets trip at exactly the same points whether the
+    #: response was computed or served from cache.
+    recorder: object = None
 
     def charge_nsec3(self, iterations, input_length, salt_length):
         """Account one full NSEC3 hash of a name.
@@ -59,15 +65,40 @@ class CostMeter:
         """
         first_blocks = _sha1_blocks(input_length + salt_length)
         later_blocks = _sha1_blocks(20 + salt_length)
-        self.sha1_compressions += first_blocks + iterations * later_blocks
+        blocks = first_blocks + iterations * later_blocks
+        self.sha1_compressions += blocks
         self.nsec3_hashes += 1
+        if self.recorder is not None:
+            self.recorder.append((blocks, 1, 0))
         if self.listener is not None:
             self.listener()
 
     def charge_verification(self):
         self.signature_verifications += 1
+        if self.recorder is not None:
+            self.recorder.append((0, 0, 1))
         if self.listener is not None:
             self.listener()
+
+    def replay(self, charges):
+        """Re-apply a recorded charge sequence, op by op.
+
+        A cache hit charges the model exactly as the original computation
+        did — same per-operation deltas, same order, listener fired after
+        each — so guard overshoot bounds and trip points are preserved.
+        Replayed charges are themselves recorded when a recorder is
+        active (a cached answer nested inside another recorded build).
+        """
+        recorder = self.recorder
+        listener_active = self.listener is not None
+        for sha1, nsec3, verify in charges:
+            self.sha1_compressions += sha1
+            self.nsec3_hashes += nsec3
+            self.signature_verifications += verify
+            if recorder is not None:
+                recorder.append((sha1, nsec3, verify))
+            if listener_active:
+                self.listener()
 
     def snapshot(self):
         return CostSnapshot(

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import hashlib
 
-from repro import obs
+from repro import fastpath, obs
 from repro.dns.base32 import b32hex_encode
 from repro.dns.name import Name
 from repro.dns.rdata.nsec3 import NSEC3_HASH_SHA1
@@ -47,6 +47,10 @@ def _iterated_digest(owner_wire, salt, iterations):
     # The meter charges full price even on a memo hit: the cost model
     # describes a resolver that recomputes per query (the CVE-2023-50868
     # exposure), while the memo only saves *our* host CPU.
+    if not fastpath.enabled("nsec3_memo"):
+        digest = _compute_iterated_digest(owner_wire, salt, iterations)
+        meter.charge_nsec3(iterations, len(owner_wire), len(salt))
+        return digest
     table_key = (salt, iterations)
     table = _digest_memo.get(table_key)
     if table is None:

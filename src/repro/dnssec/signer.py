@@ -27,9 +27,20 @@ SIMULATION_NOW = 1_700_000_000
 
 
 def canonical_rrset_wire(rrset, original_ttl=None, owner=None):
-    """The canonical ``RR(1)..RR(n)`` concatenation for signing."""
+    """The canonical ``RR(1)..RR(n)`` concatenation for signing.
+
+    Memoized on the RRset: a campaign validates the same RRset object
+    against many signatures (and many resolvers validate shared zone
+    data), so the sort-and-concatenate work is paid once per
+    ``(owner, TTL, rdata count)``. :meth:`RRset.add` invalidates; the
+    rdata count in the key covers direct ``rdatas`` edits.
+    """
     owner_wire = (owner or rrset.name).canonical_wire()
     ttl = rrset.ttl if original_ttl is None else original_ttl
+    memo_key = (owner_wire, ttl, len(rrset.rdatas))
+    cached = rrset.canonical_memo_get(memo_key)
+    if cached is not None:
+        return cached
     header_fixed = struct.pack(
         "!HHI", int(rrset.rrtype), int(rrset.rdclass), ttl
     )
@@ -37,11 +48,13 @@ def canonical_rrset_wire(rrset, original_ttl=None, owner=None):
     for rdata in sorted(rrset.rdatas, key=lambda r: r.canonical_wire()):
         body = rdata.canonical_wire()
         chunks.append(owner_wire + header_fixed + struct.pack("!H", len(body)) + body)
-    return b"".join(chunks)
+    wire = b"".join(chunks)
+    rrset.canonical_memo_put(memo_key, wire)
+    return wire
 
 
-def rrsig_signed_data(rrsig, rrset):
-    """The exact byte string an RRSIG's signature covers.
+def rrsig_signed_owner(rrsig, rrset):
+    """The owner name the signature covers.
 
     When the RRSIG ``labels`` field is smaller than the owner's label
     count, the RRset was synthesised from a wildcard: the signed owner is
@@ -51,8 +64,13 @@ def rrsig_signed_data(rrsig, rrset):
     if rrsig.labels < owner.label_count:
         __, suffix = owner.split(rrsig.labels)
         owner = suffix.prepend(b"*")
+    return owner
+
+
+def rrsig_signed_data(rrsig, rrset):
+    """The exact byte string an RRSIG's signature covers."""
     return rrsig.rdata_prefix() + canonical_rrset_wire(
-        rrset, rrsig.original_ttl, owner=owner
+        rrset, rrsig.original_ttl, owner=rrsig_signed_owner(rrsig, rrset)
     )
 
 

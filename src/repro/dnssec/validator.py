@@ -9,9 +9,10 @@ primitives.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 
-from repro import obs
+from repro import fastpath, obs
 from repro.crypto.keys import (
     SUPPORTED_ALGORITHMS,
     ds_matches_dnskey,
@@ -20,7 +21,11 @@ from repro.crypto.keys import (
 from repro.dns.name import Name
 from repro.dns.types import RdataType
 from repro.dnssec.costmodel import meter
-from repro.dnssec.signer import SIMULATION_NOW, rrsig_signed_data
+from repro.dnssec.signer import (
+    SIMULATION_NOW,
+    canonical_rrset_wire,
+    rrsig_signed_owner,
+)
 
 
 class SecurityStatus(enum.Enum):
@@ -59,6 +64,91 @@ class ValidationContext:
 
     def keys_for(self, zone):
         return self.trusted_keys.get(Name.from_text(zone))
+
+
+class VerificationMemo:
+    """A bounded memo of RRSIG verification outcomes.
+
+    Verification is a pure function of the signed data, the signature,
+    and the public key; the study re-verifies the very same RRSIGs
+    thousands of times across resolvers. The key is
+    ``(RRSIG_RDATA prefix, signature, sha256(canonical RRset wire),
+    DNSKEY wire)`` — a key rollover changes the DNSKEY component and an
+    RRset change the digest, so both force a real verification. Temporal
+    validity is checked by the callers *before* the memo is consulted,
+    and :meth:`repro.dnssec.costmodel.CostMeter.charge_verification` is
+    charged on hit and miss alike, so guard budgets and cost experiments
+    never see the memo. Bounded: the table is cleared, not grown, past
+    the limit (deterministic, like the NSEC3 digest memo).
+    """
+
+    __slots__ = ("limit", "entries", "hits", "misses", "evictions")
+
+    def __init__(self, limit=65536):
+        self.limit = limit
+        self.entries = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def clear(self):
+        self.entries.clear()
+
+
+#: The process-global verification memo (cleared by tests as needed).
+verification_memo = VerificationMemo()
+
+
+def _count_memo(outcome):
+    obs.registry.counter(
+        "repro_validator_memo_events_total",
+        "RRSIG verification memo events, by outcome.",
+        labelnames=("outcome",),
+    ).labels(outcome=outcome).inc()
+
+
+def _rrsig_verifies(rrsig, rrset, dnskey):
+    """One metered signature verification, through the bounded memo.
+
+    The caller has already charged the meter; this only decides whether
+    the bignum math actually runs.
+    """
+    if not fastpath.enabled("validator_memo"):
+        payload = canonical_rrset_wire(
+            rrset, rrsig.original_ttl, owner=rrsig_signed_owner(rrsig, rrset)
+        )
+        return verify_signature(
+            dnskey, rrsig.rdata_prefix() + payload, rrsig.signature
+        )
+    memo = verification_memo
+    payload = canonical_rrset_wire(
+        rrset, rrsig.original_ttl, owner=rrsig_signed_owner(rrsig, rrset)
+    )
+    key = (
+        rrsig.rdata_prefix(),
+        rrsig.signature,
+        hashlib.sha256(payload).digest(),
+        dnskey.to_wire(),
+    )
+    cached = memo.entries.get(key)
+    if cached is not None:
+        memo.hits += 1
+        if obs.enabled:
+            _count_memo("hit")
+        return cached
+    memo.misses += 1
+    result = verify_signature(
+        dnskey, rrsig.rdata_prefix() + payload, rrsig.signature
+    )
+    if len(memo.entries) >= memo.limit:
+        memo.clear()
+        memo.evictions += 1
+        if obs.enabled:
+            _count_memo("eviction")
+    memo.entries[key] = result
+    if obs.enabled:
+        _count_memo("miss")
+    return result
 
 
 def _candidate_keys(dnskey_rrset, rrsig):
@@ -127,10 +217,9 @@ def _validate_rrset(rrset, rrsig_rrset, dnskey_rrset, now):
         if rrsig.algorithm not in SUPPORTED_ALGORITHMS:
             last_reason = f"unsupported algorithm {rrsig.algorithm}"
             continue
-        signed = rrsig_signed_data(rrsig, rrset)
         for dnskey in _candidate_keys(dnskey_rrset, rrsig):
             meter.charge_verification()
-            if verify_signature(dnskey, signed, rrsig.signature):
+            if _rrsig_verifies(rrsig, rrset, dnskey):
                 return ValidationResult(SecurityStatus.SECURE, rrsig=rrsig)
         last_reason = "signature did not verify under any candidate key"
     return ValidationResult(SecurityStatus.BOGUS, last_reason)
@@ -172,9 +261,8 @@ def _validate_self_signature(dnskey_rrset, dnskey_rrsigs, anchor_key, now):
             continue
         if not rrsig.is_valid_at(now):
             continue
-        signed = rrsig_signed_data(rrsig, dnskey_rrset)
         meter.charge_verification()
-        if verify_signature(anchor_key, signed, rrsig.signature):
+        if _rrsig_verifies(rrsig, dnskey_rrset, anchor_key):
             return ValidationResult(SecurityStatus.SECURE, rrsig=rrsig)
     return ValidationResult(
         SecurityStatus.BOGUS, "DNSKEY RRset not signed by the DS-matched key"

@@ -8,7 +8,7 @@ whose verification cost the paper's resolver experiments measure.
 
 from __future__ import annotations
 
-from repro import obs
+from repro import fastpath, obs
 from repro.dns.flags import Flag
 from repro.dns.message import Message, make_response
 from repro.dns.name import Name
@@ -16,6 +16,7 @@ from repro.dns.rcode import Rcode
 from repro.dns.rrset import RRset
 from repro.dns.types import Opcode, RdataType
 from repro.dns.wire import WireError
+from repro.dnssec.costmodel import meter
 from repro.dnssec.nsec3hash import nsec3_hash
 from repro.net.network import Host
 from repro.server.querylog import QueryLog
@@ -23,6 +24,70 @@ from repro.zone.zone import LookupStatus
 
 #: Hard cap on CNAME chain chasing within one response.
 MAX_CNAME_CHAIN = 8
+
+
+def _count_cache(outcome):
+    obs.registry.counter(
+        "repro_answer_cache_events_total",
+        "Authoritative packed-answer cache events, by outcome.",
+        labelnames=("outcome",),
+    ).labels(outcome=outcome).inc()
+
+
+class _CachedAnswer:
+    """One packed response: encoded wire plus its recorded cost charges."""
+
+    __slots__ = ("wire", "rcode_text", "charges")
+
+    def __init__(self, wire, rcode_text, charges):
+        self.wire = wire
+        self.rcode_text = rcode_text
+        self.charges = charges
+
+
+class PackedAnswerCache:
+    """Fully encoded responses keyed by the question shape.
+
+    A hit splices the query id into the cached wire (the
+    ``Message.encode()`` memo technique) and :meth:`CostMeter.replay`\\ s
+    the charge sequence recorded when the response was first built, so
+    the cost model and guard budgets behave exactly as if the server had
+    recomputed the answer. Insertion-ordered with deterministic FIFO
+    eviction; the hosting server clears it whenever any of its zones
+    mutates (the zone-serial component of the key is realised as
+    invalidate-on-mutation — serial bumps go through
+    :meth:`Zone.replace_rrset`, which fires the mutation listeners).
+    """
+
+    __slots__ = ("limit", "entries", "hits", "misses", "evictions", "invalidations")
+
+    def __init__(self, limit=8192):
+        self.limit = limit
+        self.entries = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def get(self, key):
+        return self.entries.get(key)
+
+    def put(self, key, entry):
+        entries = self.entries
+        if key not in entries and len(entries) >= self.limit:
+            entries.pop(next(iter(entries)))
+            self.evictions += 1
+            if obs.enabled:
+                _count_cache("eviction")
+        entries[key] = entry
+
+    def invalidate(self):
+        """Drop every entry (a hosted zone changed under the cache)."""
+        if self.entries:
+            self.entries.clear()
+        self.invalidations += 1
+        if obs.enabled:
+            _count_cache("invalidation")
 
 
 class AuthoritativeServer(Host):
@@ -37,21 +102,34 @@ class AuthoritativeServer(Host):
         #: registries rarely allow transfers; the paper could AXFR only
         #: .ch/.nu/.se/.li.
         self.axfr_allowed = set()
+        self.answer_cache = PackedAnswerCache()
+        #: Longest-prefix index over zone origins (canonical label keys).
+        self._zone_index = {}
 
     def add_zone(self, zone):
         """Host *zone* (keyed by origin) on this server."""
         self.zones[zone.origin] = zone
+        self._zone_index[zone.origin._key()] = zone
+        zone.add_mutation_listener(self.answer_cache.invalidate)
+        # A new zone can change the answer to anything previously REFUSED
+        # or referred; start from a clean slate.
+        self.answer_cache.invalidate()
         return self
 
     def zone_for(self, qname):
-        """The most specific zone containing *qname*, or None."""
-        qname = Name.from_text(qname)
-        best = None
-        for origin, zone in self.zones.items():
-            if qname.is_subdomain_of(origin):
-                if best is None or origin.label_count > best.origin.label_count:
-                    best = zone
-        return best
+        """The most specific zone containing *qname*, or None.
+
+        Longest-suffix match over the origin index: walk the question's
+        canonical key from most to least specific instead of scanning
+        every hosted zone (registry servers host hundreds).
+        """
+        qkey = Name.from_text(qname)._key()
+        index = self._zone_index
+        for depth in range(len(qkey), -1, -1):
+            zone = index.get(qkey[:depth])
+            if zone is not None:
+                return zone
+        return None
 
     # -- datagram entry point ------------------------------------------------
 
@@ -61,30 +139,106 @@ class AuthoritativeServer(Host):
             query = Message.from_wire(wire)
         except WireError:
             return None
-        if not obs.enabled:
-            response = self._dispatch(query, src_ip, via_tcp)
-        else:
-            qname = (
-                query.question[0].name.to_text() if query.question else "?"
-            )
-            with obs.span("auth.query", server=self.name, qname=qname) as span:
+        cache_key = self._cache_key(query, via_tcp)
+        if cache_key is not None:
+            entry = self.answer_cache.get(cache_key)
+            if entry is not None:
+                return self._serve_cached(query, entry, src_ip)
+            self.answer_cache.misses += 1
+            if obs.enabled:
+                _count_cache("miss")
+            recorder_charges = []
+            previous_recorder = meter.recorder
+            meter.recorder = recorder_charges
+        try:
+            if not obs.enabled:
                 response = self._dispatch(query, src_ip, via_tcp)
+            else:
+                qname = (
+                    query.question[0].name.to_text() if query.question else "?"
+                )
+                with obs.span("auth.query", server=self.name, qname=qname) as span:
+                    response = self._dispatch(query, src_ip, via_tcp)
+                    if response is not None:
+                        span.set(rcode=Rcode.to_text(response.rcode))
                 if response is not None:
-                    span.set(rcode=Rcode.to_text(response.rcode))
-            if response is not None:
-                obs.registry.counter(
-                    "repro_auth_responses_total",
-                    "Authoritative responses, by server and rcode.",
-                    labelnames=("server", "rcode"),
-                ).labels(
-                    server=self.name, rcode=Rcode.to_text(response.rcode)
-                ).inc()
-        if response is None:
+                    obs.registry.counter(
+                        "repro_auth_responses_total",
+                        "Authoritative responses, by server and rcode.",
+                        labelnames=("server", "rcode"),
+                    ).labels(
+                        server=self.name, rcode=Rcode.to_text(response.rcode)
+                    ).inc()
+            if response is None:
+                return None
+            max_size = None
+            if not via_tcp:
+                max_size = query.edns.payload_size if query.edns else 512
+            encoded = response.to_wire(max_size=max_size)
+        finally:
+            if cache_key is not None:
+                meter.recorder = previous_recorder
+        if cache_key is not None:
+            self.answer_cache.put(
+                cache_key,
+                _CachedAnswer(
+                    encoded, Rcode.to_text(response.rcode), tuple(recorder_charges)
+                ),
+            )
+        return encoded
+
+    def _cache_key(self, query, via_tcp):
+        """The packed-answer cache key for *query*, or None if uncacheable.
+
+        Only plain single-question QUERY opcodes are cached. The key
+        captures everything the response bytes (id aside) depend on: the
+        question exactly as asked (raw labels — responses echo the
+        question's case), RD (mirrored into the response flags), the
+        EDNS shape, and the transport/payload size that drives UDP
+        truncation.
+        """
+        if not fastpath.enabled("answer_cache"):
             return None
-        max_size = None
-        if not via_tcp:
-            max_size = query.edns.payload_size if query.edns else 512
-        return response.to_wire(max_size=max_size)
+        if query.is_response or query.opcode != Opcode.QUERY:
+            return None
+        if len(query.question) != 1:
+            return None
+        question = query.question[0]
+        rrtype = int(question.rrtype)
+        if rrtype == int(RdataType.AXFR):
+            return None
+        return (
+            question.name.labels,
+            rrtype,
+            int(question.rdclass),
+            query.has_flag(Flag.RD),
+            query.edns is not None,
+            query.dnssec_ok,
+            query.edns.payload_size if query.edns else None,
+            via_tcp,
+        )
+
+    def _serve_cached(self, query, entry, src_ip):
+        """Log, re-charge the cost model, and splice the query id in."""
+        question = query.question[0]
+        clock = self.network.clock_ms if self.network else 0.0
+        self.log.record(src_ip, question.name.to_text(), question.rrtype, clock)
+        self.answer_cache.hits += 1
+        if not obs.enabled:
+            meter.replay(entry.charges)
+        else:
+            _count_cache("hit")
+            with obs.span(
+                "auth.query", server=self.name, qname=question.name.to_text()
+            ) as span:
+                span.set(rcode=entry.rcode_text, cached=True)
+                meter.replay(entry.charges)
+            obs.registry.counter(
+                "repro_auth_responses_total",
+                "Authoritative responses, by server and rcode.",
+                labelnames=("server", "rcode"),
+            ).labels(server=self.name, rcode=entry.rcode_text).inc()
+        return query.id.to_bytes(2, "big") + entry.wire[2:]
 
     def _dispatch(self, query, src_ip, via_tcp):
         if (

@@ -95,6 +95,8 @@ def sign_zone(zone, policy=None, ksk=None, zsk=None, rng=None):
 
     _sign_all(zone, policy, ksk, zsk)
     zone.signed = True
+    # _sign_all writes zone.rrsigs directly; let generation-keyed caches know.
+    zone.touch()
     return zone
 
 
@@ -117,6 +119,7 @@ def _strip_dnssec(zone):
     zone.nsec3_chain = None
     zone.nsec_chain = None
     zone.signed = False
+    zone.touch()
 
 
 def _should_sign(zone, rrset):

@@ -10,6 +10,7 @@ signatures and the NSEC/NSEC3 chain — is attached by
 from __future__ import annotations
 
 import enum
+from bisect import bisect_right
 from dataclasses import dataclass
 
 from repro.dns.name import Name
@@ -56,6 +57,31 @@ class Zone:
         self.keys = []
         #: RRSIGs keyed like RRsets: (name, type) -> RRset of RRSIGs.
         self.rrsigs = {}
+        #: Bumped on every mutation; derived caches key their freshness on
+        #: it (the sorted existence index below, the authoritative
+        #: server's packed-answer cache).
+        self.generation = 0
+        #: Zero-arg callbacks fired on :meth:`touch`.
+        self._mutation_listeners = []
+        self._existence_index = None
+        self._existence_generation = -1
+
+    # -- mutation tracking --------------------------------------------------
+
+    def touch(self):
+        """Record a mutation: bump the generation and notify listeners.
+
+        :meth:`add_rrset` calls this; code that edits :attr:`nodes` or
+        :attr:`rrsigs` directly (zone signing does) must call it once the
+        edit is complete.
+        """
+        self.generation += 1
+        for listener in self._mutation_listeners:
+            listener()
+
+    def add_mutation_listener(self, listener):
+        """Register a zero-arg callback invoked after every mutation."""
+        self._mutation_listeners.append(listener)
 
     # -- construction ------------------------------------------------------
 
@@ -70,6 +96,20 @@ class Zone:
         else:
             for rdata in rrset:
                 existing.add(rdata)
+        self.touch()
+        return self
+
+    def replace_rrset(self, rrset):
+        """Replace (not merge) the RRset at ``(name, type)``.
+
+        SOA serial bumps come through here: the whole RRset is swapped so
+        the old serial does not linger as a second rdata.
+        """
+        if not rrset.name.is_subdomain_of(self.origin):
+            raise ValueError(f"{rrset.name} is outside zone {self.origin}")
+        node = self.nodes.setdefault(rrset.name, {})
+        node[int(rrset.rrtype)] = rrset.copy()
+        self.touch()
         return self
 
     def add(self, name, rrtype, ttl, *rdatas):
@@ -203,13 +243,24 @@ class Zone:
         return LookupResult(LookupStatus.NXDOMAIN)
 
     def _name_exists(self, qname):
-        """True if *qname* exists as a node or an empty non-terminal."""
+        """True if *qname* exists as a node or an empty non-terminal.
+
+        An empty non-terminal exists iff some node sorts immediately
+        after ``qname`` in canonical order within its subtree, so after
+        the exact-match check one bisect over the sorted canonical keys
+        answers it — the linear subtree scan this replaces dominated the
+        NXDOMAIN, wildcard, and closest-encloser hot paths.
+        """
         if qname in self.nodes:
             return True
-        for name in self.nodes:
-            if name != qname and name.is_subdomain_of(qname):
-                return True
-        return False
+        index = self._existence_index
+        if index is None or self._existence_generation != self.generation:
+            index = sorted(name._key() for name in self.nodes)
+            self._existence_index = index
+            self._existence_generation = self.generation
+        qkey = qname._key()
+        at = bisect_right(index, qkey)
+        return at < len(index) and index[at][: len(qkey)] == qkey
 
     def _try_wildcard(self, qname, qtype):
         """RFC 4592 wildcard synthesis for the closest encloser."""

@@ -1,0 +1,422 @@
+"""Tests for the cost-model-preserving fast paths (PR 5).
+
+Three claims are load-bearing and each gets direct coverage here:
+
+1. the fast paths change *nothing observable* — signatures, response
+   bytes, and cost-meter charges are identical with every switch on or
+   off;
+2. the memo keys are sound — key rollovers, RRset edits, and zone
+   mutations force real recomputation, and temporal RRSIG validity is
+   re-checked on every validation (a memo hit must never resurrect an
+   expired signature);
+3. the caches are bounded with deterministic eviction and kill switches.
+"""
+
+import random
+
+import pytest
+
+from repro import fastpath
+from repro.crypto import rsa
+from repro.crypto.keys import (
+    ALG_ECDSAP256SHA256,
+    ALG_RSASHA256,
+    generate_keypair,
+)
+from repro.dns.message import Message, make_query
+from repro.dns.name import Name
+from repro.dns.rdata import A
+from repro.dns.rdata.soa import SOA
+from repro.dns.rrset import RRset
+from repro.dns.types import RdataType
+from repro.dnssec.costmodel import meter
+from repro.dnssec.signer import make_rrsig_rrset, sign_rrset
+from repro.dnssec.validator import (
+    SecurityStatus,
+    validate_rrset,
+    verification_memo,
+)
+from repro.server.authoritative import AuthoritativeServer, PackedAnswerCache
+from repro.zone.builder import ZoneBuilder
+from repro.zone.nsec3chain import Nsec3Params
+from repro.zone.signing import SigningPolicy, sign_zone
+from repro.zone.zone import Zone
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    """Each test starts with empty memos and the default switch state."""
+    fastpath.reset()
+    verification_memo.clear()
+    verification_memo.hits = 0
+    verification_memo.misses = 0
+    yield
+    fastpath.reset()
+    verification_memo.clear()
+
+
+# -- the switchboard ---------------------------------------------------------
+
+
+class TestSwitchboard:
+    def test_all_known_switches_default_on(self):
+        for name in fastpath.KNOWN_SWITCHES:
+            assert fastpath.enabled(name)
+
+    def test_disable_all(self):
+        fastpath.disable("all")
+        for name in fastpath.KNOWN_SWITCHES:
+            assert not fastpath.enabled(name)
+
+    def test_unknown_switch_rejected(self):
+        with pytest.raises(ValueError, match="unknown fast-path switch"):
+            fastpath.disable("warp_drive")
+
+    def test_disabled_context_restores(self):
+        with fastpath.disabled("rsa_crt,answer_cache"):
+            assert not fastpath.enabled("rsa_crt")
+            assert not fastpath.enabled("answer_cache")
+            assert fastpath.enabled("validator_memo")
+        assert fastpath.enabled("rsa_crt")
+        assert fastpath.enabled("answer_cache")
+
+    def test_env_var_parsed_on_reset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FASTPATH_DISABLE", "nsec3_memo")
+        fastpath.reset()
+        assert not fastpath.enabled("nsec3_memo")
+        assert fastpath.enabled("validator_memo")
+
+
+# -- RSA CRT signing ---------------------------------------------------------
+
+
+class TestRsaCrt:
+    def test_crt_signature_byte_identical_to_plain_d(self):
+        key = rsa.generate_rsa_key(512, rng=random.Random(7))
+        assert key.dp is not None  # generated keys carry the factors
+        message = b"the quick brown fox"
+        via_crt = key.sign(message)
+        with fastpath.disabled("rsa_crt"):
+            via_d = key.sign(message)
+        assert via_crt == via_d
+        assert key.public().verify(message, via_crt)
+
+    def test_crt_identical_across_hashes_and_keys(self):
+        rng = random.Random(13)
+        for bits in (512, 768):
+            key = rsa.generate_rsa_key(bits, rng=rng)
+            for hash_name in ("sha1", "sha256"):
+                message = f"msg-{bits}-{hash_name}".encode()
+                with fastpath.disabled("rsa_crt"):
+                    expected = key.sign(message, hash_name)
+                assert key.sign(message, hash_name) == expected
+
+    def test_key_without_factors_falls_back(self):
+        key = rsa.generate_rsa_key(512, rng=random.Random(21))
+        rebuilt = rsa.RsaPrivateKey(key.n, key.e, key.d)
+        assert rebuilt.dp is None
+        assert rebuilt.sign(b"hello") == key.sign(b"hello")
+
+    def test_dnssec_rsa_signatures_unchanged(self):
+        """sign_rrset through a KeyPair produces identical RRSIGs."""
+        pair = generate_keypair(ALG_RSASHA256, rsa_bits=512, rng=random.Random(3))
+        rrset = RRset("www.example.com", RdataType.A, 300, [A("192.0.2.1")])
+        fast = sign_rrset(rrset, pair, "example.com").signature
+        with fastpath.disabled("rsa_crt"):
+            slow = sign_rrset(rrset, pair, "example.com").signature
+        assert fast == slow
+
+
+# -- the RRSIG verification memo ---------------------------------------------
+
+
+def _signed_rrset(pair, owner="www.example.com"):
+    rrset = RRset(owner, RdataType.A, 300, [A("192.0.2.1")])
+    rrsig = sign_rrset(rrset, pair, "example.com")
+    return rrset, make_rrsig_rrset(rrset, [rrsig])
+
+
+class TestVerificationMemo:
+    @pytest.fixture()
+    def pair(self):
+        return generate_keypair(ALG_ECDSAP256SHA256, rng=random.Random(5))
+
+    def test_second_validation_hits(self, pair):
+        rrset, rrsigs = _signed_rrset(pair)
+        dnskeys = RRset("example.com", RdataType.DNSKEY, 3600, [pair.dnskey])
+        assert validate_rrset(rrset, rrsigs, dnskeys).secure
+        misses = verification_memo.misses
+        assert validate_rrset(rrset, rrsigs, dnskeys).secure
+        assert verification_memo.hits == 1
+        assert verification_memo.misses == misses
+
+    def test_key_rollover_misses(self, pair):
+        """A new DNSKEY changes the memo key: no stale hit across rollover."""
+        rrset, rrsigs = _signed_rrset(pair)
+        dnskeys = RRset("example.com", RdataType.DNSKEY, 3600, [pair.dnskey])
+        assert validate_rrset(rrset, rrsigs, dnskeys).secure
+        rolled = generate_keypair(ALG_ECDSAP256SHA256, rng=random.Random(6))
+        rrsig2 = sign_rrset(rrset, rolled, "example.com")
+        rrsigs2 = make_rrsig_rrset(rrset, [rrsig2])
+        dnskeys2 = RRset("example.com", RdataType.DNSKEY, 3600, [rolled.dnskey])
+        before = verification_memo.hits
+        assert validate_rrset(rrset, rrsigs2, dnskeys2).secure
+        assert verification_memo.hits == before  # fresh key → real verification
+
+    def test_memo_does_not_bypass_temporal_validity(self, pair):
+        """An RRSIG cached as good must go BOGUS once its window passes."""
+        rrset, rrsigs = _signed_rrset(pair)
+        dnskeys = RRset("example.com", RdataType.DNSKEY, 3600, [pair.dnskey])
+        assert validate_rrset(rrset, rrsigs, dnskeys).secure
+        expired_now = rrsigs[0].expiration + 1
+        result = validate_rrset(rrset, rrsigs, dnskeys, now=expired_now)
+        assert result.status is SecurityStatus.BOGUS
+        assert "validity window" in result.reason
+
+    def test_negative_outcomes_are_cached_too(self, pair):
+        from repro.dns.rdata.dnssec import RRSIG
+
+        rrset, rrsigs = _signed_rrset(pair)
+        good = rrsigs[0]
+        corrupt = RRSIG(
+            good.type_covered, good.algorithm, good.labels, good.original_ttl,
+            good.expiration, good.inception, good.key_tag, good.signer,
+            bytes(len(good.signature)),
+        )
+        rrsigs = make_rrsig_rrset(rrset, [corrupt])
+        dnskeys = RRset("example.com", RdataType.DNSKEY, 3600, [pair.dnskey])
+        assert validate_rrset(rrset, rrsigs, dnskeys).status is SecurityStatus.BOGUS
+        before = verification_memo.hits
+        assert validate_rrset(rrset, rrsigs, dnskeys).status is SecurityStatus.BOGUS
+        assert verification_memo.hits == before + 1  # False is a valid memo value
+
+    def test_hit_charges_meter_like_a_miss(self, pair):
+        rrset, rrsigs = _signed_rrset(pair)
+        dnskeys = RRset("example.com", RdataType.DNSKEY, 3600, [pair.dnskey])
+        start = meter.snapshot()
+        validate_rrset(rrset, rrsigs, dnskeys)
+        miss_cost = meter.snapshot() - start
+        start = meter.snapshot()
+        validate_rrset(rrset, rrsigs, dnskeys)
+        hit_cost = meter.snapshot() - start
+        assert hit_cost == miss_cost
+        assert hit_cost.signature_verifications == 1
+
+    def test_rrset_mutation_invalidates(self, pair):
+        """Growing the RRset changes the digest component of the key."""
+        rrset, rrsigs = _signed_rrset(pair)
+        dnskeys = RRset("example.com", RdataType.DNSKEY, 3600, [pair.dnskey])
+        assert validate_rrset(rrset, rrsigs, dnskeys).secure
+        rrset.add(A("192.0.2.99"))
+        before = verification_memo.hits
+        result = validate_rrset(rrset, rrsigs, dnskeys)
+        assert result.status is SecurityStatus.BOGUS  # signature no longer covers it
+        assert verification_memo.hits == before
+
+    def test_bounded_eviction_clears(self, pair):
+        rrset, rrsigs = _signed_rrset(pair)
+        dnskeys = RRset("example.com", RdataType.DNSKEY, 3600, [pair.dnskey])
+        old_limit = verification_memo.limit
+        verification_memo.limit = 1
+        try:
+            validate_rrset(rrset, rrsigs, dnskeys)
+            other, other_sigs = _signed_rrset(pair, owner="other.example.com")
+            validate_rrset(other, other_sigs, dnskeys)
+            assert verification_memo.evictions >= 1
+            assert len(verification_memo.entries) <= 1
+        finally:
+            verification_memo.limit = old_limit
+
+    def test_kill_switch_skips_memo(self, pair):
+        rrset, rrsigs = _signed_rrset(pair)
+        dnskeys = RRset("example.com", RdataType.DNSKEY, 3600, [pair.dnskey])
+        with fastpath.disabled("validator_memo"):
+            assert validate_rrset(rrset, rrsigs, dnskeys).secure
+            assert validate_rrset(rrset, rrsigs, dnskeys).secure
+        assert verification_memo.hits == 0
+        assert not verification_memo.entries
+
+
+# -- the packed answer cache -------------------------------------------------
+
+
+def _build_server():
+    rng = random.Random(17)
+    zone = (
+        ZoneBuilder("example.com")
+        .soa("ns1.example.com", "h.example.com")
+        .ns("ns1.example.com.")
+        .a("ns1", "192.0.2.1")
+        .a("www", "192.0.2.2")
+        .build()
+    )
+    sign_zone(
+        zone,
+        SigningPolicy(nsec3=Nsec3Params(iterations=10, salt=b"\xab")),
+        rng=rng,
+    )
+    server = AuthoritativeServer("cache-test")
+    server.add_zone(zone)
+    return server, zone
+
+
+def _ask_wire(server, qname, qtype, msg_id, dnssec=True):
+    query = make_query(qname, qtype, want_dnssec=dnssec, msg_id=msg_id)
+    return server.handle_datagram(query.to_wire(), "198.51.100.9")
+
+
+class TestAnswerCache:
+    def test_hit_is_byte_identical_modulo_id(self):
+        server, _ = _build_server()
+        first = _ask_wire(server, "www.example.com", RdataType.A, msg_id=0x1111)
+        assert server.answer_cache.misses == 1
+        second = _ask_wire(server, "www.example.com", RdataType.A, msg_id=0x2222)
+        assert server.answer_cache.hits == 1
+        assert second[:2] == b"\x22\x22"
+        assert second[2:] == first[2:]
+        assert Message.from_wire(second).id == 0x2222
+
+    def test_hit_replays_exact_charges(self):
+        server, _ = _build_server()
+        meter_start = meter.snapshot()
+        _ask_wire(server, "nope.example.com", RdataType.A, msg_id=1)
+        miss_cost = meter.snapshot() - meter_start
+        assert miss_cost.nsec3_hashes > 0  # closest-encloser proof hashed
+        meter_start = meter.snapshot()
+        _ask_wire(server, "nope.example.com", RdataType.A, msg_id=2)
+        hit_cost = meter.snapshot() - meter_start
+        assert server.answer_cache.hits == 1
+        assert hit_cost == miss_cost
+
+    def test_distinct_questions_do_not_collide(self):
+        server, _ = _build_server()
+        a_wire = _ask_wire(server, "www.example.com", RdataType.A, msg_id=1)
+        txt_wire = _ask_wire(server, "www.example.com", RdataType.TXT, msg_id=1)
+        plain = _ask_wire(server, "www.example.com", RdataType.A, msg_id=1, dnssec=False)
+        assert server.answer_cache.hits == 0
+        assert len({a_wire, txt_wire, plain}) == 3
+
+    def test_zone_serial_bump_invalidates(self):
+        server, zone = _build_server()
+        _ask_wire(server, "www.example.com", RdataType.A, msg_id=1)
+        assert server.answer_cache.entries
+        old_soa = zone.soa[0]
+        bumped = SOA(
+            old_soa.mname,
+            old_soa.rname,
+            old_soa.serial + 1,
+            old_soa.refresh,
+            old_soa.retry,
+            old_soa.expire,
+            old_soa.minimum,
+        )
+        zone.replace_rrset(RRset(zone.origin, RdataType.SOA, zone.soa.ttl, [bumped]))
+        assert not server.answer_cache.entries
+        response = Message.from_wire(
+            _ask_wire(server, "example.com", RdataType.SOA, msg_id=2)
+        )
+        assert server.answer_cache.hits == 0  # recomputed, not served stale
+        assert response.answer[0][0].serial == old_soa.serial + 1
+
+    def test_any_zone_mutation_invalidates(self):
+        server, zone = _build_server()
+        _ask_wire(server, "www.example.com", RdataType.A, msg_id=1)
+        assert server.answer_cache.entries
+        zone.add("new.example.com", RdataType.A, 60, A("192.0.2.77"))
+        assert not server.answer_cache.entries
+
+    def test_kill_switch_disables_caching(self):
+        server, _ = _build_server()
+        with fastpath.disabled("answer_cache"):
+            first = _ask_wire(server, "www.example.com", RdataType.A, msg_id=1)
+            second = _ask_wire(server, "www.example.com", RdataType.A, msg_id=1)
+        assert not server.answer_cache.entries
+        assert server.answer_cache.hits == 0
+        assert first == second  # still deterministic, just recomputed
+
+    def test_cached_and_uncached_bytes_identical(self):
+        """The core equivalence claim, at the datagram level."""
+        cached_server, _ = _build_server()
+        plain_server, _ = _build_server()
+        qnames = [
+            ("www.example.com", RdataType.A),
+            ("www.example.com", RdataType.A),
+            ("missing.example.com", RdataType.A),
+            ("missing.example.com", RdataType.A),
+            ("example.com", RdataType.SOA),
+            ("www.example.com", RdataType.TXT),
+        ]
+        for index, (qname, qtype) in enumerate(qnames):
+            fast = _ask_wire(cached_server, qname, qtype, msg_id=index)
+            with fastpath.disabled("answer_cache"):
+                slow = _ask_wire(plain_server, qname, qtype, msg_id=index)
+            assert fast == slow, (qname, qtype)
+        assert cached_server.answer_cache.hits == 2
+
+    def test_fifo_eviction_is_deterministic(self):
+        cache = PackedAnswerCache(limit=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts "a", the oldest
+        assert cache.evictions == 1
+        assert cache.get("a") is None
+        assert cache.get("b") == 2
+        assert cache.get("c") == 3
+        cache.put("b", 4)  # overwrite, no eviction
+        assert cache.evictions == 1
+
+    def test_tcp_and_udp_cached_separately(self):
+        server, _ = _build_server()
+        query = make_query("www.example.com", RdataType.A, want_dnssec=True, msg_id=9)
+        udp = server.handle_datagram(query.to_wire(), "203.0.113.5")
+        tcp = server.handle_datagram(query.to_wire(), "203.0.113.5", via_tcp=True)
+        assert server.answer_cache.hits == 0
+        assert len(server.answer_cache.entries) == 2
+        assert udp is not None and tcp is not None
+
+
+# -- zone-side index structures ----------------------------------------------
+
+
+class TestZoneIndexes:
+    def test_name_exists_matches_linear_reference(self):
+        zone = Zone("example.com")
+        zone.add("example.com", RdataType.NS, 300, A("192.0.2.1"))
+        for host in ("a.b.c", "a.b", "z", "deep.empty.nonterminal.sub"):
+            zone.add(f"{host}.example.com", RdataType.A, 300, A("192.0.2.2"))
+
+        def linear_exists(qname):
+            if qname in zone.nodes:
+                return True
+            return any(name.is_subdomain_of(qname) for name in zone.nodes)
+
+        probes = [
+            "example.com", "b.c.example.com", "c.example.com",
+            "a.b.c.example.com", "x.a.b.c.example.com", "ghost.example.com",
+            "empty.nonterminal.sub.example.com", "nonterminal.sub.example.com",
+            "sub.example.com", "aa.example.com", "zz.example.com",
+        ]
+        for probe in probes:
+            qname = Name.from_text(probe)
+            assert zone._name_exists(qname) == linear_exists(qname), probe
+
+    def test_existence_index_refreshes_after_mutation(self):
+        zone = Zone("example.com")
+        zone.add("www.example.com", RdataType.A, 300, A("192.0.2.2"))
+        ghost = Name.from_text("late.example.com")
+        assert not zone._name_exists(ghost)
+        zone.add("deep.late.example.com", RdataType.A, 300, A("192.0.2.3"))
+        assert zone._name_exists(ghost)  # now an empty non-terminal
+
+    def test_zone_for_longest_suffix(self):
+        parent = Zone("com")
+        parent.add("com", RdataType.NS, 300, A("192.0.2.1"))
+        child = Zone("example.com")
+        child.add("example.com", RdataType.NS, 300, A("192.0.2.2"))
+        server = AuthoritativeServer("multi")
+        server.add_zone(parent).add_zone(child)
+        assert server.zone_for("www.example.com") is child
+        assert server.zone_for("example.com") is child
+        assert server.zone_for("other.com") is parent
+        assert server.zone_for("com") is parent
+        assert server.zone_for("org") is None
