@@ -129,3 +129,36 @@ def test_nsec3_hash_memoized(benchmark):
 
     nsec3_hash(_NSEC3_OWNER, _NSEC3_SALT, 150)  # warm
     benchmark(nsec3_hash, _NSEC3_OWNER, _NSEC3_SALT, 150)
+
+
+def test_event_emit_sampled(benchmark):
+    """One journal emission on the hottest kind (sampled 1-in-8, no sink):
+    the marginal cost every query pays when --events-out is active."""
+    from repro.obs.events import EventJournal
+
+    journal = EventJournal(seed=7)
+    benchmark(journal.emit, "query.issued", 125.0, qname="a.example.", qtype=48)
+
+
+def test_event_emit_disabled(benchmark):
+    """The guard every hot path pays when no journal is attached."""
+    from repro import obs
+
+    obs.attach_journal(None)
+    benchmark(obs.emit, "query.issued", 125.0, qname="a.example.", qtype=48)
+
+
+def test_timeseries_scrape_tick(benchmark):
+    """One scrape of the default selector set over a populated registry."""
+    from repro.net.sim import SimKernel
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.timeseries import TimeSeriesScraper
+
+    registry = MetricsRegistry()
+    registry.counter("repro_scan_queries_total", "q").inc(1000)
+    registry.counter(
+        "repro_cache_lookups_total", "c", labelnames=("result",)
+    ).labels(result="hit").inc(400)
+    registry.gauge("repro_inflight_sessions", "g").set(32)
+    scraper = TimeSeriesScraper(SimKernel(), registry, interval_ms=500.0)
+    benchmark(scraper.scrape, 500.0)

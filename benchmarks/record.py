@@ -24,8 +24,13 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 OUTPUT = os.path.join(REPO_ROOT, "BENCH_5.json")
 
 
-def _measure():
-    """Worker mode: build the testbed, run the survey, dump JSON to stdout."""
+def _measure(telemetry=False):
+    """Worker mode: build the testbed, run the survey, dump JSON to stdout.
+
+    With *telemetry*, the full streaming stack (metrics, event journal,
+    time-series scraper, progress console) is attached around the survey
+    — the configuration the CI perf gate compares against the bare run.
+    """
     import dataclasses
 
     from benchmarks.conftest import BENCH_CONFIG, RESOLVER_COUNTS, TRANCO_SIZE
@@ -51,12 +56,31 @@ def _measure():
     probes = build_probe_zones(inet)
     build_seconds = time.perf_counter() - build_start
 
+    live = None
+    if telemetry:
+        from repro import obs
+        from repro.obs.live import LiveTelemetry
+
+        obs.enable()
+        inet.network.kernel.bind_obs()
+        live = LiveTelemetry(
+            inet.network.kernel,
+            events_out=os.path.join(REPO_ROOT, "bench-events.jsonl"),
+            series_out=os.path.join(REPO_ROOT, "bench-series.json"),
+            progress=True,
+            seed=42,
+            label="bench-survey",
+            stream=open(os.devnull, "w"),
+        )
+
     survey_start = time.perf_counter()
     deployment = deploy_resolvers(inet, seed=77, **RESOLVER_COUNTS)
     survey = ResolverSurvey(inet.network, probes, inet.allocator.next_v4())
     open_entries = survey.run(deployment)
     closed_entries = AtlasCampaign(inet.network, probes).run(deployment)
     survey_seconds = time.perf_counter() - survey_start
+    if live is not None:
+        live.finish()
 
     answer_cache = {"hits": 0, "misses": 0, "evictions": 0, "invalidations": 0}
     for host in inet.network._hosts.values():
@@ -98,15 +122,18 @@ def _measure():
     )
 
 
-def _run_worker(disable):
+def _run_worker(disable, telemetry=False):
     pythonpath = os.pathsep.join([os.path.join(REPO_ROOT, "src"), REPO_ROOT])
     env = dict(os.environ, PYTHONPATH=pythonpath)
     if disable:
         env["REPRO_FASTPATH_DISABLE"] = disable
     else:
         env.pop("REPRO_FASTPATH_DISABLE", None)
+    argv = [sys.executable, os.path.abspath(__file__), "--measure"]
+    if telemetry:
+        argv.append("--telemetry")
     proc = subprocess.run(
-        [sys.executable, os.path.abspath(__file__), "--measure"],
+        argv,
         env=env,
         cwd=REPO_ROOT,
         capture_output=True,
@@ -116,9 +143,37 @@ def _run_worker(disable):
     return json.loads(proc.stdout)
 
 
+def perf_gate(limit=1.05, runs=3):
+    """CI perf smoke: the instrumented headline bench must stay within
+    *limit* of the bare BENCH_5 wall-clock, measured back-to-back on the
+    same machine (interleaved best-of-*runs* pairs, survey phase only —
+    the testbed build is identical and telemetry-free in both modes)."""
+    bare = instrumented = float("inf")
+    for index in range(runs):
+        bare = min(bare, _run_worker("")["survey_seconds"])
+        instrumented = min(
+            instrumented, _run_worker("", telemetry=True)["survey_seconds"]
+        )
+        print(
+            f"  pair {index + 1}/{runs}: best bare {bare}s, "
+            f"best instrumented {instrumented}s",
+            flush=True,
+        )
+    ratio = instrumented / bare
+    print(f"telemetry perf gate: ratio {ratio:.3f} (limit {limit})")
+    if ratio > limit:
+        raise SystemExit(
+            f"FATAL: instrumented bench {instrumented}s vs bare {bare}s "
+            f"— ratio {ratio:.3f} exceeds {limit}"
+        )
+
+
 def main():
     if "--measure" in sys.argv:
-        _measure()
+        _measure(telemetry="--telemetry" in sys.argv)
+        return
+    if "--perf-gate" in sys.argv:
+        perf_gate()
         return
     print("measuring with fast paths ON ...", flush=True)
     on = _run_worker("")

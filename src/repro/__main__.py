@@ -27,6 +27,14 @@ on the discrete-event simulation kernel (``repro.net.sim``): results and
 classifications are identical to the serial run, but the simulated
 elapsed time shrinks toward ``1/N`` — the paper's concurrent-scanner
 posture. The default of 1 is bit-for-bit the legacy serial behaviour.
+
+Streaming telemetry (all subcommands): ``--events-out PATH`` writes the
+structured event journal as JSONL (flight-recorder dumps included),
+``--series-out PATH`` writes metric time-series scraped every
+``--scrape-interval`` simulated ms, and ``--progress`` prints live
+heartbeat/stall lines to stderr. Reports on stdout stay byte-identical
+whether telemetry is on or off. ``trace --trace-out PATH`` additionally
+exports the span tree as Chrome-trace/Perfetto JSON.
 """
 
 from __future__ import annotations
@@ -100,6 +108,49 @@ def _build(args, with_probes):
 
 def _metrics_requested(args):
     return getattr(args, "metrics_out", None) is not None
+
+
+def _telemetry_requested(args):
+    """Any collection at all: metrics snapshot, event journal, series,
+    or the live console — they all need the obs registry switched on."""
+    return (
+        _metrics_requested(args)
+        or getattr(args, "events_out", None) is not None
+        or getattr(args, "series_out", None) is not None
+        or getattr(args, "progress", False)
+    )
+
+
+def _start_telemetry(args, inet, label):
+    """Attach the streaming telemetry (journal, scraper, console) for one
+    run; returns the LiveTelemetry handle (or None when nothing streams).
+
+    Build this *after* the testbed so construction noise stays out of the
+    journal, and *before* the campaign so heartbeats cover it.
+    """
+    if not (
+        getattr(args, "events_out", None) is not None
+        or getattr(args, "series_out", None) is not None
+        or getattr(args, "progress", False)
+    ):
+        return None
+    from repro.obs.live import LiveTelemetry
+
+    return LiveTelemetry(
+        inet.network.kernel,
+        events_out=getattr(args, "events_out", None),
+        series_out=getattr(args, "series_out", None),
+        progress=getattr(args, "progress", False),
+        scrape_interval_ms=getattr(args, "scrape_interval", 500.0),
+        seed=getattr(args, "seed", 0),
+        label=label,
+    )
+
+
+def _finish_telemetry(live):
+    """Final scrape, file writes, console summary (stderr only)."""
+    if live is not None:
+        live.finish()
 
 
 def _chaos_requested(args):
@@ -199,41 +250,50 @@ def _sim_summary(args, inet):
 
 def cmd_study(args):
     """Run both pipelines and print the combined study report."""
-    if _metrics_requested(args):
+    if _telemetry_requested(args):
         obs.enable()
     inet, probes, domains, tlds = _build(args, with_probes=True)
     _apply_faults(args, inet)
+    live = _start_telemetry(args, inet, label="study")
+    if obs.console is not None:
+        obs.console.phase("study:domains")
     engine, results = _run_domain_scan(
         inet, domains, chaos=_chaos_requested(args), concurrency=args.concurrency
     )
     tld_results = scan_tlds(engine, tlds)
+    if obs.console is not None:
+        obs.console.phase("study:survey")
     entries = _run_survey(inet, probes, args)
     print(render_study_report(results, len(domains), tld_results, entries))
     _sim_summary(args, inet)
+    _finish_telemetry(live)
     _dump_metrics(args, inet)
 
 
 def cmd_scan(args):
     """Run the §4.1 domain pipeline and print its report."""
-    if _metrics_requested(args):
+    if _telemetry_requested(args):
         obs.enable()
     inet, __, domains, __tlds = _build(args, with_probes=False)
     _apply_faults(args, inet)
+    live = _start_telemetry(args, inet, label="scan")
     __, results = _run_domain_scan(
         inet, domains, chaos=_chaos_requested(args), concurrency=args.concurrency
     )
     print(render_study_report(results, len(domains)))
     _sim_summary(args, inet)
+    _finish_telemetry(live)
     _dump_metrics(args, inet)
 
 
 def cmd_survey(args):
     """Run the §4.2 resolver survey and print the headline numbers."""
-    if _metrics_requested(args):
+    if _telemetry_requested(args):
         obs.enable()
     args.domains = min(args.domains, 20)
     inet, probes, __, __tlds = _build(args, with_probes=True)
     _apply_faults(args, inet)
+    live = _start_telemetry(args, inet, label="survey")
     entries = _run_survey(inet, probes, args)
     from repro.analysis.stats import resolver_headline_stats
 
@@ -242,6 +302,7 @@ def cmd_survey(args):
     for label, paper, measured in headline.rows():
         print(f"  {label:40s} paper={paper:>6}  measured={measured}")
     _sim_summary(args, inet)
+    _finish_telemetry(live)
     _dump_metrics(args, inet)
 
 
@@ -255,10 +316,12 @@ def cmd_trace(args):
     """
     obs.enable(tracing_spans=True)
     inet, __probes, __, __tlds = _build(args, with_probes=True)
+    _apply_faults(args, inet)
     resolver = inet.make_resolver(
         VENDOR_POLICIES[args.policy], name="trace-resolver"
     )
     obs.reset()  # drop build-time samples; keep only the traced query
+    live = _start_telemetry(args, inet, label="trace")
     client = StubClient(inet.network, inet.allocator.next_v4())
     target = f"{args.label}.{args.qname}" if args.label else args.qname
     with obs.span("probe.query", qname=target, policy=args.policy) as root_span:
@@ -272,6 +335,15 @@ def cmd_trace(args):
     )
     print()
     print(render_span_tree(obs.tracer.last_root()))
+    if getattr(args, "trace_out", None):
+        from repro.obs.export import write_chrome_trace
+
+        events = obs.journal.tail() if obs.journal is not None else ()
+        write_chrome_trace(
+            args.trace_out, roots=list(obs.tracer.roots), events=events
+        )
+        print(f"[obs] chrome trace written to {args.trace_out}", file=sys.stderr)
+    _finish_telemetry(live)
     _dump_metrics(args, inet)
 
 
@@ -289,10 +361,11 @@ def cmd_attack(args):
     """
     from repro.testbed.adversary import build_attack_zones
 
-    if _metrics_requested(args):
+    if _telemetry_requested(args):
         obs.enable()
     inet, __, __, __tlds = _build(args, with_probes=False)
     _apply_faults(args, inet)
+    live = _start_telemetry(args, inet, label="attack")
     attack = build_attack_zones(inet, seed=args.seed + 50_861)
     profile = GUARD_PROFILES[args.guard]
     resolvers = (
@@ -363,6 +436,7 @@ def cmd_attack(args):
             if value is not None:
                 budget_gauge.labels(profile=args.guard, dimension=dimension).set(value)
     _sim_summary(args, inet)
+    _finish_telemetry(live)
     _dump_metrics(args, inet)
 
 
@@ -397,6 +471,87 @@ def cmd_guidance(args):
               f"({item.audience.value}) {item.summary}")
 
 
+def _telemetry_parent():
+    """Shared telemetry/fault flags, identical across every subcommand.
+
+    One parent parser instead of the per-command copies that used to
+    drift: adding a flag here gives it to study/scan/survey/trace/attack
+    at once, with one help string.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("telemetry")
+    group.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="dump the telemetry registry here after the run ('-' = stdout)",
+    )
+    group.add_argument(
+        "--metrics-format",
+        choices=("json", "prometheus"),
+        default="json",
+        help="snapshot format for --metrics-out (default: json)",
+    )
+    group.add_argument(
+        "--events-out",
+        metavar="PATH",
+        help="stream the structured event journal here as JSONL "
+        "('-' = stderr); guard trips and stalls dump the flight recorder",
+    )
+    group.add_argument(
+        "--series-out",
+        metavar="PATH",
+        help="write scraped metric time-series here ('.csv' = CSV, else JSON)",
+    )
+    group.add_argument(
+        "--progress",
+        action="store_true",
+        help="print live heartbeat lines to stderr (sim vs wall clock, "
+        "done/in-flight/quarantined, ETA) with a stall detector",
+    )
+    group.add_argument(
+        "--scrape-interval",
+        type=float,
+        default=500.0,
+        metavar="MS",
+        help="time-series scrape interval in simulated ms (default: 500)",
+    )
+    group.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help="inject network faults: a preset ('chaos') or a spec like "
+        "'burst:0.05:0.35:0.5,jitter:20,corrupt:0.1' "
+        "(see repro.net.faults.parse_fault_spec)",
+    )
+    group.add_argument(
+        "--disable-fastpath",
+        metavar="LIST",
+        help="disable cost-transparent fast paths for equivalence runs: "
+        f"a comma list of {', '.join(fastpath.KNOWN_SWITCHES)}, or 'all' "
+        "(env: REPRO_FASTPATH_DISABLE)",
+    )
+    return parent
+
+
+def _campaign_parent(domains, tlds, resolvers=None, concurrency=False):
+    """Shared testbed-size flags, with per-command-family defaults."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--domains", type=int, default=domains)
+    parent.add_argument("--tlds", type=int, default=tlds)
+    if resolvers is not None:
+        parent.add_argument("--resolvers", type=int, default=resolvers)
+    parent.add_argument("--seed", type=int, default=7)
+    if concurrency:
+        parent.add_argument(
+            "--concurrency",
+            type=int,
+            default=1,
+            help="in-flight query sessions on the simulated clock "
+            "(1 = serial, bit-for-bit the legacy behaviour; higher values "
+            "overlap sessions like the paper's ~14.7K req/s scanner)",
+        )
+    return parent
+
+
 def main(argv=None):
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -407,53 +562,22 @@ def main(argv=None):
     parser.add_argument("--version", action="version", version=__version__)
     sub = parser.add_subparsers(dest="command", required=True)
 
+    telemetry = _telemetry_parent()
+    pipeline = _campaign_parent(400, 120, resolvers=40, concurrency=True)
+    small = _campaign_parent(60, 40)
+
     for name, handler, help_text in (
         ("study", cmd_study, "full study: domains + TLDs + resolvers"),
         ("scan", cmd_scan, "domain pipeline only (§4.1/§5.1)"),
         ("survey", cmd_survey, "resolver survey only (§4.2/§5.2)"),
     ):
-        command = sub.add_parser(name, help=help_text)
-        command.add_argument("--domains", type=int, default=400)
-        command.add_argument("--tlds", type=int, default=120)
-        command.add_argument("--resolvers", type=int, default=40)
-        command.add_argument("--seed", type=int, default=7)
-        command.add_argument(
-            "--concurrency",
-            type=int,
-            default=1,
-            help="in-flight query sessions on the simulated clock "
-            "(1 = serial, bit-for-bit the legacy behaviour; higher values "
-            "overlap sessions like the paper's ~14.7K req/s scanner)",
-        )
-        command.add_argument(
-            "--metrics-out",
-            metavar="PATH",
-            help="dump the telemetry registry here after the run ('-' = stdout)",
-        )
-        command.add_argument(
-            "--metrics-format",
-            choices=("json", "prometheus"),
-            default="json",
-            help="snapshot format for --metrics-out (default: json)",
-        )
-        command.add_argument(
-            "--faults",
-            metavar="SPEC",
-            help="inject network faults: a preset ('chaos') or a spec like "
-            "'burst:0.05:0.35:0.5,jitter:20,corrupt:0.1' "
-            "(see repro.net.faults.parse_fault_spec)",
-        )
-        command.add_argument(
-            "--disable-fastpath",
-            metavar="LIST",
-            help="disable cost-transparent fast paths for equivalence runs: "
-            f"a comma list of {', '.join(fastpath.KNOWN_SWITCHES)}, or 'all' "
-            "(env: REPRO_FASTPATH_DISABLE)",
-        )
+        command = sub.add_parser(name, help=help_text, parents=[pipeline, telemetry])
         command.set_defaults(handler=handler)
 
     trace = sub.add_parser(
-        "trace", help="trace one probe query and print its span tree"
+        "trace",
+        help="trace one probe query and print its span tree",
+        parents=[small, telemetry],
     )
     trace.add_argument(
         "qname",
@@ -472,22 +596,19 @@ def main(argv=None):
         default="trace1",
         help="unique cache-busting label prepended to qname ('' to disable)",
     )
-    trace.add_argument("--domains", type=int, default=60)
-    trace.add_argument("--tlds", type=int, default=40)
-    trace.add_argument("--seed", type=int, default=7)
-    trace.add_argument("--metrics-out", metavar="PATH")
     trace.add_argument(
-        "--metrics-format", choices=("json", "prometheus"), default="json"
+        "--trace-out",
+        metavar="PATH",
+        help="write the span tree (plus journal events) as Chrome-trace/"
+        "Perfetto JSON, loadable in ui.perfetto.dev",
     )
     trace.set_defaults(handler=cmd_trace)
 
     attack = sub.add_parser(
         "attack",
         help="adversarial NSEC3/DNSSEC workloads vs a resource-guarded resolver",
+        parents=[small, telemetry],
     )
-    attack.add_argument("--domains", type=int, default=60)
-    attack.add_argument("--tlds", type=int, default=40)
-    attack.add_argument("--seed", type=int, default=7)
     attack.add_argument(
         "--queries",
         type=int,
@@ -500,12 +621,6 @@ def main(argv=None):
         default="guarded",
         help="guard profile for the protected resolver (default: guarded)",
     )
-    attack.add_argument("--metrics-out", metavar="PATH")
-    attack.add_argument(
-        "--metrics-format", choices=("json", "prometheus"), default="json"
-    )
-    attack.add_argument("--faults", metavar="SPEC")
-    attack.add_argument("--disable-fastpath", metavar="LIST")
     attack.set_defaults(handler=cmd_attack)
 
     timeline = sub.add_parser("timeline", help="modelled adoption timeline")

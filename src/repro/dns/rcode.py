@@ -21,7 +21,18 @@ class Rcode(enum.IntEnum):
 
     @classmethod
     def to_text(cls, value):
+        # Memoised: rendering rcodes sits on the per-response metrics
+        # path, and the value space is bounded (12 bits).
         try:
-            return cls(value).name
+            return _RCODE_TEXT[value]
+        except KeyError:
+            pass
+        try:
+            text = cls(value).name
         except ValueError:
-            return f"RCODE{int(value)}"
+            text = f"RCODE{int(value)}"
+        _RCODE_TEXT[value] = text
+        return text
+
+
+_RCODE_TEXT = {}

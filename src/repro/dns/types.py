@@ -39,11 +39,24 @@ class RdataType(enum.IntEnum):
 
     @classmethod
     def to_text(cls, value):
-        """Render a TYPE value as its mnemonic, or ``TYPEnnn`` if unknown."""
+        """Render a TYPE value as its mnemonic, or ``TYPEnnn`` if unknown.
+
+        Memoised — type rendering sits on per-record telemetry paths and
+        the value space is bounded (16 bits).
+        """
         try:
-            return cls(value).name
+            return _TYPE_TEXT[value]
+        except KeyError:
+            pass
+        try:
+            text = cls(value).name
         except ValueError:
-            return f"TYPE{int(value)}"
+            text = f"TYPE{int(value)}"
+        _TYPE_TEXT[value] = text
+        return text
+
+
+_TYPE_TEXT = {}
 
 
 class RdataClass(enum.IntEnum):

@@ -99,12 +99,23 @@ class VerificationMemo:
 verification_memo = VerificationMemo()
 
 
+#: Resolved per-outcome memo/status counters for the validation hot path.
+_VALIDATOR_CHILDREN = obs.ChildCache()
+
+
 def _count_memo(outcome):
-    obs.registry.counter(
-        "repro_validator_memo_events_total",
-        "RRSIG verification memo events, by outcome.",
-        labelnames=("outcome",),
-    ).labels(outcome=outcome).inc()
+    key = ("memo", outcome)
+    child = _VALIDATOR_CHILDREN.get(obs.registry, key)
+    if child is None:
+        child = _VALIDATOR_CHILDREN.put(
+            key,
+            obs.registry.counter(
+                "repro_validator_memo_events_total",
+                "RRSIG verification memo events, by outcome.",
+                labelnames=("outcome",),
+            ).labels(outcome=outcome),
+        )
+    child.inc()
 
 
 def _rrsig_verifies(rrsig, rrset, dnskey):
@@ -172,18 +183,31 @@ def validate_rrset(rrset, rrsig_rrset, dnskey_rrset, now=SIMULATION_NOW):
     """
     if not obs.enabled:
         return _validate_rrset(rrset, rrsig_rrset, dnskey_rrset, now)
-    with obs.span(
-        "dnssec.validate_rrset",
-        owner=str(rrset.name),
-        type=RdataType.to_text(rrset.rrtype),
-    ) as span:
+    if obs.tracing:
+        # Span attributes (name/type rendering) are only worth computing
+        # when a tracer is actually recording.
+        with obs.span(
+            "dnssec.validate_rrset",
+            owner=str(rrset.name),
+            type=RdataType.to_text(rrset.rrtype),
+        ) as span:
+            result = _validate_rrset(rrset, rrsig_rrset, dnskey_rrset, now)
+            span.set(status=result.status.value)
+    else:
         result = _validate_rrset(rrset, rrsig_rrset, dnskey_rrset, now)
-        span.set(status=result.status.value)
-    obs.registry.counter(
-        "repro_rrset_validations_total",
-        "RRset validation outcomes, by security status.",
-        labelnames=("status",),
-    ).labels(status=result.status.value).inc()
+    status = result.status.value
+    key = ("status", status)
+    child = _VALIDATOR_CHILDREN.get(obs.registry, key)
+    if child is None:
+        child = _VALIDATOR_CHILDREN.put(
+            key,
+            obs.registry.counter(
+                "repro_rrset_validations_total",
+                "RRset validation outcomes, by security status.",
+                labelnames=("status",),
+            ).labels(status=status),
+        )
+    child.inc()
     return result
 
 

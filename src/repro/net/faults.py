@@ -306,6 +306,8 @@ class FaultPlan:
                 "Faults injected into the simulated network, by kind.",
                 labelnames=("kind",),
             ).labels(kind=kind).inc()
+        if obs.events:
+            obs.emit("fault.inject", fault=kind)
 
     def on_send(self, ctx):
         """Judge a datagram before delivery: ``(delay_ms, verdict|None)``."""

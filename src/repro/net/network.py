@@ -22,6 +22,9 @@ from repro.net.sim import SimKernel
 #: The public network id: hosts here are reachable from anywhere.
 PUBLIC = "public"
 
+#: Resolved per-transport metric children for the exchange hot path.
+_EXCHANGE_CHILDREN = obs.ChildCache()
+
 
 class Host:
     """Interface for anything with an IP address.
@@ -161,26 +164,40 @@ class Network:
             if drop:
                 span.set(drop=drop)
             obs.tracer.finish(span)
-        obs.registry.counter(
-            "repro_net_datagrams_total",
-            "Datagrams entering the simulated network, by transport.",
-            labelnames=("transport",),
-        ).labels(transport=transport).inc()
+        children = _EXCHANGE_CHILDREN.get(obs.registry, transport)
+        if children is None:
+            children = _EXCHANGE_CHILDREN.put(
+                transport,
+                (
+                    obs.registry.counter(
+                        "repro_net_datagrams_total",
+                        "Datagrams entering the simulated network, "
+                        "by transport.",
+                        labelnames=("transport",),
+                    ).labels(transport=transport),
+                    obs.registry.counter(
+                        "repro_net_bytes_total",
+                        "Wire bytes moved, by direction (loss-dropped "
+                        "queries excluded).",
+                        labelnames=("direction",),
+                    ).labels(direction="query"),
+                    obs.registry.counter(
+                        "repro_net_bytes_total", labelnames=("direction",)
+                    ).labels(direction="response"),
+                ),
+            )
+        datagrams, query_bytes, response_bytes = children
+        datagrams.inc()
         if drop:
             obs.registry.counter(
                 "repro_net_drops_total",
                 "Datagrams not delivered, by reason.",
                 labelnames=("reason",),
             ).labels(reason=drop).inc()
-        byte_counter = obs.registry.counter(
-            "repro_net_bytes_total",
-            "Wire bytes moved, by direction (loss-dropped queries excluded).",
-            labelnames=("direction",),
-        )
         if drop != "loss":
-            byte_counter.labels(direction="query").inc(len(wire))
+            query_bytes.inc(len(wire))
         if response is not None:
-            byte_counter.labels(direction="response").inc(len(response))
+            response_bytes.inc(len(response))
         return response
 
     def _exchange_steps(self, src_ip, dst_ip, wire, via_tcp):

@@ -101,6 +101,13 @@ class CircuitBreaker:
                 "Circuit-breaker state transitions, by new state.",
                 labelnames=("to",),
             ).labels(to=new_state).inc()
+        if obs.events:
+            obs.emit(
+                "breaker.transition",
+                dst=str(dst),
+                src=self.transitions[-1][1],
+                to=new_state,
+            )
 
     # -- the breaker protocol ------------------------------------------------
 

@@ -48,12 +48,18 @@ class SimClock:
     running inside.
     """
 
-    __slots__ = ("now", "_frames")
+    __slots__ = ("now", "_frames", "on_commit")
 
     def __init__(self, now=0.0):
         #: Committed simulated time in milliseconds.
         self.now = float(now)
         self._frames = []
+        #: Optional hook fired *before* the committed clock advances
+        #: (``on_commit(new_now)``) — the kernel installs it while
+        #: periodic tasks are registered so scrape/heartbeat ticks fire
+        #: at their due times even across direct clock writes (pacing,
+        #: requeue delays). ``None`` keeps the write path one branch.
+        self.on_commit = None
 
     @property
     def in_frame(self):
@@ -69,7 +75,10 @@ class SimClock:
         if self._frames:
             self._frames[-1] = float(value)
         else:
-            self.now = float(value)
+            value = float(value)
+            if self.on_commit is not None and value > self.now:
+                self.on_commit(value)
+            self.now = value
 
     def advance(self, delta):
         self.write(self.read() + delta)
@@ -81,6 +90,28 @@ class SimClock:
     def pop_frame(self):
         """Close the innermost frame; returns its final local time."""
         return self._frames.pop()
+
+
+class PeriodicTask:
+    """One recurring kernel task: fires every ``interval_ms`` of committed
+    simulated time, at its due times, in registration order among equals.
+
+    The callback receives the *due* time (not the post-jump clock), so a
+    scraper sampling every 500 ms records samples at 500/1000/1500 even
+    when the clock jumps 2 s at once (requeue delays, QPS pacing).
+    Callbacks observe only — they must not schedule kernel events,
+    advance the clock, or draw from any RNG, so a run with telemetry
+    attached stays byte-identical to one without.
+    """
+
+    __slots__ = ("next_due", "interval_ms", "fn", "name", "cancelled")
+
+    def __init__(self, next_due, interval_ms, fn, name):
+        self.next_due = next_due
+        self.interval_ms = interval_ms
+        self.fn = fn
+        self.name = name
+        self.cancelled = False
 
 
 class SimKernel:
@@ -96,6 +127,10 @@ class SimKernel:
         self._dispatching = 0
         self.events_scheduled = 0
         self.events_run = 0
+        #: First-class periodic tasks (scrapers, heartbeats); they live
+        #: outside the heap so ``run_until_idle`` still terminates.
+        self._periodic = []
+        self.periodic_runs = 0
 
     # -- time ---------------------------------------------------------------
 
@@ -129,6 +164,8 @@ class SimKernel:
         """
         at_ms, __, fn = heapq.heappop(self._heap)
         if at_ms > self.clock.now:
+            if self._periodic:
+                self._fire_periodic(at_ms)
             self.clock.now = at_ms
         self.events_run += 1
         fn()
@@ -202,6 +239,55 @@ class SimKernel:
         finally:
             self.clock.pop_frame()
 
+    # -- periodic tasks ------------------------------------------------------
+
+    def every(self, interval_ms, fn, name="periodic", start_delay_ms=None):
+        """Register ``fn(due_ms)`` to fire every *interval_ms* of committed
+        simulated time; returns a :class:`PeriodicTask` handle for
+        :meth:`cancel`.
+
+        Tasks fire whenever the committed clock crosses their due time —
+        between heap events and across direct top-level clock writes —
+        at the due time itself, catching up one firing per elapsed
+        interval after a large jump. Callbacks are observers only (see
+        :class:`PeriodicTask`).
+        """
+        interval_ms = float(interval_ms)
+        if interval_ms <= 0:
+            raise ValueError("periodic interval must be positive")
+        first = (
+            self.clock.now + interval_ms
+            if start_delay_ms is None
+            else self.clock.now + float(start_delay_ms)
+        )
+        task = PeriodicTask(first, interval_ms, fn, name)
+        self._periodic.append(task)
+        self.clock.on_commit = self._fire_periodic
+        return task
+
+    def cancel(self, task):
+        """Deregister a periodic task (idempotent)."""
+        task.cancelled = True
+        self._periodic = [t for t in self._periodic if not t.cancelled]
+        if not self._periodic:
+            self.clock.on_commit = None
+
+    def _fire_periodic(self, to_ms):
+        """Fire every task due at or before *to_ms*, in due-time order."""
+        while True:
+            due = None
+            for task in self._periodic:
+                if task.next_due <= to_ms and (
+                    due is None or task.next_due < due.next_due
+                ):
+                    due = task
+            if due is None:
+                return
+            at = due.next_due
+            due.next_due = at + due.interval_ms
+            self.periodic_runs += 1
+            due.fn(at)
+
     # -- observability -------------------------------------------------------
 
     def bind_obs(self, exclusive=True):
@@ -254,9 +340,21 @@ class CampaignExecutor:
         self._in_flight += 1
         self.sessions += 1
         self.busy_ms += max(0.0, end - start)
+        from repro import obs
+
+        if obs.enabled:
+            gauge = obs.registry.gauge(
+                "repro_inflight_sessions",
+                "Sessions currently occupying the campaign window.",
+            )
+            gauge.inc()
+        else:
+            gauge = None
 
         def complete():
             self._in_flight -= 1
+            if gauge is not None:
+                gauge.dec()
 
         self.kernel.schedule_at(max(end, start), complete)
         return result

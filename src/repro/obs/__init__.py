@@ -36,12 +36,19 @@ a claim (test teardown).
 
 from __future__ import annotations
 
-from repro.obs.metrics import DEFAULT_BUCKETS, MetricError, MetricsRegistry
+from repro.obs.events import EventJournal
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    ChildCache,
+    MetricError,
+    MetricsRegistry,
+)
 from repro.obs.profile import CostProfiler, rcode_label
 from repro.obs.trace import NULL_SPAN, Span, Tracer, render_span_tree
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "ChildCache",
     "MetricError",
     "MetricsRegistry",
     "CostProfiler",
@@ -50,14 +57,20 @@ __all__ = [
     "Span",
     "Tracer",
     "render_span_tree",
+    "EventJournal",
     "enabled",
     "tracing",
+    "events",
     "registry",
     "tracer",
     "profiler",
+    "journal",
+    "console",
     "enable",
     "disable",
     "reset",
+    "attach_journal",
+    "emit",
     "bind_clock",
     "unbind_clock",
     "span",
@@ -67,10 +80,18 @@ __all__ = [
 enabled = False
 #: Sub-switch: span recording (implies ``enabled``).
 tracing = False
+#: Sub-switch: structured event emission (True while a journal is attached).
+events = False
 
 registry = MetricsRegistry()
 tracer = Tracer()
 profiler = CostProfiler(registry)
+#: The attached :class:`EventJournal`, or None (see :func:`attach_journal`).
+journal = None
+#: The live :class:`~repro.obs.live.ProgressConsole` for this run, or
+#: None. Campaign drivers use it to declare totals (``console.expect``)
+#: and phase names without threading a handle through every layer.
+console = None
 
 
 class _NullContext:
@@ -88,24 +109,64 @@ class _NullContext:
 _NULL_CONTEXT = _NullContext()
 
 
-def enable(tracing_spans=False):
-    """Turn collection on (optionally including span recording)."""
+def enable(tracing_spans=False, max_roots=None):
+    """Turn collection on (optionally including span recording).
+
+    *max_roots* resizes the tracer's finished-root ring (default 32);
+    overflow beyond it is counted in ``tracer.dropped_roots`` and the
+    ``repro_trace_roots_dropped_total`` counter rather than silently
+    discarded.
+    """
     global enabled, tracing
     enabled = True
     tracing = bool(tracing_spans)
+    if max_roots is not None:
+        tracer.set_max_roots(max_roots)
 
 
 def disable():
     """Turn all collection off (recorded data is kept until :func:`reset`)."""
-    global enabled, tracing
+    global enabled, tracing, events
     enabled = False
     tracing = False
+    events = False
 
 
 def reset():
-    """Drop all recorded metrics and spans (flags are untouched)."""
+    """Drop all recorded metrics, spans, and journal events (flags and
+    journal attachment are untouched)."""
     registry.reset()
     tracer.clear()
+    if journal is not None:
+        journal.clear()
+
+
+def attach_journal(new_journal):
+    """Install (or with None, remove) the process-global event journal.
+
+    Flips the :data:`events` fast-path flag that hot-path emission sites
+    guard on; pass an :class:`EventJournal` wired to a JSONL sink for
+    ``--events-out`` runs, or a sink-less one for in-memory flight
+    recording. Returns the journal.
+    """
+    global journal, events
+    journal = new_journal
+    events = journal is not None
+    return journal
+
+
+def emit(kind, t_ms=None, /, **fields):
+    """Emit one typed event into the attached journal (no-op when none).
+
+    The timestamp defaults to the tracer clock — simulated milliseconds,
+    frame-aware under the campaign executor. Hot paths guard the call on
+    ``if obs.events:`` so a journal-less run pays one attribute check.
+    """
+    if journal is None:
+        return None
+    if t_ms is None:
+        t_ms = tracer.clock()
+    return journal.emit(kind, t_ms, **fields)
 
 
 #: Who currently owns the tracer clock (None until someone claims it).

@@ -1,0 +1,199 @@
+"""Structured event journal: a bounded flight-recorder ring + JSONL sink.
+
+Hot paths emit *typed events* — query issued/completed, guard trips,
+breaker transitions, cache evictions, fault injections, checkpoint
+flushes — into one :class:`EventJournal`. Two destinations, two jobs:
+
+- the **ring** (``deque(maxlen=ring_size)``) always holds the full
+  recent history in flat memory, so a long campaign cannot grow without
+  bound and a post-mortem always has the last N events;
+- the **sink** (an optional line-oriented JSONL stream, wired to
+  ``--events-out``) receives the *sampled* stream: per-kind keep-1-in-N
+  sampling bounds file size and I/O overhead on the hottest kinds.
+
+Sampling is **seeded and counter-based**, not random: the decision for
+the *n*-th event of a kind is a pure function of ``(seed, kind, n)``, so
+two runs with the same seed — at any campaign concurrency, since
+sessions execute in deterministic submission order — write identical
+journals. The seed rotates the sampling phase so different seeds surface
+different representatives of a high-frequency kind.
+
+The **flight-recorder contract**: emitting a kind listed in ``dump_on``
+(by default guard trips and campaign stalls) dumps the entire ring to
+the sink as one ``flight.dump`` record — the unsampled recent history
+leading up to the incident, which is exactly what a post-mortem needs
+when a 302 M-domain campaign wedges at hour six. Dumps are rate-limited
+by event distance (``dump_min_gap``) so a guard-trip storm cannot write
+the same ring a thousand times.
+
+Event timestamps are *simulated* milliseconds read from the tracer
+clock (frame-aware under the campaign executor), which makes them
+comparable across shards but — deliberately — not identical across
+concurrency widths: a width-32 run overlaps sessions, so the same event
+sequence carries earlier timestamps. Determinism tests compare journals
+with timestamps stripped.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from collections import deque
+
+#: Default keep-1-in-N sampling for the hottest kinds; unlisted kinds
+#: are always written. The ring always records everything.
+DEFAULT_SAMPLE = {
+    "query.issued": 8,
+    "fault.inject": 8,
+}
+
+#: Emitting any of these kinds dumps the ring to the sink (post-mortem).
+DEFAULT_DUMP_ON = frozenset({"guard.trip", "campaign.stall"})
+
+
+class Event:
+    """One journal entry: sequence number, simulated time, kind, fields."""
+
+    __slots__ = ("seq", "t_ms", "kind", "fields")
+
+    def __init__(self, seq, t_ms, kind, fields):
+        self.seq = seq
+        self.t_ms = t_ms
+        self.kind = kind
+        self.fields = fields
+
+    def to_record(self):
+        """The event as a JSON-able dict (field keys win no collisions:
+        ``seq``/``t``/``kind`` are reserved)."""
+        record = {"seq": self.seq, "t": round(self.t_ms, 3), "kind": self.kind}
+        for key, value in self.fields.items():
+            if key not in record:
+                record[key] = value
+        return record
+
+    def __repr__(self):
+        return f"Event(seq={self.seq}, t={self.t_ms:.1f}, kind={self.kind!r})"
+
+
+class EventJournal:
+    """The flight recorder: bounded ring, sampled JSONL sink, ring dumps."""
+
+    def __init__(
+        self,
+        ring_size=256,
+        sink=None,
+        seed=0,
+        sample=None,
+        dump_on=DEFAULT_DUMP_ON,
+        dump_min_gap=64,
+    ):
+        self.ring = deque(maxlen=ring_size)
+        self.sink = sink
+        self.seed = int(seed)
+        self.sample = dict(DEFAULT_SAMPLE if sample is None else sample)
+        self.dump_on = frozenset(dump_on)
+        #: Minimum events between two ring dumps (storm rate limit).
+        self.dump_min_gap = dump_min_gap
+        self.seq = 0
+        self.written = 0
+        self.sampled_out = 0
+        self.dumps = 0
+        self.dumps_suppressed = 0
+        self._kind_counts = {}
+        self._phases = {}
+        self._last_dump_seq = None
+
+    # -- emission ------------------------------------------------------------
+
+    def emit(self, kind, t_ms, /, **fields):
+        """Record one event; returns it (for tests and dump triggers).
+
+        ``kind``/``t_ms`` are positional-only so events may carry fields
+        with those names (e.g. a guard trip's budget ``kind``).
+        """
+        self.seq += 1
+        event = Event(self.seq, float(t_ms), kind, fields)
+        self.ring.append(event)
+        if self._keep(kind):
+            self._write(event.to_record())
+        else:
+            self.sampled_out += 1
+        if kind in self.dump_on:
+            self.dump(reason=kind)
+        return event
+
+    def _keep(self, kind):
+        """Seeded counter-based sampling: pure in ``(seed, kind, count)``."""
+        count = self._kind_counts.get(kind, 0)
+        self._kind_counts[kind] = count + 1
+        every = self.sample.get(kind, 1)
+        if every <= 1:
+            return True
+        phase = self._phases.get(kind)
+        if phase is None:
+            phase = self._phases[kind] = (
+                zlib.crc32(f"{self.seed}:{kind}".encode("utf-8")) % every
+            )
+        return count % every == phase
+
+    def _write(self, record):
+        if self.sink is None:
+            return
+        self.sink.write(
+            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        self.written += 1
+
+    # -- the flight-recorder dump --------------------------------------------
+
+    def dump(self, reason):
+        """Write the ring to the sink as one ``flight.dump`` record.
+
+        Returns the record (also when there is no sink, so callers and
+        tests can inspect the post-mortem), or ``None`` when suppressed
+        by the ``dump_min_gap`` rate limit.
+        """
+        if (
+            self._last_dump_seq is not None
+            and self.seq - self._last_dump_seq < self.dump_min_gap
+        ):
+            self.dumps_suppressed += 1
+            return None
+        self._last_dump_seq = self.seq
+        self.dumps += 1
+        record = {
+            "kind": "flight.dump",
+            "reason": reason,
+            "seq": self.seq,
+            "events": [event.to_record() for event in self.ring],
+        }
+        self._write(record)
+        return record
+
+    # -- introspection -------------------------------------------------------
+
+    def tail(self, n=None):
+        """The most recent *n* ring events (all of them by default)."""
+        events = list(self.ring)
+        if n is not None:
+            events = events[-n:]
+        return events
+
+    def counts(self):
+        """Events emitted so far, by kind (pre-sampling totals)."""
+        return dict(sorted(self._kind_counts.items()))
+
+    def clear(self):
+        """Drop ring contents and counters; the sink stays attached."""
+        self.ring.clear()
+        self.seq = 0
+        self.written = 0
+        self.sampled_out = 0
+        self.dumps = 0
+        self.dumps_suppressed = 0
+        self._kind_counts.clear()
+        self._phases.clear()
+        self._last_dump_seq = None
+
+    def __len__(self):
+        return len(self.ring)

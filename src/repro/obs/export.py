@@ -1,0 +1,129 @@
+"""Chrome-trace / Perfetto JSON export of span trees and journal events.
+
+Produces the Trace Event Format consumed by ``chrome://tracing`` and
+https://ui.perfetto.dev: a ``traceEvents`` array of complete spans
+(``"ph": "X"``) plus instant events (``"ph": "i"``). The mapping:
+
+- every finished **root span** gets its own thread lane (``tid`` 1..N,
+  one track per traced session), its subtree flattened into complete
+  events with microsecond ``ts``/``dur`` derived from simulated
+  milliseconds — so the Perfetto timeline is the *simulated* timeline;
+- span cost-meter deltas (SHA-1 compressions, NSEC3 hashes, signature
+  verifications) and attributes land in ``args`` where the UI shows
+  them on click;
+- the **kernel event lane** (``tid`` 0) carries the journal's typed
+  events (guard trips, breaker transitions, fault injections) as global
+  instants, so incident markers line up against the span tracks.
+
+``repro trace --trace-out run.json`` writes this document; load it in
+the Perfetto UI to scrub through a probe's validation timeline.
+"""
+
+from __future__ import annotations
+
+import json
+
+#: Process id used for all lanes (one simulated run == one process).
+_PID = 1
+#: The journal/instant lane shared by kernel-level events.
+KERNEL_LANE = 0
+
+
+def _us(ms):
+    """Simulated milliseconds → integer microseconds (trace ts unit)."""
+    return int(round(float(ms) * 1000.0))
+
+
+def _span_args(span):
+    args = {str(k): str(v) for k, v in span.attributes.items()}
+    cost = span.cost
+    if cost is not None:
+        for field_name in (
+            "sha1_compressions",
+            "nsec3_hashes",
+            "signature_verifications",
+        ):
+            value = getattr(cost, field_name, 0)
+            if value:
+                args[field_name] = value
+    return args
+
+
+def _emit_span(span, tid, out):
+    out.append(
+        {
+            "name": span.name,
+            "ph": "X",
+            "ts": _us(span.start_ms),
+            "dur": max(0, _us(span.end_ms) - _us(span.start_ms))
+            if span.end_ms is not None
+            else 0,
+            "pid": _PID,
+            "tid": tid,
+            "cat": "span",
+            "args": _span_args(span),
+        }
+    )
+    for child in span.children:
+        _emit_span(child, tid, out)
+
+
+def _thread_name(tid, name):
+    return {
+        "name": "thread_name",
+        "ph": "M",
+        "pid": _PID,
+        "tid": tid,
+        "args": {"name": name},
+    }
+
+
+def chrome_trace(roots=(), events=(), process_name="repro"):
+    """Build a Trace Event Format document (a JSON-able dict).
+
+    *roots* are finished :class:`~repro.obs.trace.Span` roots (one lane
+    each); *events* are journal :class:`~repro.obs.events.Event` objects
+    for the kernel lane.
+    """
+    trace_events = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "args": {"name": process_name},
+        },
+        _thread_name(KERNEL_LANE, "kernel events"),
+    ]
+    for index, root in enumerate(roots, start=1):
+        label = root.name
+        qname = root.attributes.get("qname")
+        if qname:
+            label = f"{label} {qname}"
+        trace_events.append(_thread_name(index, label))
+        _emit_span(root, index, trace_events)
+    for event in events:
+        trace_events.append(
+            {
+                "name": event.kind,
+                "ph": "i",
+                "s": "g",
+                "ts": _us(event.t_ms),
+                "pid": _PID,
+                "tid": KERNEL_LANE,
+                "cat": "event",
+                "args": {
+                    "seq": event.seq,
+                    **{str(k): str(v) for k, v in event.fields.items()},
+                },
+            }
+        )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path, roots=(), events=(), process_name="repro"):
+    """Write :func:`chrome_trace` output to *path*; returns the document."""
+    doc = chrome_trace(roots, events, process_name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, sort_keys=True)
+        handle.write("\n")
+    return doc

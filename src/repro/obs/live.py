@@ -1,0 +1,288 @@
+"""Live campaign console: heartbeats, ETA, and a stall detector.
+
+A :class:`ProgressConsole` rides the kernel's periodic-task rail
+(:meth:`SimKernel.every`) and prints one heartbeat line per simulated
+interval to stderr — stdout stays reserved for reports, which must
+remain byte-identical with telemetry on or off::
+
+    [sim 0:02:05 | wall 1.8s] scan: 214/400 done · 32 in-flight ·
+        0 quarantined · sheds 0 · breaker opens 0 · ETA 1.6s
+
+Counts are *pulled* from the metrics registry (completed, in-flight,
+quarantined, guard sheds, breaker opens), so the console adds no
+bookkeeping to the hot paths beyond the counters they already maintain.
+ETA extrapolates from the wall-clock completion rate.
+
+The **stall detector** watches the campaign's progress counters: when
+no forward movement happens for ``stall_after_ms`` of simulated time,
+it emits a ``campaign.stall`` event into the journal — which, by the
+flight-recorder contract, dumps the recent-history ring to the JSONL
+sink — and prints a stderr warning. One report per stall episode; the
+detector re-arms when progress resumes.
+
+:class:`LiveTelemetry` is the one-stop wiring used by the CLI: it
+builds the journal (``--events-out``), the time-series scraper
+(``--series-out`` / ``--progress``), and the console (``--progress``),
+and tears them down in :meth:`finish` (final scrape, series file,
+summary line).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.obs.events import EventJournal
+from repro.obs.timeseries import TimeSeriesScraper, family_sum
+
+
+def _fmt_sim(ms):
+    seconds = int(ms // 1000)
+    return f"{seconds // 3600}:{(seconds // 60) % 60:02d}:{seconds % 60:02d}"
+
+
+def _fmt_eta(seconds):
+    if seconds is None:
+        return "--"
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.1f}s"
+
+
+class ProgressConsole:
+    """Heartbeat printer + stall detector on the periodic-task rail."""
+
+    def __init__(
+        self,
+        kernel,
+        registry,
+        stream=None,
+        heartbeat_ms=1000.0,
+        stall_after_ms=30_000.0,
+        journal=None,
+        label="campaign",
+    ):
+        self.kernel = kernel
+        self.registry = registry
+        self.stream = stream if stream is not None else sys.stderr
+        self.heartbeat_ms = float(heartbeat_ms)
+        self.stall_after_ms = float(stall_after_ms)
+        self.journal = journal
+        self.label = label
+        self.expected = None
+        self.heartbeats = 0
+        self.stalls = 0
+        self._task = None
+        self._wall_start = time.perf_counter()
+        self._done_base = 0
+        self._phase_wall_start = self._wall_start
+        self._last_progress = None
+        self._last_progress_ms = 0.0
+        self._stall_reported = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self):
+        if self._task is None:
+            self._task = self.kernel.every(
+                self.heartbeat_ms, self.tick, name="progress-heartbeat"
+            )
+        return self
+
+    def stop(self):
+        if self._task is not None:
+            self.kernel.cancel(self._task)
+            self._task = None
+
+    def expect(self, total):
+        """Declare the size of the *current* batch (enables x/N and ETA).
+
+        The completed counter is cumulative across a run's phases, so
+        each ``expect`` re-baselines it: heartbeats show this batch's
+        progress, and ETA extrapolates from this batch's rate.
+        """
+        self.expected = int(total)
+        self._done_base = self._raw_done()
+        self._phase_wall_start = time.perf_counter()
+        return self
+
+    def phase(self, label):
+        """Name the campaign phase shown on heartbeat lines."""
+        self.label = label
+        return self
+
+    # -- registry views ------------------------------------------------------
+
+    def _raw_done(self):
+        return int(family_sum(self.registry, "repro_campaign_completed_total"))
+
+    def _done(self):
+        return self._raw_done() - self._done_base
+
+    def _progress_value(self):
+        """A monotone activity measure: any forward motion resets the
+        stall clock, even when no job has fully completed yet."""
+        return (
+            family_sum(self.registry, "repro_campaign_completed_total")
+            + family_sum(self.registry, "repro_scan_queries_total")
+            + family_sum(self.registry, "repro_probe_responses_total")
+        )
+
+    def snapshot(self):
+        """The counts a heartbeat renders, as a dict (tests hook here)."""
+        return {
+            "done": self._done(),
+            "inflight": int(family_sum(self.registry, "repro_inflight_sessions")),
+            "quarantined": int(
+                family_sum(self.registry, "repro_campaign_quarantined_total")
+            ),
+            "sheds": int(family_sum(self.registry, "repro_guard_shed_total")),
+            "breaker_opens": int(
+                family_sum(
+                    self.registry, "repro_circuit_transitions_total", to="open"
+                )
+            ),
+        }
+
+    def _eta_seconds(self, done):
+        phase_wall_s = time.perf_counter() - self._phase_wall_start
+        if self.expected is None or done <= 0 or phase_wall_s <= 0:
+            return None
+        remaining = max(0, self.expected - done)
+        rate = done / phase_wall_s
+        return remaining / rate if rate > 0 else None
+
+    # -- the heartbeat -------------------------------------------------------
+
+    def tick(self, now_ms):
+        """One heartbeat at simulated *now_ms* (periodic-task callback)."""
+        counts = self.snapshot()
+        progress = self._progress_value()
+        if self._last_progress is None or progress > self._last_progress:
+            self._last_progress = progress
+            self._last_progress_ms = now_ms
+            self._stall_reported = False
+        elif (
+            not self._stall_reported
+            and now_ms - self._last_progress_ms >= self.stall_after_ms
+        ):
+            self._report_stall(now_ms, now_ms - self._last_progress_ms)
+        wall_s = time.perf_counter() - self._wall_start
+        done = counts["done"]
+        total = f"/{self.expected}" if self.expected is not None else ""
+        eta = _fmt_eta(self._eta_seconds(done))
+        self.stream.write(
+            f"[sim {_fmt_sim(now_ms)} | wall {wall_s:.1f}s] {self.label}: "
+            f"{done}{total} done · {counts['inflight']} in-flight · "
+            f"{counts['quarantined']} quarantined · "
+            f"sheds {counts['sheds']} · "
+            f"breaker opens {counts['breaker_opens']} · ETA {eta}\n"
+        )
+        self.heartbeats += 1
+
+    def _report_stall(self, now_ms, idle_ms):
+        self.stalls += 1
+        self._stall_reported = True
+        if self.journal is not None:
+            # campaign.stall is in the journal's dump_on set: this emits
+            # the event *and* flushes the flight-recorder ring.
+            self.journal.emit(
+                "campaign.stall", now_ms, label=self.label, idle_ms=round(idle_ms)
+            )
+        self.stream.write(
+            f"[sim {_fmt_sim(now_ms)}] STALL: {self.label} made no progress for "
+            f"{idle_ms / 1000:.0f} simulated seconds — flight recorder dumped\n"
+        )
+
+    def finish(self):
+        """Stop the heartbeat and print a final summary line."""
+        self.stop()
+        wall_s = time.perf_counter() - self._wall_start
+        counts = self.snapshot()
+        now_ms = self.kernel.clock.read()
+        self.stream.write(
+            f"[sim {_fmt_sim(now_ms)} | wall {wall_s:.1f}s] {self.label}: "
+            f"finished — {self._raw_done()} done · "
+            f"{counts['quarantined']} quarantined · "
+            f"{self.heartbeats} heartbeats · {self.stalls} stalls\n"
+        )
+
+
+class LiveTelemetry:
+    """Wires journal + scraper + console for one CLI run.
+
+    Build *after* the kernel exists and before the campaign runs; call
+    :meth:`finish` after the campaign (final scrape, file writes,
+    summary). The constructor leaves global obs flags untouched except
+    for installing the journal/console handles via
+    :func:`repro.obs.attach_journal` / the ``obs.console`` slot.
+    """
+
+    def __init__(
+        self,
+        kernel,
+        events_out=None,
+        series_out=None,
+        progress=False,
+        scrape_interval_ms=500.0,
+        seed=0,
+        label="campaign",
+        stream=None,
+    ):
+        from repro import obs
+
+        self.kernel = kernel
+        self.series_out = series_out
+        self._events_path = None
+        self._sink = None
+        self.journal = None
+        self.scraper = None
+        self.console = None
+        stream = stream if stream is not None else sys.stderr
+
+        if events_out is not None:
+            if events_out == "-":
+                self._sink = stream
+            else:
+                self._events_path = events_out
+                self._sink = open(events_out, "w", encoding="utf-8")
+            self.journal = EventJournal(sink=self._sink, seed=seed)
+            obs.attach_journal(self.journal)
+
+        if series_out is not None or progress:
+            self.scraper = TimeSeriesScraper(
+                kernel, obs.registry, interval_ms=scrape_interval_ms
+            ).start()
+
+        if progress:
+            self.console = ProgressConsole(
+                kernel,
+                obs.registry,
+                stream=stream,
+                journal=self.journal,
+                label=label,
+            ).start()
+            obs.console = self.console
+
+    def finish(self):
+        """Final scrape, stop periodic tasks, write files, detach handles."""
+        from repro import obs
+
+        if self.scraper is not None:
+            # One last sample at the campaign's final committed time so
+            # terminal values are always captured regardless of phase.
+            self.scraper.scrape(self.kernel.clock.read())
+            self.scraper.stop()
+            if self.series_out is not None:
+                self.scraper.write(self.series_out)
+        if self.console is not None:
+            self.console.finish()
+            if obs.console is self.console:
+                obs.console = None
+        if self.journal is not None:
+            obs.attach_journal(None)
+        if self._events_path is not None and self._sink is not None:
+            self._sink.close()
+            self._sink = None

@@ -21,6 +21,7 @@ plus the implicit ``+Inf`` bucket, ``_sum``, and ``_count`` series.
 from __future__ import annotations
 
 import re
+from bisect import bisect_left
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
@@ -105,11 +106,10 @@ class _HistogramChild:
     def observe(self, value):
         self.sum += value
         self.count += 1
-        for index, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.counts[index] += 1
-                return
-        self.counts[-1] += 1
+        # bisect_left finds the first bound >= value, i.e. the bucket a
+        # linear ``value <= bound`` scan would have picked; past the last
+        # bound it lands on the +Inf slot.
+        self.counts[bisect_left(self.buckets, value)] += 1
 
     def cumulative(self):
         """Bucket counts as Prometheus exposes them: running totals."""
@@ -150,12 +150,15 @@ class MetricFamily:
 
     def labels(self, **labelvalues):
         """The child for one label-value combination (created on demand)."""
-        if set(labelvalues) != set(self.labelnames):
+        try:
+            key = tuple(str(labelvalues[name]) for name in self.labelnames)
+        except KeyError:
+            key = None
+        if key is None or len(labelvalues) != len(self.labelnames):
             raise MetricError(
                 f"{self.name} expects labels {self.labelnames}, "
                 f"got {tuple(sorted(labelvalues))}"
             )
-        key = tuple(str(labelvalues[name]) for name in self.labelnames)
         child = self._children.get(key)
         if child is None:
             child = self._children[key] = self._new_child()
@@ -174,6 +177,12 @@ class MetricFamily:
     def set(self, value):
         self._solo().set(value)
 
+    def dec(self, amount=1):
+        child = self._solo()
+        if not isinstance(child, _GaugeChild):
+            raise MetricError(f"{self.name} is not a gauge")
+        child.dec(amount)
+
     def observe(self, value):
         self._solo().observe(value)
 
@@ -182,11 +191,65 @@ class MetricFamily:
         return list(self._children.items())
 
 
+class ChildCache:
+    """A per-site memo of resolved metric children for hot paths.
+
+    Declaring a family and resolving a labelled child costs a few dict
+    lookups, tuple builds, and validations per event — cheap once, but
+    the network/cache/validator hot paths fire hundreds of thousands of
+    times per campaign. A ``ChildCache`` lets such a site resolve each
+    child once per registry *generation* and pay one identity check, one
+    integer compare, and one dict lookup per event afterwards::
+
+        _LOOKUPS = ChildCache()
+
+        def _count_lookup(self, result):
+            child = _LOOKUPS.get(obs.registry, (self.name, result))
+            if child is None:
+                child = _LOOKUPS.put(
+                    (self.name, result),
+                    obs.registry.counter(..., labelnames=("cache", "result"))
+                    .labels(cache=self.name, result=result),
+                )
+            child.inc()
+
+    :meth:`MetricsRegistry.reset` bumps the registry's generation, which
+    lazily invalidates every cache — stale children can never leak
+    across a reset (or across distinct registries).
+    """
+
+    __slots__ = ("_registry", "_generation", "_children")
+
+    def __init__(self):
+        self._registry = None
+        self._generation = None
+        self._children = {}
+
+    def get(self, registry, key):
+        """The cached child for *key*, or None if it must be (re)resolved."""
+        if (
+            registry is not self._registry
+            or registry.generation != self._generation
+        ):
+            self._children.clear()
+            self._registry = registry
+            self._generation = registry.generation
+            return None
+        return self._children.get(key)
+
+    def put(self, key, child):
+        """Cache *child* under *key* for the current generation; returns it."""
+        self._children[key] = child
+        return child
+
+
 class MetricsRegistry:
     """Declares and holds metric families; renders exposition snapshots."""
 
     def __init__(self):
         self._families = {}
+        #: Bumped on every :meth:`reset`; consumed by :class:`ChildCache`.
+        self.generation = 0
 
     # -- declaration -------------------------------------------------------
 
@@ -229,6 +292,7 @@ class MetricsRegistry:
     def reset(self):
         """Drop every family and sample (a fresh registry)."""
         self._families.clear()
+        self.generation += 1
 
     def __len__(self):
         return len(self._families)
@@ -286,4 +350,86 @@ class MetricsRegistry:
                 "labels": list(family.labelnames),
                 "samples": samples,
             }
+            if family.kind == "histogram":
+                # Raw bounds alongside the formatted per-sample keys, so
+                # the document round-trips through from_json even for a
+                # family that has not observed anything yet.
+                out[family.name]["buckets"] = list(family.buckets)
         return out
+
+    @classmethod
+    def from_json(cls, doc):
+        """Rebuild a registry from a :meth:`to_json` document."""
+        registry = cls()
+        for name, payload in doc.items():
+            kind = payload["type"]
+            labelnames = tuple(payload.get("labels", ()))
+            if kind == "histogram":
+                family = registry.histogram(
+                    name,
+                    payload.get("help", ""),
+                    buckets=payload.get("buckets") or None,
+                    labelnames=labelnames,
+                )
+            elif kind == "gauge":
+                family = registry.gauge(name, payload.get("help", ""), labelnames)
+            else:
+                family = registry.counter(name, payload.get("help", ""), labelnames)
+            for sample in payload.get("samples", ()):
+                labels = sample.get("labels", {})
+                child = family.labels(**labels)
+                if kind == "histogram":
+                    bounds = [_format_value(b) for b in family.buckets] + ["+Inf"]
+                    cumulative = [sample["buckets"][bound] for bound in bounds]
+                    previous = 0
+                    for index, total in enumerate(cumulative):
+                        child.counts[index] = total - previous
+                        previous = total
+                    child.sum = sample["sum"]
+                    child.count = sample["count"]
+                else:
+                    child.value = sample["value"]
+        return registry
+
+    # -- cross-shard merge ---------------------------------------------------
+
+    def merge(self, other):
+        """Fold *other*'s samples into this registry, deterministically.
+
+        The sharding primitive: merging the per-shard registries of a
+        split campaign yields the same exposition as one registry that
+        saw every event. Rules — counters add; histograms add per-bucket
+        (bounds must match); gauges take the max, which is correct for
+        the high-water/clock gauges this codebase records. A name
+        declared with a different kind or label set (or bucket bounds)
+        raises :class:`MetricError`. Families and children are re-sorted
+        canonically (by name, then label values) so merge order cannot
+        leak into the rendered output: ``a.merge(b)`` and ``b.merge(a)``
+        render identically. Returns self.
+        """
+        for name, theirs in other._families.items():
+            mine = self._declare(
+                name, theirs.kind, theirs.help, theirs.labelnames, theirs.buckets
+            )
+            if theirs.kind == "histogram" and mine.buckets != theirs.buckets:
+                raise MetricError(
+                    f"{name} bucket bounds differ: "
+                    f"{mine.buckets} vs {theirs.buckets}"
+                )
+            for labelvalues, their_child in theirs.samples():
+                my_child = mine.labels(
+                    **dict(zip(mine.labelnames, labelvalues))
+                )
+                if theirs.kind == "counter":
+                    my_child.value += their_child.value
+                elif theirs.kind == "gauge":
+                    my_child.value = max(my_child.value, their_child.value)
+                else:
+                    for index, count in enumerate(their_child.counts):
+                        my_child.counts[index] += count
+                    my_child.sum += their_child.sum
+                    my_child.count += their_child.count
+        self._families = dict(sorted(self._families.items()))
+        for family in self._families.values():
+            family._children = dict(sorted(family._children.items()))
+        return self

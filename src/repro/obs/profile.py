@@ -19,6 +19,7 @@ study run exports the profile with the rest of the metrics snapshot.
 from __future__ import annotations
 
 from repro.dns.rcode import Rcode
+from repro.obs.metrics import ChildCache
 
 #: NSEC3 iteration-count buckets: vendor thresholds (50/100/150), the
 #: probe-zone range (≤500), and the RFC 5155 ceiling (2500).
@@ -40,20 +41,33 @@ def rcode_label(rcode, answered=True):
 
 
 class CostProfiler:
-    """Feeds cost/outcome observations into a metrics registry."""
+    """Feeds cost/outcome observations into a metrics registry.
+
+    Every recorder resolves its metric children through a
+    :class:`~repro.obs.metrics.ChildCache` — these sites fire once per
+    NSEC3 hash / validated question / survey probe, so the per-event
+    cost must stay at a dict lookup, not a family declaration.
+    """
 
     def __init__(self, registry):
         self.registry = registry
+        self._children = ChildCache()
 
     # -- hashing ----------------------------------------------------------
 
     def observe_iterations(self, iterations):
         """Record one NSEC3 hash computation at *iterations* iterations."""
-        self.registry.histogram(
-            "repro_nsec3_iterations",
-            "NSEC3 iteration counts of computed hashes.",
-            buckets=ITERATION_BUCKETS,
-        ).observe(iterations)
+        child = self._children.get(self.registry, "iterations")
+        if child is None:
+            child = self._children.put(
+                "iterations",
+                self.registry.histogram(
+                    "repro_nsec3_iterations",
+                    "NSEC3 iteration counts of computed hashes.",
+                    buckets=ITERATION_BUCKETS,
+                ).labels(),
+            )
+        child.observe(iterations)
 
     # -- per-policy validation cost ---------------------------------------
 
@@ -63,35 +77,64 @@ class CostProfiler:
         *cost* is a :class:`~repro.dnssec.costmodel.CostSnapshot` delta
         covering the full resolve-and-validate call.
         """
-        self.registry.histogram(
-            "repro_validation_cost_units",
-            "SHA-1 compression units per validated question, by policy.",
-            buckets=COST_UNIT_BUCKETS,
-            labelnames=("policy",),
-        ).labels(policy=policy).observe(cost.sha1_compressions)
-        self.registry.counter(
-            "repro_resolver_responses_total",
-            "Validated resolver verdicts by policy and rcode.",
-            labelnames=("policy", "rcode"),
-        ).labels(policy=policy, rcode=rcode_label(rcode)).inc()
-        self.registry.counter(
-            "repro_validation_signature_checks_total",
-            "Signature verifications performed during validation, by policy.",
-            labelnames=("policy",),
-        ).labels(policy=policy).inc(cost.signature_verifications)
+        rcode_text = rcode_label(rcode)
+        key = ("validation", policy, rcode_text)
+        children = self._children.get(self.registry, key)
+        if children is None:
+            children = self._children.put(
+                key,
+                (
+                    self.registry.histogram(
+                        "repro_validation_cost_units",
+                        "SHA-1 compression units per validated question, "
+                        "by policy.",
+                        buckets=COST_UNIT_BUCKETS,
+                        labelnames=("policy",),
+                    ).labels(policy=policy),
+                    self.registry.counter(
+                        "repro_resolver_responses_total",
+                        "Validated resolver verdicts by policy and rcode.",
+                        labelnames=("policy", "rcode"),
+                    ).labels(policy=policy, rcode=rcode_text),
+                    self.registry.counter(
+                        "repro_validation_signature_checks_total",
+                        "Signature verifications performed during validation, "
+                        "by policy.",
+                        labelnames=("policy",),
+                    ).labels(policy=policy),
+                ),
+            )
+        cost_units, responses, signature_checks = children
+        cost_units.observe(cost.sha1_compressions)
+        responses.inc()
+        signature_checks.inc(cost.signature_verifications)
 
     # -- per-probe-zone survey cost ---------------------------------------
 
     def record_probe(self, zone, cost, rcode, answered=True):
         """Account one survey probe against probe zone *zone* (e.g. it-150)."""
-        self.registry.histogram(
-            "repro_probe_cost_units",
-            "SHA-1 compression units per survey probe, by probe zone.",
-            buckets=COST_UNIT_BUCKETS,
-            labelnames=("zone",),
-        ).labels(zone=zone).observe(cost.sha1_compressions)
-        self.registry.counter(
-            "repro_probe_responses_total",
-            "Survey probe outcomes by probe zone and rcode (Figure 3 axes).",
-            labelnames=("zone", "rcode"),
-        ).labels(zone=zone, rcode=rcode_label(rcode, answered)).inc()
+        rcode_text = rcode_label(rcode, answered)
+        key = ("probe", zone, rcode_text)
+        children = self._children.get(self.registry, key)
+        if children is None:
+            children = self._children.put(
+                key,
+                (
+                    self.registry.histogram(
+                        "repro_probe_cost_units",
+                        "SHA-1 compression units per survey probe, "
+                        "by probe zone.",
+                        buckets=COST_UNIT_BUCKETS,
+                        labelnames=("zone",),
+                    ).labels(zone=zone),
+                    self.registry.counter(
+                        "repro_probe_responses_total",
+                        "Survey probe outcomes by probe zone and rcode "
+                        "(Figure 3 axes).",
+                        labelnames=("zone", "rcode"),
+                    ).labels(zone=zone, rcode=rcode_text),
+                ),
+            )
+        cost_units, responses = children
+        cost_units.observe(cost.sha1_compressions)
+        responses.inc()

@@ -92,6 +92,17 @@ class Tracer:
         self.clock = clock if clock is not None else (lambda: 0.0)
         self.roots = deque(maxlen=max_roots)
         self._stack = []
+        #: Finished roots evicted by the bounded deque (mirrors
+        #: ``QueryLog.dropped``): overflow is counted, never silent.
+        self.dropped_roots = 0
+
+    @property
+    def max_roots(self):
+        return self.roots.maxlen
+
+    def set_max_roots(self, max_roots):
+        """Resize the finished-root ring, keeping the most recent roots."""
+        self.roots = deque(self.roots, maxlen=int(max_roots))
 
     @property
     def active(self):
@@ -116,6 +127,18 @@ class Tracer:
         if parent is not None:
             parent.children.append(span)
         else:
+            if (
+                self.roots.maxlen is not None
+                and len(self.roots) == self.roots.maxlen
+            ):
+                self.dropped_roots += 1
+                from repro import obs
+
+                if obs.enabled:
+                    obs.registry.counter(
+                        "repro_trace_roots_dropped_total",
+                        "Finished root spans evicted from the tracer ring.",
+                    ).inc()
             self.roots.append(span)
         return span
 
@@ -134,6 +157,7 @@ class Tracer:
     def clear(self):
         self.roots.clear()
         self._stack.clear()
+        self.dropped_roots = 0
 
 
 def _cost_suffix(span):

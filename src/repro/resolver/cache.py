@@ -13,6 +13,9 @@ from dataclasses import dataclass
 from repro import obs
 from repro.dns.name import Name
 
+#: Resolved (cache role, result) lookup counters for the get() hot path.
+_LOOKUP_CHILDREN = obs.ChildCache()
+
 
 @dataclass
 class CacheEntry:
@@ -42,11 +45,18 @@ class Cache:
         return self._clock()
 
     def _count_lookup(self, result):
-        obs.registry.counter(
-            "repro_cache_lookups_total",
-            "Cache lookups, by cache role and result.",
-            labelnames=("cache", "result"),
-        ).labels(cache=self.name, result=result).inc()
+        key = (self.name, result)
+        child = _LOOKUP_CHILDREN.get(obs.registry, key)
+        if child is None:
+            child = _LOOKUP_CHILDREN.put(
+                key,
+                obs.registry.counter(
+                    "repro_cache_lookups_total",
+                    "Cache lookups, by cache role and result.",
+                    labelnames=("cache", "result"),
+                ).labels(cache=self.name, result=result),
+            )
+        child.inc()
 
     def _count_evictions(self, reason, amount):
         self.evictions += amount
@@ -56,6 +66,8 @@ class Cache:
                 "Capacity evictions, by cache role and reason.",
                 labelnames=("cache", "reason"),
             ).labels(cache=self.name, reason=reason).inc(amount)
+        if amount and obs.events:
+            obs.emit("cache.evict", cache=self.name, reason=reason, n=amount)
 
     def get(self, key):
         """The live entry for *key*, or None (expired entries are dropped)."""

@@ -203,6 +203,13 @@ class ValidatingResolver(Host):
             if stale is not None:
                 cached = stale.value
                 resource_guard.count_shed(self.name, "stale")
+                if obs.events:
+                    obs.emit(
+                        "guard.shed",
+                        resolver=self.name,
+                        action="stale",
+                        qname=question.name,
+                    )
                 return Verdict(
                     cached.rcode,
                     cached.answer,
@@ -211,6 +218,13 @@ class ValidatingResolver(Host):
                     ede=cached.ede + ((EDE_STALE_ANSWER, "served stale under load"),),
                 )
         resource_guard.count_shed(self.name, "refused")
+        if obs.events:
+            obs.emit(
+                "guard.shed",
+                resolver=self.name,
+                action="refused",
+                qname=question.name,
+            )
         return Verdict(Rcode.REFUSED, [], [])
 
     # -- main resolution path ------------------------------------------------------
@@ -236,6 +250,15 @@ class ValidatingResolver(Host):
         except resource_guard.ResourceGuardError as exc:
             self.guard_events[exc.kind] = self.guard_events.get(exc.kind, 0) + 1
             resource_guard.count_budget_exceeded(self.name, exc.kind)
+            if obs.events:
+                # guard.trip is in the journal's dump_on set: this also
+                # flushes the flight-recorder ring for the post-mortem.
+                obs.emit(
+                    "guard.trip",
+                    resolver=self.name,
+                    ceiling=exc.kind,
+                    qname=str(qname),
+                )
             return Verdict(
                 Rcode.SERVFAIL, [], [], ede=((exc.ede_code, exc.detail[:80]),)
             )
@@ -244,14 +267,19 @@ class ValidatingResolver(Host):
         if not obs.enabled:
             return self._resolve_and_validate(qname, qtype, checking_disabled)
         cost_start = meter.snapshot()
-        with obs.span(
-            "resolver.validate",
-            resolver=self.name,
-            policy=self.policy.name,
-            qname=str(qname),
-        ) as span:
+        if obs.tracing:
+            with obs.span(
+                "resolver.validate",
+                resolver=self.name,
+                policy=self.policy.name,
+                qname=str(qname),
+            ) as span:
+                verdict = self._resolve_and_validate(
+                    qname, qtype, checking_disabled
+                )
+                span.set(rcode=Rcode.to_text(verdict.rcode), ad=verdict.ad)
+        else:
             verdict = self._resolve_and_validate(qname, qtype, checking_disabled)
-            span.set(rcode=Rcode.to_text(verdict.rcode), ad=verdict.ad)
         obs.profiler.record_validation(
             self.policy.name, meter.snapshot() - cost_start, verdict.rcode
         )

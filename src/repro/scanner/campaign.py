@@ -22,6 +22,7 @@ import json
 import os
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.resolver.stub import StubAnswer
 
 CHECKPOINT_VERSION = 1
@@ -105,7 +106,12 @@ class CampaignCheckpoint:
         with open(tmp_path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle)
         os.replace(tmp_path, self.path)
+        flushed = self._pending
         self._pending = 0
+        if obs.events:
+            obs.emit(
+                "checkpoint.flush", records=len(self._records), pending=flushed
+            )
 
     def __len__(self):
         return len(self._records)

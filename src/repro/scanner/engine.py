@@ -26,6 +26,10 @@ from repro.scanner.campaign import (
 )
 
 
+#: Resolved per-rcode scan counters for the per-query hot path.
+_SCAN_CHILDREN = obs.ChildCache()
+
+
 def shard_source_ip(base_ip, index):
     """A deterministic scanner-fleet source address for shard *index*.
 
@@ -180,13 +184,19 @@ class ScanEngine:
         )
         self.stats.queries += 1
         if obs.enabled:
-            obs.registry.counter(
-                "repro_scan_queries_total",
-                "Scan-engine queries, by response rcode (timeout if none).",
-                labelnames=("rcode",),
-            ).labels(
-                rcode=obs.rcode_label(answer.rcode, answer.answered)
-            ).inc()
+            rcode_text = obs.rcode_label(answer.rcode, answer.answered)
+            child = _SCAN_CHILDREN.get(obs.registry, rcode_text)
+            if child is None:
+                child = _SCAN_CHILDREN.put(
+                    rcode_text,
+                    obs.registry.counter(
+                        "repro_scan_queries_total",
+                        "Scan-engine queries, by response rcode "
+                        "(timeout if none).",
+                        labelnames=("rcode",),
+                    ).labels(rcode=rcode_text),
+                )
+            child.inc()
         self.stats.finished_ms = self.network.clock_ms
         return answer
 
@@ -216,6 +226,8 @@ class ScanEngine:
         )
 
     def _query_session(self, qname, qtype, want_dnssec, checking_disabled, client):
+        if obs.events:
+            obs.emit("query.issued", qname=str(qname), qtype=int(qtype))
         answer = self._ask(qname, qtype, want_dnssec, checking_disabled, client)
         for __ in range(self.target_retries):
             if not self._transient(answer):
@@ -226,6 +238,18 @@ class ScanEngine:
             self.stats.rcodes[answer.rcode] += 1
         else:
             self.stats.unanswered += 1
+        if obs.events:
+            obs.emit(
+                "query.completed",
+                qname=str(qname),
+                rcode=obs.rcode_label(answer.rcode, answer.answered),
+            )
+        if obs.enabled:
+            obs.registry.counter(
+                "repro_campaign_completed_total",
+                "Campaign jobs settled (scan targets / surveyed resolvers).",
+                labelnames=("campaign",),
+            ).labels(campaign="scan").inc()
         return answer
 
     def run(self, jobs, want_dnssec=True, checking_disabled=False):
@@ -235,6 +259,9 @@ class ScanEngine:
         scan with CD set (measuring what zones publish rather than what a
         validator accepts) keep that behaviour through the batch API.
         """
+        jobs = list(jobs)
+        if obs.console is not None:
+            obs.console.expect(len(jobs))
         answers = [
             self.query(
                 qname,
@@ -268,6 +295,9 @@ class ScanEngine:
         :class:`~repro.scanner.campaign.CampaignResult` with answers
         aligned to *jobs*.
         """
+        jobs = list(jobs)
+        if obs.console is not None:
+            obs.console.expect(len(jobs))
         result = CampaignResult()
         answers = {}
         deferred = []
@@ -295,6 +325,12 @@ class ScanEngine:
             settle(key, answer)
 
         result.requeued = len(deferred)
+        if obs.enabled and deferred:
+            obs.registry.counter(
+                "repro_campaign_requeued_total",
+                "Targets quarantined for an end-of-campaign requeue pass.",
+                labelnames=("campaign",),
+            ).labels(campaign="scan").inc(len(deferred))
         for __ in range(requeue_attempts):
             if not deferred:
                 break

@@ -337,6 +337,9 @@ class ResolverSurvey:
         )
         self.entries = []
         deferred = []
+        deployed_resolvers = list(deployed_resolvers)
+        if obs.console is not None:
+            obs.console.expect(len(deployed_resolvers))
         for index, deployed in enumerate(deployed_resolvers):
             if deployed.access == "closed":
                 # Unreachable from the scanner; the Atlas campaign covers it.
@@ -359,6 +362,14 @@ class ResolverSurvey:
             )
             if not healthy and policy is not None:
                 deferred.append((index, deployed, matrix))
+                if obs.enabled:
+                    obs.registry.counter(
+                        "repro_campaign_quarantined_total",
+                        "Targets set aside as unhealthy during the main pass.",
+                        labelnames=("campaign",),
+                    ).labels(campaign="survey").inc()
+                if obs.events:
+                    obs.emit("campaign.quarantine", resolver=deployed.ip)
                 continue
             self._admit(deployed, unique, matrix, checkpoint, key)
 
@@ -374,6 +385,12 @@ class ResolverSurvey:
         policy = self.retry_policy
         if policy is None:
             return
+        if obs.enabled and deferred:
+            obs.registry.counter(
+                "repro_campaign_requeued_total",
+                "Targets quarantined for an end-of-campaign requeue pass.",
+                labelnames=("campaign",),
+            ).labels(campaign="survey").inc(len(deferred))
         for attempt in range(policy.requeue_attempts):
             if not deferred:
                 return
@@ -404,6 +421,12 @@ class ResolverSurvey:
             self.entries.append(
                 SurveyEntry(deployed, matrix, classification, requeued=True)
             )
+            if obs.enabled:
+                obs.registry.counter(
+                    "repro_campaign_completed_total",
+                    "Campaign jobs settled (scan targets / surveyed resolvers).",
+                    labelnames=("campaign",),
+                ).labels(campaign="survey").inc()
 
     def _admit(self, deployed, unique, matrix, checkpoint, key, requeued=False):
         classification = classify_resolver(matrix, resolver=deployed.ip)
@@ -412,6 +435,12 @@ class ResolverSurvey:
         self.entries.append(
             SurveyEntry(deployed, matrix, classification, requeued=requeued)
         )
+        if obs.enabled:
+            obs.registry.counter(
+                "repro_campaign_completed_total",
+                "Campaign jobs settled (scan targets / surveyed resolvers).",
+                labelnames=("campaign",),
+            ).labels(campaign="survey").inc()
         if checkpoint is not None:
             checkpoint.record(key, matrix_to_record(matrix))
 

@@ -26,12 +26,38 @@ from repro.zone.zone import LookupStatus
 MAX_CNAME_CHAIN = 8
 
 
+#: Resolved metric children for the per-query serving hot paths.
+_SERVER_CHILDREN = obs.ChildCache()
+
+
 def _count_cache(outcome):
-    obs.registry.counter(
-        "repro_answer_cache_events_total",
-        "Authoritative packed-answer cache events, by outcome.",
-        labelnames=("outcome",),
-    ).labels(outcome=outcome).inc()
+    key = ("cache", outcome)
+    child = _SERVER_CHILDREN.get(obs.registry, key)
+    if child is None:
+        child = _SERVER_CHILDREN.put(
+            key,
+            obs.registry.counter(
+                "repro_answer_cache_events_total",
+                "Authoritative packed-answer cache events, by outcome.",
+                labelnames=("outcome",),
+            ).labels(outcome=outcome),
+        )
+    child.inc()
+
+
+def _count_response(server, rcode_text):
+    key = ("response", server, rcode_text)
+    child = _SERVER_CHILDREN.get(obs.registry, key)
+    if child is None:
+        child = _SERVER_CHILDREN.put(
+            key,
+            obs.registry.counter(
+                "repro_auth_responses_total",
+                "Authoritative responses, by server and rcode.",
+                labelnames=("server", "rcode"),
+            ).labels(server=server, rcode=rcode_text),
+        )
+    child.inc()
 
 
 class _CachedAnswer:
@@ -79,6 +105,8 @@ class PackedAnswerCache:
             self.evictions += 1
             if obs.enabled:
                 _count_cache("eviction")
+            if obs.events:
+                obs.emit("cache.evict", cache="packed-answer", reason="capacity", n=1)
         entries[key] = entry
 
     def invalidate(self):
@@ -88,6 +116,8 @@ class PackedAnswerCache:
         self.invalidations += 1
         if obs.enabled:
             _count_cache("invalidation")
+        if obs.events:
+            obs.emit("cache.invalidate", cache="packed-answer")
 
 
 class AuthoritativeServer(Host):
@@ -154,21 +184,24 @@ class AuthoritativeServer(Host):
             if not obs.enabled:
                 response = self._dispatch(query, src_ip, via_tcp)
             else:
-                qname = (
-                    query.question[0].name.to_text() if query.question else "?"
-                )
-                with obs.span("auth.query", server=self.name, qname=qname) as span:
+                if obs.tracing:
+                    # qname rendering is span decoration only — skip it
+                    # (and the span) when no tracer is recording.
+                    qname = (
+                        query.question[0].name.to_text()
+                        if query.question
+                        else "?"
+                    )
+                    with obs.span(
+                        "auth.query", server=self.name, qname=qname
+                    ) as span:
+                        response = self._dispatch(query, src_ip, via_tcp)
+                        if response is not None:
+                            span.set(rcode=Rcode.to_text(response.rcode))
+                else:
                     response = self._dispatch(query, src_ip, via_tcp)
-                    if response is not None:
-                        span.set(rcode=Rcode.to_text(response.rcode))
                 if response is not None:
-                    obs.registry.counter(
-                        "repro_auth_responses_total",
-                        "Authoritative responses, by server and rcode.",
-                        labelnames=("server", "rcode"),
-                    ).labels(
-                        server=self.name, rcode=Rcode.to_text(response.rcode)
-                    ).inc()
+                    _count_response(self.name, Rcode.to_text(response.rcode))
             if response is None:
                 return None
             max_size = None
@@ -228,16 +261,15 @@ class AuthoritativeServer(Host):
             meter.replay(entry.charges)
         else:
             _count_cache("hit")
-            with obs.span(
-                "auth.query", server=self.name, qname=question.name.to_text()
-            ) as span:
-                span.set(rcode=entry.rcode_text, cached=True)
+            if obs.tracing:
+                with obs.span(
+                    "auth.query", server=self.name, qname=question.name.to_text()
+                ) as span:
+                    span.set(rcode=entry.rcode_text, cached=True)
+                    meter.replay(entry.charges)
+            else:
                 meter.replay(entry.charges)
-            obs.registry.counter(
-                "repro_auth_responses_total",
-                "Authoritative responses, by server and rcode.",
-                labelnames=("server", "rcode"),
-            ).labels(server=self.name, rcode=entry.rcode_text).inc()
+            _count_response(self.name, entry.rcode_text)
         return query.id.to_bytes(2, "big") + entry.wire[2:]
 
     def _dispatch(self, query, src_ip, via_tcp):

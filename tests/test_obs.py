@@ -371,3 +371,125 @@ class TestScanEngine:
         family = obs.registry.get("repro_scan_queries_total")
         assert family.labels(rcode="NXDOMAIN").value == 1
         assert family.labels(rcode="timeout").value == 1
+
+
+class TestJsonRoundTrip:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total", "a", labelnames=("k",)).labels(k="x").inc(3)
+        registry.counter("repro_a_total", "a", labelnames=("k",)).labels(k="y").inc(5)
+        registry.gauge("repro_b", "b").set(2.5)
+        hist = registry.histogram("repro_c_ms", "c", buckets=(1.0, 10.0))
+        for value in (0.5, 4.0, 40.0):
+            hist.observe(value)
+        return registry
+
+    def test_from_json_inverts_to_json(self):
+        registry = self._populated()
+        rebuilt = MetricsRegistry.from_json(registry.to_json())
+        assert rebuilt.render_prometheus() == registry.render_prometheus()
+        assert rebuilt.to_json() == registry.to_json()
+
+    def test_survives_serialisation(self):
+        import json
+
+        registry = self._populated()
+        doc = json.loads(json.dumps(registry.to_json()))
+        rebuilt = MetricsRegistry.from_json(doc)
+        assert rebuilt.render_prometheus() == registry.render_prometheus()
+
+    def test_empty_histogram_family_keeps_buckets(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_c_ms", "c", buckets=(2.0, 20.0))
+        rebuilt = MetricsRegistry.from_json(registry.to_json())
+        assert rebuilt.get("repro_c_ms").buckets == (2.0, 20.0)
+        rebuilt.get("repro_c_ms").observe(5.0)  # still usable after rebuild
+
+
+class TestMerge:
+    def test_counters_add(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("repro_x_total", "x").inc(3)
+        b.counter("repro_x_total", "x").inc(4)
+        b.counter("repro_y_total", "y").inc(1)  # only in b
+        a.merge(b)
+        assert a.get("repro_x_total").labels().value == 7
+        assert a.get("repro_y_total").labels().value == 1
+
+    def test_gauges_take_the_max(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("repro_hwm", "high water").set(5)
+        b.gauge("repro_hwm", "high water").set(3)
+        a.merge(b)
+        assert a.get("repro_hwm").labels().value == 5
+
+    def test_histograms_add_per_bucket(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        ha = a.histogram("repro_ms", "h", buckets=(1.0, 10.0))
+        hb = b.histogram("repro_ms", "h", buckets=(1.0, 10.0))
+        ha.observe(0.5)
+        hb.observe(5.0)
+        hb.observe(50.0)
+        a.merge(b)
+        child = a.get("repro_ms").labels()
+        assert child.counts == [1, 1, 1]
+        assert child.count == 3
+        assert child.sum == 55.5
+
+    def test_merge_order_does_not_leak_into_rendering(self):
+        def build(first):
+            registry = MetricsRegistry()
+            names = ("repro_b_total", "repro_a_total")
+            for name in names if first else reversed(names):
+                registry.counter(name, "n", labelnames=("k",))
+            registry.get("repro_a_total").labels(k="z").inc(1)
+            registry.get("repro_a_total").labels(k="a").inc(2)
+            registry.get("repro_b_total").labels(k="m").inc(3)
+            return registry
+
+        ab = build(True).merge(build(False))
+        ba = build(False).merge(build(True))
+        assert ab.render_prometheus() == ba.render_prometheus()
+
+    def test_kind_conflict_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("repro_x", "x")
+        b.gauge("repro_x", "x")
+        with pytest.raises(MetricError):
+            a.merge(b)
+
+    def test_labelset_conflict_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("repro_x_total", "x", labelnames=("k",))
+        b.counter("repro_x_total", "x")
+        with pytest.raises(MetricError):
+            a.merge(b)
+
+    def test_bucket_bounds_conflict_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("repro_ms", "h", buckets=(1.0, 10.0))
+        b.histogram("repro_ms", "h", buckets=(1.0, 100.0))
+        with pytest.raises(MetricError):
+            a.merge(b)
+
+
+class TestTracerRootEviction:
+    def test_overflow_is_counted_not_silent(self):
+        obs.enable(max_roots=2)
+        for index in range(3):
+            with obs.tracer.span(f"root-{index}"):
+                pass
+        assert obs.tracer.dropped_roots == 1
+        # The ring keeps the most recent roots.
+        assert [root.name for root in obs.tracer.roots] == ["root-1", "root-2"]
+        family = obs.registry.get("repro_trace_roots_dropped_total")
+        assert family.labels().value == 1
+
+    def test_set_max_roots_keeps_the_most_recent(self):
+        tracer = Tracer(max_roots=8)
+        for index in range(4):
+            with tracer.span(f"root-{index}"):
+                pass
+        tracer.set_max_roots(2)
+        assert [root.name for root in tracer.roots] == ["root-2", "root-3"]
+        assert tracer.max_roots == 2
