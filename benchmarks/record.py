@@ -1,15 +1,23 @@
-"""Record the PR 5 performance artifact (``BENCH_5.json``).
+"""Record the performance artifacts (``BENCH_5.json``, ``BENCH_7.json``).
 
-Runs the study's dominant workload — the §4.2 resolver survey at bench
-scale — twice in separate interpreter processes, once with every fast
-path enabled and once with ``REPRO_FASTPATH_DISABLE=all``, and writes
-wall-clock numbers plus cache hit/miss counters to ``BENCH_5.json`` in
-the repository root::
+Default mode runs the study's dominant workload — the §4.2 resolver
+survey at bench scale — twice in separate interpreter processes, once
+with every fast path enabled and once with
+``REPRO_FASTPATH_DISABLE=all``, and writes wall-clock numbers plus cache
+hit/miss counters to ``BENCH_5.json`` in the repository root::
 
     PYTHONPATH=src python benchmarks/record.py
 
 The equivalence claim (identical survey results with caches on or off)
 is asserted inline: both runs must classify every resolver identically.
+
+``--workers-bench`` records ``BENCH_7.json``: the same headline study
+run single-process and under the crash-safe campaign supervisor
+(``--workers 4``), asserting the reports byte-identical and recording
+wall-clock for both, the per-shard build/measure split, and the fleet's
+critical path (what the wall-clock becomes once each worker has its own
+core — every worker pays the full testbed build, so on fewer cores than
+workers the duplicated builds contend and the fleet cannot win).
 """
 
 from __future__ import annotations
@@ -168,12 +176,110 @@ def perf_gate(limit=1.05, runs=3):
         )
 
 
+#: The supervised-fleet bench workload: survey-heavy, so measurement
+#: (which shards) dominates the testbed build (which every worker pays).
+WORKERS_BENCH_ARGS = [
+    "study", "--domains", "200", "--tlds", "30",
+    "--resolvers", "64", "--seed", "7",
+]
+
+
+def workers_bench(workers=4):
+    """Record ``BENCH_7.json``: single-process vs supervised fleet."""
+    import shutil
+    import tempfile
+
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src"))
+
+    def run(extra):
+        start = time.perf_counter()
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", *WORKERS_BENCH_ARGS, *extra],
+            env=env,
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return proc.stdout, round(time.perf_counter() - start, 2)
+
+    print("measuring single-process (--workers 1) ...", flush=True)
+    single_stdout, single_seconds = run([])
+    print(f"  {single_seconds}s")
+    state_dir = tempfile.mkdtemp(prefix="repro-bench7-")
+    try:
+        print(f"measuring supervised fleet (--workers {workers}) ...", flush=True)
+        fleet_stdout, fleet_seconds = run(
+            ["--workers", str(workers), "--state-dir", state_dir]
+        )
+        print(f"  {fleet_seconds}s")
+        if fleet_stdout != single_stdout:
+            raise SystemExit(
+                "FATAL: supervised report differs from single-process"
+            )
+        shard_reports = []
+        for shard in range(workers):
+            with open(
+                os.path.join(state_dir, f"shard-{shard}.done.json"),
+                encoding="utf-8",
+            ) as handle:
+                report = json.load(handle)
+            shard_reports.append(
+                {
+                    "shard": shard,
+                    "units": report["units"],
+                    "build_seconds": report["build_seconds"],
+                    "measure_seconds": report["measure_seconds"],
+                    "build_cpu_seconds": report["build_cpu_seconds"],
+                    "measure_cpu_seconds": report["measure_cpu_seconds"],
+                }
+            )
+    finally:
+        shutil.rmtree(state_dir, ignore_errors=True)
+
+    # The fleet's wall-clock floor with one core per worker: the slowest
+    # worker's build plus its share of the measurement, in CPU seconds
+    # (worker wall times are inflated by sibling contention when the
+    # host has fewer cores than workers).
+    critical_path = max(
+        r["build_cpu_seconds"] + r["measure_cpu_seconds"]
+        for r in shard_reports
+    )
+    record = {
+        "bench": "supervised fleet vs single process "
+                 "(headline study, survey-heavy scale)",
+        "workload": " ".join(WORKERS_BENCH_ARGS),
+        "cpu_count": os.cpu_count(),
+        "workers_1": {"wall_seconds": single_seconds},
+        f"workers_{workers}": {
+            "wall_seconds": fleet_seconds,
+            "shards": shard_reports,
+            "critical_path_seconds": round(critical_path, 2),
+        },
+        "speedup_wall": round(single_seconds / fleet_seconds, 2),
+        "speedup_critical_path": round(single_seconds / critical_path, 2),
+        "results_identical": True,
+    }
+    output = os.path.join(REPO_ROOT, "BENCH_7.json")
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"wall speedup {record['speedup_wall']}x on {os.cpu_count()} cpu(s); "
+        f"critical-path speedup {record['speedup_critical_path']}x; "
+        f"reports identical; wrote {output}"
+    )
+
+
 def main():
     if "--measure" in sys.argv:
         _measure(telemetry="--telemetry" in sys.argv)
         return
     if "--perf-gate" in sys.argv:
         perf_gate()
+        return
+    if "--workers-bench" in sys.argv:
+        workers_bench()
         return
     print("measuring with fast paths ON ...", flush=True)
     on = _run_worker("")

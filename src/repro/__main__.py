@@ -28,6 +28,14 @@ classifications are identical to the serial run, but the simulated
 elapsed time shrinks toward ``1/N`` — the paper's concurrent-scanner
 posture. The default of 1 is bit-for-bit the legacy serial behaviour.
 
+``--workers N`` (study/scan/survey) runs the campaign across N
+supervised worker processes, each owning a shard of the global unit
+list with a crash-safe journaled checkpoint; the merged report is
+byte-identical to the single-process run. ``--state-dir DIR`` makes the
+fleet state resumable across invocations, and a ``kill:`` token in
+``--faults`` injects seeded worker SIGKILLs/hangs to exercise the
+supervisor (see :mod:`repro.scanner.supervisor`).
+
 Streaming telemetry (all subcommands): ``--events-out PATH`` writes the
 structured event journal as JSONL (flight-recorder dumps included),
 ``--series-out PATH`` writes metric time-series scraped every
@@ -62,33 +70,21 @@ from repro.scanner.engine import ScanEngine
 from repro.scanner.nsec3_scan import nsec3_scan, scan_tlds
 from repro.scanner.resolver_scan import ResolverSurvey, SurveyRetryPolicy
 from repro.testbed.internet import build_internet
+from repro.scanner.supervisor import deployment_counts
 from repro.testbed.population import (
-    PopulationConfig,
     generate_population,
     generate_tlds,
     inject_tail_domains,
+    scaled_config,
 )
 from repro.testbed.resolvers import deploy_resolvers
 from repro.testbed.rfc9276_wild import build_probe_zones
 
 
-def _scaled_config(n_domains, n_tlds):
-    scale = n_tlds / 1449.0
-    return PopulationConfig(
-        n_domains=n_domains,
-        n_tlds=n_tlds,
-        tld_dnssec=round(1354 * scale),
-        tld_nsec3=round(1302 * scale),
-        tld_zero_iterations=round(688 * scale),
-        tld_identity_digital=round(447 * scale),
-        tld_saltless=round(672 * scale),
-        tld_salt8=round(558 * scale),
-        tld_salt10=max(1, round(7 * scale)),
-    )
-
-
 def _build(args, with_probes):
-    config = _scaled_config(args.domains, args.tlds)
+    # The scaling rule lives in repro.testbed.population.scaled_config:
+    # campaign workers must derive the identical population.
+    config = scaled_config(args.domains, args.tlds)
     tlds = generate_tlds(config)
     domains = inject_tail_domains(generate_population(config, tlds=tlds))
     started = time.perf_counter()
@@ -211,13 +207,11 @@ def _run_domain_scan(inet, domains, chaos=False, concurrency=1):
 
 
 def _run_survey(inet, probes, args):
+    # The deployment mix is shared with the campaign supervisor's
+    # workers (repro.scanner.supervisor.deployment_counts): both paths
+    # must deploy the identical resolver population.
     deployment = deploy_resolvers(
-        inet,
-        open_v4=args.resolvers,
-        open_v6=max(2, args.resolvers // 4),
-        closed_v4=max(2, args.resolvers // 5),
-        closed_v6=max(1, args.resolvers // 8),
-        seed=args.seed,
+        inet, seed=args.seed, **deployment_counts(args.resolvers)
     )
     retry_policy = (
         SurveyRetryPolicy(require_stable=True) if _chaos_requested(args) else None
@@ -248,8 +242,62 @@ def _sim_summary(args, inet):
     )
 
 
+def _run_supervised_command(args, role):
+    """Route a measurement command through the campaign supervisor.
+
+    The merged report on stdout is byte-identical to the inline
+    single-process run (clean network or ``kill:`` faults); everything
+    fleet-related goes to stderr.
+    """
+    import tempfile
+
+    from repro.scanner.supervisor import CampaignPlan, run_supervised
+
+    if (
+        getattr(args, "events_out", None) is not None
+        or getattr(args, "series_out", None) is not None
+        or getattr(args, "progress", False)
+    ):
+        print(
+            "[supervisor] streaming telemetry (--events-out/--series-out/"
+            "--progress) is per-kernel and not available with --workers; "
+            "the supervisor prints its own progress lines",
+            file=sys.stderr,
+        )
+    if args.state_dir is None:
+        args.state_dir = tempfile.mkdtemp(prefix="repro-fleet-")
+        print(f"[supervisor] state dir {args.state_dir}", file=sys.stderr)
+    if _metrics_requested(args):
+        obs.enable()
+    plan = CampaignPlan.from_args(args, role)
+    outcome = run_supervised(plan)
+    if role == "study":
+        print(
+            render_study_report(
+                outcome.domain_results,
+                outcome.total_domains,
+                outcome.tld_results,
+                outcome.entries,
+            )
+        )
+    elif role == "scan":
+        print(render_study_report(outcome.domain_results, outcome.total_domains))
+    else:
+        from repro.analysis.stats import resolver_headline_stats
+
+        headline = resolver_headline_stats(
+            [e.classification for e in outcome.entries]
+        )
+        print("validating resolver survey (paper §5.2):")
+        for label, paper, measured in headline.rows():
+            print(f"  {label:40s} paper={paper:>6}  measured={measured}")
+    _dump_metrics(args)
+
+
 def cmd_study(args):
     """Run both pipelines and print the combined study report."""
+    if getattr(args, "workers", 1) > 1:
+        return _run_supervised_command(args, "study")
     if _telemetry_requested(args):
         obs.enable()
     inet, probes, domains, tlds = _build(args, with_probes=True)
@@ -272,6 +320,8 @@ def cmd_study(args):
 
 def cmd_scan(args):
     """Run the §4.1 domain pipeline and print its report."""
+    if getattr(args, "workers", 1) > 1:
+        return _run_supervised_command(args, "scan")
     if _telemetry_requested(args):
         obs.enable()
     inet, __, domains, __tlds = _build(args, with_probes=False)
@@ -288,6 +338,8 @@ def cmd_scan(args):
 
 def cmd_survey(args):
     """Run the §4.2 resolver survey and print the headline numbers."""
+    if getattr(args, "workers", 1) > 1:
+        return _run_supervised_command(args, "survey")
     if _telemetry_requested(args):
         obs.enable()
     args.domains = min(args.domains, 20)
@@ -532,6 +584,50 @@ def _telemetry_parent():
     return parent
 
 
+def _fleet_parent():
+    """Multi-process campaign flags (study/scan/survey only)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("multi-process campaign")
+    group.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run the campaign across N supervised worker processes with "
+        "crash-safe per-shard checkpoints (1 = in-process, the default); "
+        "the merged report is byte-identical to the single-process run",
+    )
+    group.add_argument(
+        "--state-dir",
+        metavar="DIR",
+        help="directory for shard checkpoints/heartbeats (default: a fresh "
+        "temp dir; pass the same DIR again to resume a killed campaign)",
+    )
+    group.add_argument(
+        "--discard-checkpoint",
+        action="store_true",
+        help="archive unreadable/foreign checkpoint files (*.invalid) and "
+        "start fresh instead of failing with CampaignError",
+    )
+    group.add_argument(
+        "--stall-timeout",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="wall-clock seconds without worker progress before the "
+        "supervisor kills and restarts it (default: 60)",
+    )
+    group.add_argument(
+        "--max-restarts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="restart budget per shard before it is quarantined as lame "
+        "and the report degrades to partial coverage (default: 3)",
+    )
+    return parent
+
+
 def _campaign_parent(domains, tlds, resolvers=None, concurrency=False):
     """Shared testbed-size flags, with per-command-family defaults."""
     parent = argparse.ArgumentParser(add_help=False)
@@ -563,6 +659,7 @@ def main(argv=None):
     sub = parser.add_subparsers(dest="command", required=True)
 
     telemetry = _telemetry_parent()
+    fleet = _fleet_parent()
     pipeline = _campaign_parent(400, 120, resolvers=40, concurrency=True)
     small = _campaign_parent(60, 40)
 
@@ -571,7 +668,9 @@ def main(argv=None):
         ("scan", cmd_scan, "domain pipeline only (§4.1/§5.1)"),
         ("survey", cmd_survey, "resolver survey only (§4.2/§5.2)"),
     ):
-        command = sub.add_parser(name, help=help_text, parents=[pipeline, telemetry])
+        command = sub.add_parser(
+            name, help=help_text, parents=[pipeline, fleet, telemetry]
+        )
         command.set_defaults(handler=handler)
 
     trace = sub.add_parser(

@@ -282,6 +282,47 @@ class RateLimitRefused(FaultModel):
         return response.to_wire()
 
 
+class ProcessKill(FaultModel):
+    """Seeded SIGKILL/hang injection into campaign *worker processes*.
+
+    Unlike every other model this one never touches a datagram — all
+    four hooks stay inert, so a plan carrying it is byte-identical to no
+    plan at all on the network. The campaign supervisor
+    (:mod:`repro.scanner.supervisor`) extracts it from the plan and each
+    worker consults :meth:`decide` for its own death sentence: whether
+    attempt *attempt* of shard *shard* should SIGKILL itself (or hang,
+    with probability *hang_rate*) after completing a seeded number of
+    units. *max_kills* bounds deaths per shard, so a bounded restart
+    budget always converges.
+    """
+
+    kind = "kill"
+
+    def __init__(self, rate=1.0, max_kills=1, hang_rate=0.0, seed=0):
+        self.rate = float(rate)
+        self.max_kills = int(max_kills)
+        self.hang_rate = float(hang_rate)
+        self.seed = int(seed)
+
+    def decide(self, shard, attempt, units):
+        """The fate of (shard, attempt): ``(action, after_units)``.
+
+        *action* is ``"kill"``, ``"hang"``, or ``None``; *after_units*
+        is how many of the shard's *units* complete before it strikes.
+        Deterministic in (seed, shard, attempt): a restarted supervisor
+        re-derives the same sentence.
+        """
+        if attempt >= self.max_kills:
+            return None, None
+        rng = random.Random(
+            (self.seed * 1_000_003 + shard * 8191 + attempt * 131) & 0xFFFFFFFF
+        )
+        if rng.random() >= self.rate:
+            return None, None
+        action = "hang" if rng.random() < self.hang_rate else "kill"
+        return action, rng.randrange(max(1, units))
+
+
 @dataclass
 class _Verdict:
     """What :meth:`FaultPlan.on_send` decided about one datagram."""
@@ -297,6 +338,10 @@ class FaultPlan:
         self.models = list(models)
         #: Injection counts by model kind, always collected (obs-independent).
         self.injected = Counter()
+
+    def process_faults(self):
+        """The process-level models (:class:`ProcessKill`) in the plan."""
+        return [m for m in self.models if isinstance(m, ProcessKill)]
 
     def _note(self, kind):
         self.injected[kind] += 1
@@ -375,6 +420,7 @@ def parse_fault_spec(spec, seed=0):
         flap:IP[:PERIOD_MS[:DOWN_FRACTION[:OFFSET_MS]]]
         corrupt[:rate[:KIND+KIND...]]          (bitflip|truncate|wrongid|garbage)
         refuse[:qps[:burst[:IP]]]
+        kill[:rate[:max_per_shard[:hang_rate]]]   (worker SIGKILL/hang injection)
 
     A token naming a preset (``chaos``) expands in place. Every stochastic
     model is seeded from *seed* plus its position, so the same spec and
@@ -438,8 +484,20 @@ def parse_fault_spec(spec, seed=0):
         elif name == "refuse":
             qps, burst, dst = _positional(args, (float, float, str), (100.0, 20, None))
             models.append(RateLimitRefused(qps=qps, burst=burst, dst_ip=dst))
+        elif name == "kill":
+            rate, max_kills, hang_rate = _positional(
+                args, (float, int, float), (1.0, 1, 0.0)
+            )
+            models.append(
+                ProcessKill(
+                    rate=rate,
+                    max_kills=max_kills,
+                    hang_rate=hang_rate,
+                    seed=model_seed,
+                )
+            )
         else:
-            known = "burst, jitter, blackout, flap, corrupt, refuse"
+            known = "burst, jitter, blackout, flap, corrupt, refuse, kill"
             presets = ", ".join(sorted(FAULT_PRESETS))
             raise ValueError(
                 f"unknown fault model {name!r} (known: {known}; presets: {presets})"

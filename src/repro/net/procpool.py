@@ -1,0 +1,232 @@
+"""Worker-fleet plumbing for multi-process campaigns.
+
+The campaign supervisor (:mod:`repro.scanner.supervisor`) shards a
+measurement across OS processes; this module owns the process-level
+machinery, which knows nothing about DNS:
+
+- :class:`WorkerHandle` — one subprocess from a ``multiprocessing``
+  **spawn** context (fork would duplicate the parent's signed testbed
+  and any open journal file descriptors; spawn gives every worker a
+  clean interpreter that rebuilds its world deterministically);
+- the **heartbeat file protocol** — each worker atomically rewrites a
+  small JSON file (wall-clock time, phase, units completed) from a
+  daemon thread, so supervision needs no pipes that a SIGKILL could
+  leave half-read;
+- :class:`Watchdog` — classifies a worker as making progress or stalled
+  by watching ``(phase, units)`` transitions on the wall clock. Build
+  phases are exempt from the progress deadline (signing a large testbed
+  legitimately produces no unit progress); a worker whose heartbeat
+  file itself goes stale is stalled regardless of phase, which catches
+  a process frozen hard enough to stop its heartbeat thread;
+- :func:`backoff_delay` — bounded exponential restart backoff.
+
+Heartbeats are ephemeral coordination state, not durable records: they
+are written atomically (tmp + rename) but never fsynced.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import threading
+import time
+from dataclasses import dataclass
+
+#: How often a worker's heartbeat thread rewrites its file.
+HEARTBEAT_INTERVAL_S = 0.2
+
+#: Phases exempt from the progress deadline (no units complete during
+#: them, legitimately).
+STARTUP_PHASES = ("init", "build")
+
+
+@dataclass
+class Heartbeat:
+    """One worker's last sign of life."""
+
+    t: float          # wall-clock time of the write (time.time())
+    pid: int
+    attempt: int
+    phase: str
+    units_done: int
+
+
+def write_heartbeat(path, beat):
+    """Atomically replace the heartbeat file (a reader never sees a torn
+    write — it sees the previous beat)."""
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "t": beat.t,
+                "pid": beat.pid,
+                "attempt": beat.attempt,
+                "phase": beat.phase,
+                "units_done": beat.units_done,
+            },
+            handle,
+        )
+    os.replace(tmp, path)
+
+
+def read_heartbeat(path):
+    """The last heartbeat, or None (missing file, or a beat from a
+    foreign/older format — both mean "no signal")."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+        return Heartbeat(
+            t=float(doc["t"]),
+            pid=int(doc["pid"]),
+            attempt=int(doc["attempt"]),
+            phase=str(doc["phase"]),
+            units_done=int(doc["units_done"]),
+        )
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+class HeartbeatWriter:
+    """Worker-side heartbeat: a daemon thread beating every interval.
+
+    The thread proves liveness (the ``t`` field advances); *progress* is
+    whatever the worker reports through :meth:`advance`. A SIGKILL takes
+    the thread down with the process — exactly the silence the
+    supervisor's watchdog is listening for.
+    """
+
+    def __init__(self, path, attempt, interval_s=HEARTBEAT_INTERVAL_S):
+        self.path = str(path)
+        self.attempt = attempt
+        self.interval_s = interval_s
+        self.phase = "init"
+        self.units_done = 0
+        self._stop = threading.Event()
+        self._thread = None
+        # The beating thread and the worker's advance() calls share one
+        # tmp path; without the lock two concurrent writes can race the
+        # rename (os.replace on a tmp file the other beat just renamed).
+        self._lock = threading.Lock()
+
+    def _beat(self):
+        with self._lock:
+            write_heartbeat(
+                self.path,
+                Heartbeat(
+                    t=time.time(),
+                    pid=os.getpid(),
+                    attempt=self.attempt,
+                    phase=self.phase,
+                    units_done=self.units_done,
+                ),
+            )
+
+    def start(self, phase="init"):
+        self.phase = phase
+        self._beat()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self):
+        while not self._stop.wait(self.interval_s):
+            self._beat()
+
+    def advance(self, units_done=None, phase=None):
+        """Report progress; also beats immediately (phase changes and
+        unit completions should not wait out the interval)."""
+        if units_done is not None:
+            self.units_done = units_done
+        if phase is not None:
+            self.phase = phase
+        self._beat()
+
+    def stop(self):
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+
+
+class WorkerHandle:
+    """One spawned worker process plus its heartbeat channel."""
+
+    def __init__(self, target, spec, heartbeat_path):
+        self.heartbeat_path = str(heartbeat_path)
+        ctx = multiprocessing.get_context("spawn")
+        self.process = ctx.Process(target=target, args=(spec,), daemon=True)
+
+    def start(self):
+        self.process.start()
+
+    def is_alive(self):
+        return self.process.is_alive()
+
+    @property
+    def exitcode(self):
+        return self.process.exitcode
+
+    @property
+    def pid(self):
+        return self.process.pid
+
+    def kill(self):
+        """SIGKILL — for workers the watchdog has given up on."""
+        if self.process.is_alive():
+            self.process.kill()
+
+    def join(self, timeout=None):
+        self.process.join(timeout)
+
+    def close(self):
+        try:
+            self.process.close()
+        except ValueError:
+            pass  # still running (caller kept it alive deliberately)
+
+    def heartbeat(self):
+        return read_heartbeat(self.heartbeat_path)
+
+
+class Watchdog:
+    """Progress tracking for one worker on the wall clock.
+
+    ``observe`` feeds it the latest heartbeat; ``stalled`` is True when
+    no progress transition has been seen for *stall_timeout_s*. Progress
+    means the ``(attempt, phase, units_done)`` triple changed — or, in a
+    startup phase, that the heartbeat's own timestamp is advancing (a
+    worker signing zones is alive but completes no units; only a frozen
+    heartbeat condemns it there).
+    """
+
+    def __init__(self, stall_timeout_s, clock=time.time):
+        self.stall_timeout_s = stall_timeout_s
+        self._clock = clock
+        self.reset()
+
+    def reset(self):
+        self._last_progress = None
+        self._last_beat_t = None
+        self._last_change = self._clock()
+
+    def observe(self, beat):
+        now = self._clock()
+        if beat is None:
+            return  # no file yet: the spawn itself is covered by the deadline
+        progress = (beat.attempt, beat.phase, beat.units_done)
+        if progress != self._last_progress:
+            self._last_progress = progress
+            self._last_change = now
+        elif beat.phase in STARTUP_PHASES and beat.t != self._last_beat_t:
+            # Alive-but-building: the beating clock counts as progress.
+            self._last_change = now
+        self._last_beat_t = beat.t
+
+    def stalled(self):
+        return self._clock() - self._last_change > self.stall_timeout_s
+
+
+def backoff_delay(attempt, base_s, cap_s=30.0):
+    """Exponential restart backoff: base * 2^(attempt-1), capped."""
+    if attempt <= 0:
+        return 0.0
+    return min(cap_s, base_s * (2 ** (attempt - 1)))

@@ -324,13 +324,23 @@ class ScanEngine:
                 continue
             settle(key, answer)
 
-        result.requeued = len(deferred)
-        if obs.enabled and deferred:
+        # Count requeues idempotently by job key: with a checkpoint the
+        # "entered the requeue" flag is journaled, so a target whose
+        # requeue straddles a crash/resume boundary is counted once, not
+        # once per resumed run.
+        if checkpoint is not None:
+            result.requeued = sum(
+                1 for key, __, __ in deferred if checkpoint.note(key, "requeued")
+            )
+        else:
+            result.requeued = len(deferred)
+        if obs.enabled and result.requeued:
             obs.registry.counter(
                 "repro_campaign_requeued_total",
-                "Targets quarantined for an end-of-campaign requeue pass.",
+                "Targets quarantined for an end-of-campaign requeue pass "
+                "(counted once per job key across resumes).",
                 labelnames=("campaign",),
-            ).labels(campaign="scan").inc(len(deferred))
+            ).labels(campaign="scan").inc(result.requeued)
         for __ in range(requeue_attempts):
             if not deferred:
                 break

@@ -48,6 +48,18 @@ def _random_label(rng):
     return "zx" + "".join(rng.choice("abcdefghijklmnopqrstuvwxyz0123456789") for __ in range(12))
 
 
+def domain_rng(seed, domain):
+    """The probe-label RNG for one domain, derived from (seed, domain).
+
+    Seeding from the *name* rather than sharing one sequential stream
+    makes the probe label a pure function of the domain: a campaign
+    partitioned across worker shards (or resumed mid-list) draws exactly
+    the labels the single-process scan would. ``random.Random(str)``
+    seeds via SHA-512 of the bytes, independent of PYTHONHASHSEED.
+    """
+    return random.Random(f"{seed}/{str(domain).rstrip('.').lower()}")
+
+
 def scan_domain(engine, domain, rng, delegation_count=0, open_zone=False):
     """Run the stage-2 scan for one domain; returns a DomainScanResult."""
     result = DomainScanResult(domain=domain)
@@ -100,9 +112,16 @@ def scan_domain(engine, domain, rng, delegation_count=0, open_zone=False):
 
 
 def nsec3_scan(engine, domains, seed=1355):
-    """Stage-2 scan over many domains; returns DomainScanResults."""
-    rng = random.Random(seed)
-    results = [scan_domain(engine, domain, rng) for domain in domains]
+    """Stage-2 scan over many domains; returns DomainScanResults.
+
+    Probe labels come from :func:`domain_rng`, so any partition of
+    *domains* — shards in worker processes, resumed suffixes — issues
+    the same queries the full sequential scan would.
+    """
+    results = [
+        scan_domain(engine, domain, domain_rng(seed, domain))
+        for domain in domains
+    ]
     engine.drain()
     return results
 
@@ -114,7 +133,6 @@ def scan_tlds(engine, tld_specs, seed=31):
     objects; specs contribute delegation counts and open-zone-data flags to
     the Item 4/5 and Item 1 heuristics.
     """
-    rng = random.Random(seed)
     results = []
     for spec in tld_specs:
         if isinstance(spec, str):
@@ -125,7 +143,7 @@ def scan_tlds(engine, tld_specs, seed=31):
             scan_domain(
                 engine,
                 label,
-                rng,
+                domain_rng(seed, label),
                 delegation_count=delegations,
                 open_zone=open_zone,
             )

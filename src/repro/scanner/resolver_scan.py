@@ -310,6 +310,9 @@ class ResolverSurvey:
     retry_policy: object = None
     #: JSON checkpoint for resumable campaigns (None = not persisted).
     checkpoint_path: str = None
+    #: Archive an unreadable/foreign checkpoint and start fresh instead
+    #: of raising CampaignError (the CLI's --discard-checkpoint).
+    checkpoint_discard: bool = False
     #: Shared per-destination circuit breaker (created lazily when a
     #: retry policy is set).
     breaker: object = None
@@ -333,7 +336,13 @@ class ResolverSurvey:
                 clock=lambda: self.network.clock_ms, recovery_ms=recovery
             )
         checkpoint = (
-            CampaignCheckpoint(self.checkpoint_path) if self.checkpoint_path else None
+            CampaignCheckpoint(
+                self.checkpoint_path,
+                schema="survey-matrix/1",
+                discard=self.checkpoint_discard,
+            )
+            if self.checkpoint_path
+            else None
         )
         self.entries = []
         deferred = []
@@ -362,7 +371,12 @@ class ResolverSurvey:
             )
             if not healthy and policy is not None:
                 deferred.append((index, deployed, matrix))
-                if obs.enabled:
+                # Like the requeue counter below, quarantines are counted
+                # once per job key: the checkpointed note survives a
+                # resume, so a resolver quarantined again after a crash
+                # does not inflate the stats.
+                fresh = checkpoint is None or checkpoint.note(key, "quarantined")
+                if obs.enabled and fresh:
                     obs.registry.counter(
                         "repro_campaign_quarantined_total",
                         "Targets set aside as unhealthy during the main pass.",
@@ -385,12 +399,24 @@ class ResolverSurvey:
         policy = self.retry_policy
         if policy is None:
             return
-        if obs.enabled and deferred:
+        # Idempotent by job key: a resolver whose requeue straddles a
+        # crash/resume boundary must not be double-counted in the stats
+        # (the note is journaled with the checkpoint).
+        if checkpoint is not None:
+            fresh = sum(
+                1
+                for index, deployed, __ in deferred
+                if checkpoint.note(f"{deployed.ip}#{index}", "requeued")
+            )
+        else:
+            fresh = len(deferred)
+        if obs.enabled and fresh:
             obs.registry.counter(
                 "repro_campaign_requeued_total",
-                "Targets quarantined for an end-of-campaign requeue pass.",
+                "Targets quarantined for an end-of-campaign requeue pass "
+                "(counted once per job key across resumes).",
                 labelnames=("campaign",),
-            ).labels(campaign="survey").inc(len(deferred))
+            ).labels(campaign="survey").inc(fresh)
         for attempt in range(policy.requeue_attempts):
             if not deferred:
                 return

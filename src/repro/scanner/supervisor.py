@@ -1,0 +1,1030 @@
+"""Crash-safe multi-process campaign supervision.
+
+The kernel-equivalence guarantee (PR 3: reports are byte-identical at
+any concurrency) is exactly the property that lets a campaign shard
+across OS processes: each worker rebuilds the full deterministic
+testbed from ``(domains, tlds, seed)`` and measures only its shard of
+the global unit list, so the union of shard outputs — merged in global
+unit order through the existing order-independent report builders — is
+byte-identical to the single-process run. What this module adds is
+surviving the part where workers die.
+
+Pieces:
+
+- :func:`plan_units` — the global, ordered unit list (domains, TLD
+  audits, resolver probes) derived purely from the plan, identically in
+  the supervisor and in every worker. Units are dealt round-robin to
+  shards, preserving **global indices** so cache-busting probe labels
+  (``r{index}``, ``atlas{index}``) match the single-process run.
+- :func:`worker_main` — the spawn entry point: builds its world, runs
+  its shard's units against a per-shard
+  :class:`~repro.scanner.campaign.CampaignCheckpoint` (the durable
+  CRC32-framed journal), heartbeats progress, and writes a done-file
+  (stats + metrics snapshot) on completion. A seeded
+  :class:`~repro.net.faults.ProcessKill` directive makes it SIGKILL or
+  hang itself mid-campaign — tearing its own journal tail on the way
+  out, so restarts exercise the real recovery path.
+- :func:`run_supervised` — the fleet loop: wall-clock watchdog over
+  heartbeat files, bounded restart-with-backoff of crashed/hung/killed
+  workers (each restart resumes from the shard journal with zero
+  duplicate queries for every journaled unit), lame-shard quarantine
+  past the restart budget, and the deterministic merge: reports from
+  shard checkpoints in global unit order, metrics via
+  ``MetricsRegistry.merge``/``from_json``, plus explicit coverage
+  accounting when quarantine degraded the run.
+
+Byte-identity is guaranteed for clean-network runs (``kill:`` faults
+included — they never touch a datagram). Network-weather chaos is
+supported under ``--workers`` too, but each worker draws its own fault
+streams, so those runs converge statistically rather than
+byte-for-byte — same as any two chaos seeds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import sys
+import time
+import traceback
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.net.faults import parse_fault_spec
+from repro.net.procpool import Watchdog, WorkerHandle, backoff_delay
+from repro.scanner.campaign import CampaignCheckpoint, CampaignError
+from repro.scanner.nsec3_scan import DomainScanResult, domain_rng, scan_domain
+from repro.core.zone_compliance import Nsec3Observation, check_zone_compliance
+
+#: Record-schema tag of the per-shard unit checkpoints.
+WORKER_SCHEMA = "study-units/1"
+
+#: The Atlas campaign's probe budget (mirrors AtlasCampaign.max_probes).
+ATLAS_MAX_PROBES = 1000
+
+#: Degradation notes must match the inline pipelines byte-for-byte.
+SURVEY_DEGRADED_NOTE = (
+    "degraded: probes unanswered after end-of-campaign requeue"
+)
+ATLAS_DEGRADED_NOTE = "degraded: Atlas probes unanswered or unstable"
+
+
+# -- the campaign plan -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """Everything a worker needs to rebuild its world and find its shard.
+
+    Plain values only: the plan crosses the spawn boundary as a dict.
+    ``faults`` is the *network-weather* spec (kill tokens stripped);
+    ``kill`` carries the extracted ProcessKill parameters.
+    """
+
+    role: str                 # "study" | "scan" | "survey"
+    domains: int
+    tlds: int
+    resolvers: int
+    seed: int
+    workers: int
+    state_dir: str
+    concurrency: int = 1
+    faults: str = None
+    kill: tuple = None        # (rate, max_kills, hang_rate, seed)
+    collect_metrics: bool = False
+    discard_checkpoint: bool = False
+    stall_timeout_s: float = 60.0
+    max_restarts: int = 3
+    restart_backoff_s: float = 0.25
+    flush_every: int = 20
+    poll_interval_s: float = 0.05
+
+    @classmethod
+    def from_args(cls, args, role):
+        """Build a plan from the CLI namespace (clamping as the inline
+        commands do — ``survey`` caps the domain build at 20)."""
+        domains = args.domains
+        if role == "survey":
+            domains = min(domains, 20)
+        network_spec, kills = split_fault_spec(
+            getattr(args, "faults", None), seed=args.seed
+        )
+        kill = None
+        if kills:
+            model = kills[0]
+            kill = (model.rate, model.max_kills, model.hang_rate, model.seed)
+        return cls(
+            role=role,
+            domains=domains,
+            tlds=args.tlds,
+            resolvers=getattr(args, "resolvers", 0) or 0,
+            seed=args.seed,
+            workers=args.workers,
+            state_dir=args.state_dir,
+            concurrency=getattr(args, "concurrency", 1),
+            faults=network_spec,
+            kill=kill,
+            collect_metrics=getattr(args, "metrics_out", None) is not None,
+            discard_checkpoint=getattr(args, "discard_checkpoint", False),
+            stall_timeout_s=getattr(args, "stall_timeout", 60.0),
+            max_restarts=getattr(args, "max_restarts", 3),
+        )
+
+    def to_dict(self):
+        return {
+            name: getattr(self, name) for name in self.__dataclass_fields__
+        }
+
+
+def split_fault_spec(spec, seed=0):
+    """Split ``--faults`` into (network spec or None, [ProcessKill...]).
+
+    Workers receive only the network-weather tokens: a ``kill``-only
+    spec must leave the simulated network bit-for-bit untouched, so the
+    supervised run stays byte-identical to the clean single-process one.
+    """
+    if not spec:
+        return None, []
+    plan = parse_fault_spec(spec, seed=seed)
+    kills = plan.process_faults()
+    if not kills:
+        return spec, []
+    tokens = [
+        token.strip()
+        for token in spec.split(",")
+        if token.strip() and token.strip().split(":")[0] != "kill"
+    ]
+    return (",".join(tokens) or None), kills
+
+
+def deployment_counts(resolvers):
+    """The resolver-survey deployment mix for ``--resolvers N``.
+
+    Shared by the inline CLI path and every worker: both must deploy
+    the identical population or global resolver indices drift.
+    """
+    return {
+        "open_v4": resolvers,
+        "open_v6": max(2, resolvers // 4),
+        "closed_v4": max(2, resolvers // 5),
+        "closed_v6": max(1, resolvers // 8),
+    }
+
+
+def plan_units(plan):
+    """The campaign's global unit list, in canonical order.
+
+    Returns ``(units, domain_specs, tld_specs)`` where each unit is a
+    ``(kind, name)`` pair — ``("d", domain)``, ``("t", tld label)``,
+    ``("r", global resolver index)``. Derived purely from the plan, so
+    the supervisor and every worker agree without building a testbed.
+    """
+    from repro.testbed.population import (
+        generate_population,
+        generate_tlds,
+        inject_tail_domains,
+        scaled_config,
+    )
+
+    config = scaled_config(plan.domains, plan.tlds)
+    tld_specs = generate_tlds(config)
+    domain_specs = inject_tail_domains(
+        generate_population(config, tlds=tld_specs)
+    )
+    units = []
+    if plan.role in ("study", "scan"):
+        units.extend(("d", spec.name) for spec in domain_specs)
+    if plan.role == "study":
+        units.extend(("t", spec.label) for spec in tld_specs)
+    if plan.role in ("study", "survey"):
+        total = sum(deployment_counts(plan.resolvers).values())
+        units.extend(("r", str(index)) for index in range(total))
+    return units, domain_specs, tld_specs
+
+
+def shard_units(units, shard, workers):
+    """Round-robin deal: the units owned by *shard* of *workers*."""
+    return [unit for index, unit in enumerate(units) if index % workers == shard]
+
+
+def unit_key(unit):
+    kind, name = unit
+    return f"{kind}/{name}"
+
+
+# -- shard-local file layout -------------------------------------------------
+
+
+def _checkpoint_path(state_dir, shard):
+    return os.path.join(state_dir, f"shard-{shard}.ckpt")
+
+
+def _heartbeat_path(state_dir, shard):
+    return os.path.join(state_dir, f"shard-{shard}.hb")
+
+
+def _done_path(state_dir, shard):
+    return os.path.join(state_dir, f"shard-{shard}.done.json")
+
+
+def _error_path(state_dir, shard):
+    return os.path.join(state_dir, f"shard-{shard}.err")
+
+
+# -- unit record codecs ------------------------------------------------------
+
+
+def observation_to_record(observation):
+    """A :class:`Nsec3Observation` as a JSON-able checkpoint record."""
+    return {
+        "domain": observation.domain,
+        "params": [
+            [a, i, s.hex()] for a, i, s in observation.nsec3param_records
+        ],
+        "nsec3": [[a, i, s.hex()] for a, i, s in observation.nsec3_records],
+        "optout": observation.opt_out_seen,
+        "delegations": observation.delegation_count,
+        "open": observation.zone_published_openly,
+    }
+
+
+def observation_from_record(record):
+    try:
+        return Nsec3Observation(
+            domain=record["domain"],
+            dnssec_enabled=True,
+            nsec3param_records=tuple(
+                (a, i, bytes.fromhex(s)) for a, i, s in record["params"]
+            ),
+            nsec3_records=tuple(
+                (a, i, bytes.fromhex(s)) for a, i, s in record["nsec3"]
+            ),
+            opt_out_seen=record["optout"],
+            delegation_count=record["delegations"],
+            zone_published_openly=record["open"],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CampaignError(
+            f"shard checkpoint record is not an NSEC3 observation "
+            f"({exc!r}); the state directory is stale or foreign — "
+            "re-run with --discard-checkpoint (or a fresh --state-dir)"
+        ) from None
+
+
+def _scan_result_to_record(result, enabled=True):
+    record = {"enabled": bool(enabled)}
+    if enabled:
+        record["obs"] = observation_to_record(result.observation)
+        record["ns"] = list(result.ns_targets)
+        record["denial"] = result.denial
+    return record
+
+
+def _scan_result_from_record(domain, record):
+    observation = observation_from_record(record["obs"])
+    return DomainScanResult(
+        domain=domain,
+        observation=observation,
+        report=check_zone_compliance(observation),
+        ns_targets=tuple(record["ns"]),
+        denial=record["denial"],
+    )
+
+
+# -- the worker --------------------------------------------------------------
+
+
+class _KillSwitch:
+    """Worker-side seeded fault: SIGKILL/hang after N completed units.
+
+    On a kill it first appends half a frame header to its own journal —
+    the torn write a real mid-``write()`` SIGKILL produces — so every
+    restart exercises truncate-to-last-good-frame recovery for real.
+    """
+
+    def __init__(self, directive, checkpoint):
+        self.directive = directive
+        self.checkpoint = checkpoint
+
+    def after_unit(self, units_done):
+        if self.directive is None:
+            return
+        if units_done <= self.directive["after_units"]:
+            return
+        if self.directive["action"] == "hang":
+            while True:  # heartbeats continue; progress does not
+                time.sleep(3600)
+        self.checkpoint.flush()
+        with open(self.checkpoint.journal_path, "ab") as handle:
+            handle.write(b"\x2a\x00\x00")  # torn frame header
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _atomic_json(path, payload):
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    os.replace(tmp, path)
+
+
+def worker_main(spec):
+    """Spawn entry point for one shard attempt. Never raises: campaign
+    errors land in the shard's ``.err`` file and a nonzero exit."""
+    try:
+        _worker_run(spec)
+    except BaseException:
+        try:
+            with open(spec["error_path"], "w", encoding="utf-8") as handle:
+                handle.write(traceback.format_exc())
+        except OSError:
+            pass
+        os._exit(3)
+
+
+def _worker_run(spec):
+    from repro.net.procpool import HeartbeatWriter
+    from repro.net.resilience import CircuitBreaker
+    from repro.net.sim import CampaignExecutor
+    from repro.resolver.policy import VENDOR_POLICIES
+    from repro.scanner.engine import ScanEngine
+    from repro.scanner.resolver_scan import (
+        SurveyRetryPolicy,
+        matrix_to_record,
+        probe_resolver,
+        probe_with_policy,
+    )
+    from repro.dns.rcode import Rcode
+    from repro.dns.types import RdataType
+    from repro.testbed.internet import build_internet
+    from repro.testbed.resolvers import deploy_resolvers
+    from repro.testbed.rfc9276_wild import (
+        PROBE_ZONE_ITERATIONS,
+        build_probe_zones,
+    )
+
+    plan = CampaignPlan(**spec["plan"])
+    shard = spec["shard"]
+    attempt = spec["attempt"]
+    build_start = time.perf_counter()
+    build_start_cpu = time.process_time()
+    if plan.collect_metrics:
+        obs.enable()
+
+    heartbeat = HeartbeatWriter(spec["heartbeat_path"], attempt)
+    heartbeat.start(phase="build")
+    checkpoint = CampaignCheckpoint(
+        spec["checkpoint_path"],
+        flush_every=plan.flush_every,
+        schema=WORKER_SCHEMA,
+        discard=plan.discard_checkpoint,
+    )
+    killer = _KillSwitch(spec.get("directive"), checkpoint)
+
+    units, domain_specs, tld_specs = plan_units(plan)
+    my_units = shard_units(units, shard, plan.workers)
+
+    # Build the identical world every other worker (and the inline
+    # single-process path) builds; allocation order mirrors cmd_study:
+    # upstream resolver, engine source IP, resolver deployment, survey
+    # source IP — in that order, regardless of which units this shard
+    # happens to own.
+    inet = build_internet(domain_specs, tld_specs, seed=plan.seed)
+    inet.network.kernel.bind_obs()
+    probes = (
+        build_probe_zones(inet) if plan.role in ("study", "survey") else None
+    )
+    if plan.faults:
+        inet.network.set_faults(parse_fault_spec(plan.faults, seed=plan.seed))
+    chaos = bool(plan.faults)
+
+    engine = None
+    if plan.role in ("study", "scan"):
+        upstream = inet.make_resolver(
+            VENDOR_POLICIES["cloudflare"], name="cli-upstream"
+        )
+        engine = ScanEngine(
+            inet.network,
+            inet.allocator.next_v4(),
+            upstream.ip,
+            max_qps=14_700,
+            retries=2 if chaos else 1,
+            target_retries=3 if chaos else 0,
+            concurrency=plan.concurrency,
+            shards=min(max(1, plan.concurrency), 8),
+        )
+
+    deployment = survey_source = policy = breaker = executor = None
+    atlas_allowed = frozenset()
+    if plan.role in ("study", "survey"):
+        deployment = deploy_resolvers(
+            inet, seed=plan.seed, **deployment_counts(plan.resolvers)
+        )
+        survey_source = inet.allocator.next_v4()
+        policy = SurveyRetryPolicy(require_stable=True) if chaos else None
+        if policy is not None:
+            recovery = min(1500.0, policy.requeue_delay_ms or 1500.0)
+            breaker = CircuitBreaker(
+                clock=lambda: inet.network.clock_ms, recovery_ms=recovery
+            )
+        executor = CampaignExecutor(inet.network.kernel, plan.concurrency)
+        # The Atlas probe budget is global: closed resolvers (with a
+        # probe vantage) are eligible until the budget fills, in
+        # deployment order — computed from the full deployment so every
+        # shard agrees with AtlasCampaign's own iteration.
+        allowed, count = [], 0
+        for index, deployed in enumerate(deployment):
+            if deployed.access != "closed":
+                continue
+            if count >= ATLAS_MAX_PROBES:
+                break
+            if not deployed.probe_source_ip:
+                continue
+            allowed.append(index)
+            count += 1
+        atlas_allowed = frozenset(allowed)
+
+    tld_by_label = {tld_spec.label: tld_spec for tld_spec in tld_specs}
+    measure_start = time.perf_counter()
+    measure_start_cpu = time.process_time()
+
+    def run_domain_unit(name):
+        # Stage 1 (dnskey_scan) + stage 2 (nsec3_scan) for one domain:
+        # interleaving the stages per domain issues the same queries the
+        # staged single-process pipeline does, and answers are
+        # cache/clock/order-independent, so records are identical.
+        answer = engine.query(
+            name, RdataType.DNSKEY, want_dnssec=True, checking_disabled=True
+        )
+        enabled = answer.rcode == Rcode.NOERROR and any(
+            int(rrset.rrtype) == int(RdataType.DNSKEY)
+            for rrset in answer.answer
+        )
+        if not enabled:
+            return {"enabled": False}
+        return _scan_result_to_record(
+            scan_domain(engine, name, domain_rng(1355, name))
+        )
+
+    def run_tld_unit(label):
+        tld_spec = tld_by_label[label]
+        return _scan_result_to_record(
+            scan_domain(
+                engine,
+                label,
+                domain_rng(31, label),
+                delegation_count=10_000,
+                open_zone=tld_spec.open_zone_data,
+            )
+        )
+
+    def probe_open(index, unique):
+        # Mirrors ResolverSurvey._probe_with_policy for one open resolver.
+        if policy is None:
+            matrix = probe_resolver(
+                inet.network,
+                deployment[index].ip,
+                probes,
+                survey_source,
+                unique,
+                iterations=PROBE_ZONE_ITERATIONS,
+            )
+            return matrix, True
+        return probe_with_policy(
+            inet.network,
+            deployment[index].ip,
+            probes,
+            survey_source,
+            unique,
+            PROBE_ZONE_ITERATIONS,
+            policy,
+            breaker=breaker,
+        )
+
+    def probe_closed(index):
+        # Mirrors AtlasCampaign._probe: probe-vantage source, no EDE, no
+        # breaker, and no quarantine/requeue — unhealthy matrices are
+        # admitted immediately with the Atlas degradation note.
+        deployed = deployment[index]
+        if policy is None:
+            matrix = probe_resolver(
+                inet.network,
+                deployed.ip,
+                probes,
+                deployed.probe_source_ip,
+                unique=f"atlas{index}",
+                iterations=PROBE_ZONE_ITERATIONS,
+                keep_ede=False,
+            )
+            return matrix, True
+        return probe_with_policy(
+            inet.network,
+            deployed.ip,
+            probes,
+            deployed.probe_source_ip,
+            f"atlas{index}",
+            PROBE_ZONE_ITERATIONS,
+            policy,
+            keep_ede=False,
+        )
+
+    def survey_record(index, matrix, healthy, requeued=False, degraded=False):
+        record = {
+            "access": deployment[index].access,
+            "ip": deployment[index].ip,
+            "matrix": matrix_to_record(matrix),
+            "healthy": bool(healthy),
+        }
+        if requeued:
+            record["requeued"] = True
+        if degraded:
+            record["degraded"] = True
+        return record
+
+    phase_of = {"d": "scan", "t": "tlds", "r": "survey"}
+    done = resumed = executed = 0
+    deferred = []  # unhealthy *open* survey units awaiting the requeue pass
+    for unit in my_units:
+        key = unit_key(unit)
+        if checkpoint.done(key):
+            done += 1
+            resumed += 1
+            heartbeat.advance(units_done=done)
+            continue
+        kind, name = unit
+        heartbeat.advance(phase=phase_of[kind])
+        if kind == "d":
+            record = run_domain_unit(name)
+        elif kind == "t":
+            record = run_tld_unit(name)
+        else:
+            index = int(name)
+            if deployment[index].access == "closed":
+                if index not in atlas_allowed:
+                    record = {"skip": True}
+                else:
+                    matrix, healthy = executor.submit(
+                        lambda i=index: probe_closed(i)
+                    )
+                    record = survey_record(
+                        index, matrix, healthy, degraded=not healthy
+                    )
+            else:
+                matrix, healthy = executor.submit(
+                    lambda i=index: probe_open(i, f"r{i}")
+                )
+                if not healthy and policy is not None:
+                    if checkpoint.note(key, "quarantined") and obs.enabled:
+                        obs.registry.counter(
+                            "repro_campaign_quarantined_total",
+                            "Targets set aside as unhealthy during the "
+                            "main pass.",
+                            labelnames=("campaign",),
+                        ).labels(campaign="survey").inc()
+                    deferred.append((index, key))
+                    continue
+                record = survey_record(index, matrix, healthy)
+        checkpoint.record(key, record)
+        done += 1
+        executed += 1
+        heartbeat.advance(units_done=done)
+        killer.after_unit(done)
+
+    if engine is not None:
+        engine.drain()
+    if executor is not None:
+        executor.drain()
+
+    # End-of-shard requeue for quarantined open resolvers — the
+    # worker-local analogue of ResolverSurvey._requeue, with requeue
+    # entry counted idempotently by unit key across resume boundaries.
+    if deferred and policy is not None:
+        fresh = sum(1 for __, key in deferred if checkpoint.note(key))
+        if obs.enabled and fresh:
+            obs.registry.counter(
+                "repro_campaign_requeued_total",
+                "Targets quarantined for an end-of-campaign requeue pass "
+                "(counted once per job key across resumes).",
+                labelnames=("campaign",),
+            ).labels(campaign="survey").inc(fresh)
+        last = {}
+        for requeue_round in range(policy.requeue_attempts):
+            if not deferred:
+                break
+            executor.drain()
+            if policy.requeue_delay_ms:
+                inet.network.clock_ms += policy.requeue_delay_ms
+            still_failing = []
+            for index, key in deferred:
+                matrix, healthy = executor.submit(
+                    lambda i=index, r=requeue_round: probe_open(
+                        i, f"r{i}-rq{r}"
+                    )
+                )
+                if healthy:
+                    checkpoint.record(
+                        key, survey_record(index, matrix, True, requeued=True)
+                    )
+                    done += 1
+                    executed += 1
+                    heartbeat.advance(units_done=done)
+                    killer.after_unit(done)
+                else:
+                    last[key] = matrix
+                    still_failing.append((index, key))
+            deferred = still_failing
+        for index, key in deferred:
+            checkpoint.record(
+                key,
+                survey_record(
+                    index, last[key], False, requeued=True, degraded=True
+                ),
+            )
+            done += 1
+            executed += 1
+            heartbeat.advance(units_done=done)
+        executor.drain()
+
+    checkpoint.flush()
+    checkpoint.compact()
+    heartbeat.advance(phase="finalize")
+
+    report = {
+        "shard": shard,
+        "attempt": attempt,
+        "units": len(my_units),
+        "resumed": resumed,
+        "executed": executed,
+        "clock_ms": inet.network.kernel.now,
+        "events": inet.network.kernel.events_run,
+        "queries": engine.stats.queries if engine is not None else 0,
+        "build_seconds": round(measure_start - build_start, 3),
+        "measure_seconds": round(time.perf_counter() - measure_start, 3),
+        # CPU time is immune to sibling-worker contention: the fleet's
+        # wall-clock floor with one core per worker.
+        "build_cpu_seconds": round(measure_start_cpu - build_start_cpu, 3),
+        "measure_cpu_seconds": round(time.process_time() - measure_start_cpu, 3),
+        "metrics": obs.registry.to_json() if obs.enabled else None,
+    }
+    _atomic_json(spec["done_path"], report)
+    heartbeat.advance(phase="done")
+    heartbeat.stop()
+
+
+# -- the supervisor ----------------------------------------------------------
+
+
+@dataclass
+class Coverage:
+    """What fraction of the campaign the merged report actually covers."""
+
+    units_total: int
+    units_merged: int = 0
+    #: Unit keys no surviving shard delivered (quarantined shards).
+    missing: list = field(default_factory=list)
+    #: Shards that exceeded their restart budget.
+    lame_shards: list = field(default_factory=list)
+
+    @property
+    def complete(self):
+        return not self.missing and not self.lame_shards
+
+
+@dataclass
+class _MergedResolver:
+    """Stand-in for DeployedResolver in merged survey entries."""
+
+    ip: str
+    access: str
+
+
+@dataclass
+class SupervisedOutcome:
+    """Deterministically merged shard outputs plus fleet accounting."""
+
+    domain_results: list
+    total_domains: int
+    tld_results: list
+    entries: list
+    coverage: Coverage
+    restarts: int = 0
+    heartbeat_timeouts: int = 0
+    shard_reports: list = field(default_factory=list)
+
+
+class _ShardState:
+    def __init__(self, shard, units_assigned):
+        self.shard = shard
+        self.units_assigned = units_assigned
+        self.attempt = 0
+        self.status = "pending"      # pending | running | done | lame
+        self.handle = None
+        self.next_start_t = 0.0
+        self.watchdog = None
+
+
+def _log(message):
+    print(f"[supervisor] {message}", file=sys.stderr)
+
+
+def _supervisor_counter(name, help_text, **labels):
+    if not obs.enabled:
+        return
+    labelnames = tuple(sorted(labels))
+    family = obs.registry.counter(name, help_text, labelnames=labelnames)
+    (family.labels(**labels) if labelnames else family).inc()
+
+
+def run_supervised(plan):
+    """Run the campaign across a supervised worker fleet; returns a
+    :class:`SupervisedOutcome` with deterministically merged results."""
+    if plan.workers < 2:
+        raise ValueError("run_supervised needs workers >= 2")
+    os.makedirs(plan.state_dir, exist_ok=True)
+    units, domain_specs, tld_specs = plan_units(plan)
+    if plan.collect_metrics:
+        obs.enable()
+
+    kill_model = None
+    if plan.kill is not None:
+        from repro.net.faults import ProcessKill
+
+        rate, max_kills, hang_rate, kill_seed = plan.kill
+        kill_model = ProcessKill(
+            rate=rate, max_kills=max_kills, hang_rate=hang_rate, seed=kill_seed
+        )
+
+    shards = [
+        _ShardState(shard, len(shard_units(units, shard, plan.workers)))
+        for shard in range(plan.workers)
+    ]
+    for state in shards:
+        # Stale done/error files from an earlier run must not mask a
+        # shard that still has work (its checkpoint holds the progress).
+        for path in (
+            _done_path(plan.state_dir, state.shard),
+            _error_path(plan.state_dir, state.shard),
+        ):
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass
+
+    restarts = heartbeat_timeouts = 0
+    plan_dict = plan.to_dict()
+
+    def launch(state):
+        directive = None
+        if kill_model is not None:
+            action, after_units = kill_model.decide(
+                state.shard, state.attempt, state.units_assigned
+            )
+            if action is not None:
+                directive = {"action": action, "after_units": after_units}
+        spec = {
+            "plan": plan_dict,
+            "shard": state.shard,
+            "attempt": state.attempt,
+            "checkpoint_path": _checkpoint_path(plan.state_dir, state.shard),
+            "heartbeat_path": _heartbeat_path(plan.state_dir, state.shard),
+            "done_path": _done_path(plan.state_dir, state.shard),
+            "error_path": _error_path(plan.state_dir, state.shard),
+            "directive": directive,
+        }
+        state.handle = WorkerHandle(worker_main, spec, spec["heartbeat_path"])
+        state.watchdog = Watchdog(plan.stall_timeout_s)
+        state.status = "running"
+        state.handle.start()
+        _log(
+            f"shard {state.shard} attempt {state.attempt} started "
+            f"(pid {state.handle.pid}, {state.units_assigned} units"
+            + (f", directive={directive['action']}" if directive else "")
+            + ")"
+        )
+
+    def quarantine_or_restart(state, reason):
+        nonlocal restarts
+        if state.attempt + 1 > plan.max_restarts:
+            state.status = "lame"
+            _supervisor_counter(
+                "repro_supervisor_lame_shards_total",
+                "Shards quarantined after exhausting their restart budget.",
+            )
+            error_tail = ""
+            try:
+                with open(
+                    _error_path(plan.state_dir, state.shard),
+                    encoding="utf-8",
+                ) as handle:
+                    error_tail = handle.read().strip().splitlines()[-1]
+            except (OSError, IndexError):
+                pass
+            _log(
+                f"shard {state.shard} quarantined after "
+                f"{state.attempt + 1} attempts ({reason})"
+                + (f": {error_tail}" if error_tail else "")
+            )
+            return
+        state.attempt += 1
+        restarts += 1
+        _supervisor_counter(
+            "repro_supervisor_restarts_total",
+            "Worker restarts performed by the campaign supervisor.",
+            shard=str(state.shard),
+        )
+        delay = backoff_delay(state.attempt, plan.restart_backoff_s)
+        state.next_start_t = time.time() + delay
+        state.status = "pending"
+        _log(
+            f"shard {state.shard} died ({reason}); restart "
+            f"attempt {state.attempt} in {delay:.2f}s "
+            "(resuming from its journal)"
+        )
+
+    for state in shards:
+        launch(state)
+    if obs.enabled:
+        obs.registry.gauge(
+            "repro_supervisor_workers",
+            "Worker shard count of the supervised campaign.",
+        ).set(plan.workers)
+
+    last_progress_line = (0, 0.0)
+    while True:
+        running = [s for s in shards if s.status == "running"]
+        pending = [s for s in shards if s.status == "pending"]
+        if not running and not pending:
+            break
+        now = time.time()
+        for state in pending:
+            if now >= state.next_start_t:
+                launch(state)
+        units_live = 0
+        for state in running:
+            handle = state.handle
+            if not handle.is_alive():
+                handle.join()
+                exitcode = handle.exitcode
+                if os.path.exists(_done_path(plan.state_dir, state.shard)):
+                    state.status = "done"
+                    _log(
+                        f"shard {state.shard} done "
+                        f"(attempt {state.attempt}, exit {exitcode})"
+                    )
+                else:
+                    quarantine_or_restart(state, f"exit {exitcode}")
+                continue
+            beat = handle.heartbeat()
+            state.watchdog.observe(beat)
+            if beat is not None and beat.attempt == state.attempt:
+                units_live += beat.units_done
+            if state.watchdog.stalled():
+                heartbeat_timeouts += 1
+                _supervisor_counter(
+                    "repro_supervisor_heartbeat_timeouts_total",
+                    "Workers killed by the supervisor's stall watchdog.",
+                )
+                handle.kill()
+                handle.join()
+                quarantine_or_restart(state, "heartbeat stalled")
+        done_units = sum(
+            s.units_assigned for s in shards if s.status == "done"
+        )
+        progress = done_units + units_live
+        if (
+            progress != last_progress_line[0]
+            and now - last_progress_line[1] >= 1.0
+        ):
+            finished = sum(1 for s in shards if s.status == "done")
+            _log(
+                f"{finished}/{plan.workers} shards done, "
+                f"units {min(progress, len(units))}/{len(units)}"
+            )
+            last_progress_line = (progress, now)
+        time.sleep(plan.poll_interval_s)
+
+    outcome = merge_shards(plan, units, domain_specs, shards)
+    outcome.restarts = restarts
+    outcome.heartbeat_timeouts = heartbeat_timeouts
+    if not outcome.coverage.complete:
+        coverage = outcome.coverage
+        _log(
+            f"WARNING: partial coverage {coverage.units_merged}/"
+            f"{coverage.units_total} units; lame shards "
+            f"{coverage.lame_shards}; first missing "
+            f"{coverage.missing[:5]}"
+        )
+    _log(
+        f"fleet finished: workers={plan.workers} restarts={restarts} "
+        f"heartbeat_timeouts={heartbeat_timeouts} "
+        f"coverage={outcome.coverage.units_merged}/"
+        f"{outcome.coverage.units_total}"
+    )
+    return outcome
+
+
+def merge_shards(plan, units, domain_specs, shards):
+    """Deterministic merge of shard checkpoints, in global unit order.
+
+    Reports only need the per-unit records; shards that died keep
+    whatever their journal salvaged, so quarantined shards degrade the
+    merge to a partial report with explicit coverage accounting instead
+    of sinking the campaign.
+    """
+    records = {}
+    for state in shards:
+        try:
+            checkpoint = CampaignCheckpoint(
+                _checkpoint_path(plan.state_dir, state.shard),
+                schema=WORKER_SCHEMA,
+            )
+        except CampaignError:
+            continue  # nothing salvageable from this shard
+        for key in checkpoint.keys():
+            records[key] = checkpoint.get(key)
+
+    coverage = Coverage(
+        units_total=len(units),
+        lame_shards=[s.shard for s in shards if s.status == "lame"],
+    )
+    domain_results = []
+    tld_results = []
+    open_entries = []
+    closed_entries = []
+    for unit in units:
+        key = unit_key(unit)
+        record = records.get(key)
+        if record is None:
+            coverage.missing.append(key)
+            continue
+        coverage.units_merged += 1
+        kind, name = unit
+        if kind == "d":
+            if record.get("enabled"):
+                domain_results.append(_scan_result_from_record(name, record))
+        elif kind == "t":
+            tld_results.append(_scan_result_from_record(name, record))
+        elif not record.get("skip"):
+            entry = _merged_entry(record)
+            (open_entries if record["access"] == "open" else closed_entries
+             ).append(entry)
+
+    shard_reports = []
+    for state in shards:
+        try:
+            with open(
+                _done_path(plan.state_dir, state.shard), encoding="utf-8"
+            ) as handle:
+                shard_reports.append(json.load(handle))
+        except (OSError, ValueError):
+            continue
+    if plan.collect_metrics:
+        _merge_metrics(shard_reports)
+
+    return SupervisedOutcome(
+        domain_results=domain_results,
+        total_domains=len(domain_specs),
+        tld_results=tld_results,
+        entries=open_entries + closed_entries,
+        coverage=coverage,
+        shard_reports=shard_reports,
+    )
+
+
+def _merged_entry(record):
+    from repro.core.resolver_compliance import classify_resolver
+    from repro.scanner.resolver_scan import SurveyEntry, matrix_from_record
+
+    matrix = matrix_from_record(record["matrix"])
+    classification = classify_resolver(matrix, resolver=record["ip"])
+    if record.get("degraded"):
+        classification.notes.append(
+            ATLAS_DEGRADED_NOTE
+            if record["access"] == "closed"
+            else SURVEY_DEGRADED_NOTE
+        )
+    return SurveyEntry(
+        _MergedResolver(ip=record["ip"], access=record["access"]),
+        matrix,
+        classification,
+        requeued=bool(record.get("requeued")),
+    )
+
+
+def _merge_metrics(shard_reports):
+    """Fold worker metric snapshots into the live registry.
+
+    Uses the PR 6 aggregation contract: counters add, gauges take the
+    max, histograms add per-bucket. Metrics from *killed* attempts died
+    with their process — the merged snapshot is best-effort telemetry;
+    the report itself is exact.
+    """
+    from repro.obs.metrics import MetricsRegistry
+
+    for report in shard_reports:
+        snapshot = report.get("metrics")
+        if not snapshot:
+            continue
+        obs.registry.merge(MetricsRegistry.from_json(snapshot))

@@ -104,6 +104,30 @@ class PopulationConfig:
     )
 
 
+def scaled_config(n_domains, n_tlds):
+    """A :class:`PopulationConfig` with TLD counts scaled from the paper.
+
+    The paper measured 1,449 TLDs; a smaller testbed keeps the same
+    proportions (DNSSEC share, zero-iteration share, salt mixture). This
+    is *the* scaling rule of the CLI and of campaign workers — both must
+    derive the identical population from ``(n_domains, n_tlds)``, or a
+    supervised run would measure a different internet than the
+    single-process run it must match byte-for-byte.
+    """
+    scale = n_tlds / 1449.0
+    return PopulationConfig(
+        n_domains=n_domains,
+        n_tlds=n_tlds,
+        tld_dnssec=round(1354 * scale),
+        tld_nsec3=round(1302 * scale),
+        tld_zero_iterations=round(688 * scale),
+        tld_identity_digital=round(447 * scale),
+        tld_saltless=round(672 * scale),
+        tld_salt8=round(558 * scale),
+        tld_salt10=max(1, round(7 * scale)),
+    )
+
+
 def _tld_labels(count):
     """Deterministic pool of TLD labels: real-looking, then synthetic."""
     base = [

@@ -1,10 +1,13 @@
 """Tests for resumable campaigns and chaos-run convergence.
 
-Covers the checkpoint protocol (atomic JSON, corrupt-file tolerance),
-the scan engine's requeue/recover path, the zero-duplicate-queries
-resume guarantee, and the headline acceptance scenario: a survey run
-under burst loss, a flapping resolver, and a garbage-emitting
-authoritative classifies every resolver exactly as a clean run does.
+Covers the durable checkpoint protocol (CRC32-framed journal with
+truncate-to-last-good-frame recovery, atomic fsynced snapshots, strict
+version/schema validation with the ``--discard-checkpoint`` escape
+hatch), journal fuzzing at every byte offset, the scan engine's
+requeue/recover path, the zero-duplicate-queries resume guarantee, and
+the headline acceptance scenario: a survey run under burst loss, a
+flapping resolver, and a garbage-emitting authoritative classifies
+every resolver exactly as a clean run does.
 """
 
 import json
@@ -18,10 +21,13 @@ from repro.net.faults import Blackout, Corruption, FaultPlan, Flapping, GilbertE
 from repro.net.network import Host, Network
 from repro.resolver.stub import StubAnswer
 from repro.scanner.campaign import (
+    JOURNAL_MAGIC,
     CampaignCheckpoint,
+    CampaignError,
     answer_from_record,
     answer_to_record,
     job_key,
+    read_journal_payloads,
 )
 from repro.scanner.engine import ScanEngine
 from repro.scanner.resolver_scan import (
@@ -86,34 +92,217 @@ class TestCheckpoint:
         assert reloaded.get("a/1") == {"rcode": 0}
         assert not reloaded.done("b/1")
 
-    def test_incremental_flush(self, tmp_path):
+    def test_incremental_flush_appends_to_journal(self, tmp_path):
         path = tmp_path / "ck.json"
+        journal = tmp_path / "ck.json.journal"
         checkpoint = CampaignCheckpoint(path, flush_every=2)
         checkpoint.record("a/1", {})
-        assert not path.exists()  # below the flush threshold
+        assert not journal.exists()  # below the flush threshold
         checkpoint.record("b/1", {})
-        assert path.exists()
+        assert journal.exists()
+        assert len(read_journal_payloads(journal)) == 2
         assert len(CampaignCheckpoint(path)) == 2
 
-    def test_corrupt_file_starts_fresh(self, tmp_path):
+    def test_compact_folds_journal_into_snapshot(self, tmp_path):
+        path = tmp_path / "ck.json"
+        checkpoint = CampaignCheckpoint(path, flush_every=1)
+        checkpoint.record("a/1", {"rcode": 0})
+        checkpoint.note("a/1", "requeued")
+        checkpoint.flush()
+        checkpoint.compact()
+        # Snapshot holds everything; the journal is magic-only.
+        assert (tmp_path / "ck.json.journal").read_bytes() == JOURNAL_MAGIC
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["records"] == {"a/1": {"rcode": 0}}
+        assert payload["notes"] == {"requeued": ["a/1"]}
+        reloaded = CampaignCheckpoint(path)
+        assert reloaded.done("a/1") and reloaded.noted("a/1", "requeued")
+
+    def test_auto_compaction_bounds_journal(self, tmp_path):
+        path = tmp_path / "ck.json"
+        checkpoint = CampaignCheckpoint(path, flush_every=1, compact_every=4)
+        for index in range(10):
+            checkpoint.record(f"k{index}/1", {})
+        assert len(read_journal_payloads(tmp_path / "ck.json.journal")) < 4
+        assert len(CampaignCheckpoint(path)) == 10
+
+    def test_corrupt_snapshot_raises_campaign_error(self, tmp_path):
+        # The snapshot is written atomically, so an unparseable file is
+        # foreign or damaged at rest — never silently discarded.
         path = tmp_path / "ck.json"
         path.write_text("{truncated by a crash", encoding="utf-8")
-        checkpoint = CampaignCheckpoint(path)
-        assert len(checkpoint) == 0
+        with pytest.raises(CampaignError, match="discard-checkpoint"):
+            CampaignCheckpoint(path)
 
-    def test_version_mismatch_starts_fresh(self, tmp_path):
+    def test_version_mismatch_raises_campaign_error(self, tmp_path):
         path = tmp_path / "ck.json"
         path.write_text(
             json.dumps({"version": 999, "records": {"a/1": {}}}), encoding="utf-8"
         )
-        assert len(CampaignCheckpoint(path)) == 0
+        with pytest.raises(CampaignError, match="version"):
+            CampaignCheckpoint(path)
+
+    def test_schema_mismatch_raises_campaign_error(self, tmp_path):
+        path = tmp_path / "ck.json"
+        checkpoint = CampaignCheckpoint(path, schema="scan-answer/1")
+        checkpoint.record("a/1", {})
+        checkpoint.compact()
+        with pytest.raises(CampaignError, match="scan-answer/1"):
+            CampaignCheckpoint(path, schema="survey-matrix/1")
+        # Same schema (and schema-less readers) load fine.
+        assert len(CampaignCheckpoint(path, schema="scan-answer/1")) == 1
+        assert len(CampaignCheckpoint(path)) == 1
+
+    def test_discard_archives_and_starts_fresh(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text("not a checkpoint", encoding="utf-8")
+        (tmp_path / "ck.json.journal").write_bytes(b"junk")
+        checkpoint = CampaignCheckpoint(path, discard=True)
+        assert len(checkpoint) == 0
+        # The evidence is archived, not destroyed.
+        assert (tmp_path / "ck.json.invalid").read_text(
+            encoding="utf-8"
+        ) == "not a checkpoint"
+        assert (tmp_path / "ck.json.journal.invalid").exists()
+        checkpoint.record("a/1", {})
+        checkpoint.flush()
+        assert CampaignCheckpoint(path).done("a/1")
+
+    def test_bad_record_shape_raises_campaign_error(self):
+        with pytest.raises(CampaignError, match="discard-checkpoint"):
+            answer_from_record({"wrong": "shape"})
 
     def test_atomic_replace_leaves_no_tmp(self, tmp_path):
         path = tmp_path / "ck.json"
         checkpoint = CampaignCheckpoint(path)
         checkpoint.record("a/1", {})
         checkpoint.flush()
+        checkpoint.compact()
         assert not (tmp_path / "ck.json.tmp").exists()
+
+    def test_notes_are_idempotent_across_reloads(self, tmp_path):
+        path = tmp_path / "ck.json"
+        checkpoint = CampaignCheckpoint(path, flush_every=1)
+        assert checkpoint.note("job/1", "requeued") is True
+        assert checkpoint.note("job/1", "requeued") is False
+        reloaded = CampaignCheckpoint(path)
+        assert reloaded.note("job/1", "requeued") is False
+        assert reloaded.noted("job/1", "requeued")
+        assert reloaded.notes("requeued") == frozenset({"job/1"})
+
+
+def _journal_with_frames(tmp_path, n_frames, flush_every=1):
+    """A checkpoint whose journal holds *n_frames* record frames."""
+    path = tmp_path / "ck.json"
+    checkpoint = CampaignCheckpoint(path, flush_every=flush_every)
+    for index in range(n_frames):
+        checkpoint.record(f"k{index}/1", {"rcode": 0, "i": index})
+    checkpoint.flush()
+    return path, tmp_path / "ck.json.journal"
+
+
+def _good_prefix_keys(blob):
+    """The record keys recoverable from a damaged journal blob."""
+    import struct
+    import zlib
+
+    keys = []
+    if not blob.startswith(JOURNAL_MAGIC):
+        return keys
+    offset = len(JOURNAL_MAGIC)
+    header = struct.Struct("<II")
+    while offset + header.size <= len(blob):
+        length, crc = header.unpack_from(blob, offset)
+        start = offset + header.size
+        if length > (1 << 24) or start + length > len(blob):
+            break
+        body = blob[start:start + length]
+        if zlib.crc32(body) != crc:
+            break
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            break
+        keys.append(payload["k"])
+        offset = start + length
+    return keys
+
+
+class TestJournalFuzz:
+    """Satellite: seeded fuzzing of the journal at every byte offset.
+
+    Every truncation point and every single-bit flip must recover to
+    exactly the last good frame prefix — never crash, never resurrect
+    damaged data, never lose an intact earlier frame.
+    """
+
+    N_FRAMES = 6
+
+    def test_truncation_at_every_byte_offset(self, tmp_path):
+        path, journal_path = _journal_with_frames(tmp_path, self.N_FRAMES)
+        blob = journal_path.read_bytes()
+        for cut in range(len(blob) + 1):
+            sub = tmp_path / f"cut{cut}"
+            sub.mkdir()
+            target = sub / "ck.json"
+            (sub / "ck.json.journal").write_bytes(blob[:cut])
+            expected = _good_prefix_keys(blob[:cut])
+            checkpoint = CampaignCheckpoint(target)
+            assert sorted(checkpoint.keys()) == sorted(expected), (
+                f"truncation at byte {cut}"
+            )
+            # Recovery truncated the file back to the good prefix, so a
+            # second load sees a clean journal.
+            assert sorted(CampaignCheckpoint(target).keys()) == sorted(expected)
+
+    def test_bitflip_at_every_byte_offset(self, tmp_path):
+        path, journal_path = _journal_with_frames(tmp_path, self.N_FRAMES)
+        blob = journal_path.read_bytes()
+        for offset in range(len(blob)):
+            flipped = bytearray(blob)
+            flipped[offset] ^= 0x40
+            sub = tmp_path / f"flip{offset}"
+            sub.mkdir()
+            target = sub / "ck.json"
+            (sub / "ck.json.journal").write_bytes(bytes(flipped))
+            expected = _good_prefix_keys(bytes(flipped))
+            checkpoint = CampaignCheckpoint(target)
+            got = sorted(checkpoint.keys())
+            assert got == sorted(expected), f"bit flip at byte {offset}"
+            # A flip inside the magic drops everything; a flip in frame
+            # i's bytes keeps frames < i (CRC catches the damage).
+            if offset >= len(JOURNAL_MAGIC):
+                frame_span = (len(blob) - len(JOURNAL_MAGIC)) // self.N_FRAMES
+                damaged_frame = (offset - len(JOURNAL_MAGIC)) // frame_span
+                assert len(got) >= min(damaged_frame, self.N_FRAMES)
+
+    def test_torn_tail_recovery_then_zero_duplicate_resume(self, tmp_path):
+        """The acceptance path: damage the tail, reload, resume — the
+        journaled prefix is never re-queried."""
+        net = Network()
+        resolver = Answering()
+        net.attach("192.0.2.53", resolver)
+        engine = ScanEngine(net, "198.51.100.1", "192.0.2.53")
+        path = tmp_path / "scan.json"
+        jobs = [(f"d{i}.test", RdataType.A) for i in range(8)]
+        engine.run_campaign(jobs, checkpoint=CampaignCheckpoint(path, flush_every=1))
+        assert len(resolver.seen) == 8
+
+        journal_path = tmp_path / "scan.json.journal"
+        blob = journal_path.read_bytes()
+        # Tear mid-way through the last frame (a real SIGKILL tail).
+        journal_path.write_bytes(blob[: len(blob) - 7])
+        checkpoint = CampaignCheckpoint(path)
+        survivors = set(checkpoint.keys())
+        assert len(survivors) == 7
+
+        engine2 = ScanEngine(net, "198.51.100.2", "192.0.2.53")
+        result = engine2.run_campaign(jobs, checkpoint=checkpoint)
+        assert result.resumed == 7
+        assert engine2.stats.queries == 1  # only the torn-off target
+        assert sorted(resolver.seen) == sorted(
+            [f"d{i}.test." for i in range(8)] + ["d7.test."]
+        )
 
 
 class TestMatrixRecords:
