@@ -1,4 +1,5 @@
-"""Record the performance artifacts (``BENCH_5.json``, ``BENCH_7.json``).
+"""Record the performance artifacts (``BENCH_5.json``, ``BENCH_7.json``,
+``BENCH_8.json``).
 
 Default mode runs the study's dominant workload — the §4.2 resolver
 survey at bench scale — twice in separate interpreter processes, once
@@ -18,6 +19,10 @@ wall-clock for both, the per-shard build/measure split, and the fleet's
 critical path (what the wall-clock becomes once each worker has its own
 core — every worker pays the full testbed build, so on fewer cores than
 workers the duplicated builds contend and the fleet cannot win).
+
+``--scale-bench`` records ``BENCH_8.json``: wall-clock and peak RSS of
+the streamed (constant-memory) study across population scales, asserting
+the memory profile stays flat while the domain axis grows 10x.
 """
 
 from __future__ import annotations
@@ -271,6 +276,98 @@ def workers_bench(workers=4):
     )
 
 
+#: The memory-scaling bench workload: the headline study with the
+#: survey and TLD axes pinned small (both are O(constant) across
+#: population scales) so peak RSS tracks the domain axis alone.
+SCALE_BENCH_ARGS = ["--tlds", "50", "--resolvers", "8", "--seed", "7"]
+
+#: Default population scales for ``--scale-bench``. 5,000,000 runs with
+#: the same flat profile but takes hours; opt in via the env override.
+SCALE_BENCH_DEFAULT = "100000,1000000"
+
+
+def _run_study_rss(n_domains, env):
+    """Run one streamed study in a child process; return its wall-clock
+    and true peak RSS from the kernel's per-child rusage (``os.wait4``
+    — no tracemalloc tracing, which would multiply wall-clock ~5x)."""
+    import tempfile
+
+    argv = [
+        sys.executable, "-m", "repro", "study",
+        "--domains", str(n_domains), *SCALE_BENCH_ARGS,
+    ]
+    with tempfile.TemporaryFile() as out, tempfile.TemporaryFile() as err:
+        start = time.perf_counter()
+        proc = subprocess.Popen(
+            argv, env=env, cwd=REPO_ROOT, stdout=out, stderr=err
+        )
+        _, status, rusage = os.wait4(proc.pid, 0)
+        wall = round(time.perf_counter() - start, 2)
+        proc.returncode = os.waitstatus_to_exitcode(status)
+        if proc.returncode != 0:
+            err.seek(0)
+            raise SystemExit(
+                f"FATAL: study at {n_domains} domains exited "
+                f"{proc.returncode}:\n{err.read().decode(errors='replace')}"
+            )
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    rss = rusage.ru_maxrss * (1 if sys.platform == "darwin" else 1024)
+    return wall, rss
+
+
+def scale_bench(scales=None):
+    """Record ``BENCH_8.json``: wall-clock and peak RSS of the streamed
+    study across population scales, asserting sub-linear memory growth
+    (the constant-memory pipeline's headline claim)."""
+    if scales is None:
+        spec = os.environ.get("REPRO_SCALE_BENCH_NS", SCALE_BENCH_DEFAULT)
+        scales = sorted(int(token) for token in spec.split(",") if token.strip())
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src"))
+    results = {}
+    for n_domains in scales:
+        print(
+            f"measuring streamed study at {n_domains:,} domains ...",
+            flush=True,
+        )
+        wall, rss = _run_study_rss(n_domains, env)
+        results[str(n_domains)] = {
+            "wall_seconds": wall,
+            "peak_rss_bytes": rss,
+        }
+        print(f"  {wall}s, peak RSS {rss / 1e6:.1f} MB", flush=True)
+    smallest, largest = min(scales), max(scales)
+    rss_growth = (
+        results[str(largest)]["peak_rss_bytes"]
+        / results[str(smallest)]["peak_rss_bytes"]
+    )
+    domain_growth = largest / smallest
+    record = {
+        "bench": "streamed study memory scaling (constant-memory pipeline)",
+        "workload": "study --domains N " + " ".join(SCALE_BENCH_ARGS),
+        "scales": results,
+        "domain_growth_max_over_min": round(domain_growth, 2),
+        "rss_growth_max_over_min": round(rss_growth, 3),
+        "sublinear_memory": rss_growth < domain_growth,
+        "note": "peak RSS is the kernel's per-child ru_maxrss (os.wait4)."
+                " 5,000,000 domains runs with the same flat profile (set"
+                " REPRO_SCALE_BENCH_NS=100000,1000000,5000000 to record"
+                " it; hours of wall-clock).",
+    }
+    output = os.path.join(REPO_ROOT, "BENCH_8.json")
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"peak-RSS growth {rss_growth:.2f}x over {domain_growth:.0f}x "
+        f"domains; wrote {output}"
+    )
+    if rss_growth >= 4.0:
+        raise SystemExit(
+            f"FATAL: peak RSS grew {rss_growth:.2f}x from {smallest:,} to "
+            f"{largest:,} domains — the streamed pipeline should stay flat"
+        )
+
+
 def main():
     if "--measure" in sys.argv:
         _measure(telemetry="--telemetry" in sys.argv)
@@ -280,6 +377,9 @@ def main():
         return
     if "--workers-bench" in sys.argv:
         workers_bench()
+        return
+    if "--scale-bench" in sys.argv:
+        scale_bench()
         return
     print("measuring with fast paths ON ...", flush=True)
     on = _run_worker("")

@@ -55,7 +55,7 @@ import time
 from repro import __version__, fastpath, obs
 from repro.analysis.longitudinal import compliance_timeline, paper_anchor
 from repro.core.guidance import GUIDANCE
-from repro.core.report import render_study_report
+from repro.core.report import StudyAggregates, render_study_report
 from repro.dns.rcode import Rcode
 from repro.dns.types import RdataType
 from repro.obs import render_span_tree
@@ -65,13 +65,13 @@ from repro.resolver.guard import GUARD_PROFILES
 from repro.resolver.policy import VENDOR_POLICIES
 from repro.resolver.stub import StubClient
 from repro.scanner.atlas import AtlasCampaign
-from repro.scanner.dnskey_scan import dnskey_scan
 from repro.scanner.engine import ScanEngine
-from repro.scanner.nsec3_scan import nsec3_scan, scan_tlds
+from repro.scanner.nsec3_scan import domain_rng, scan_domain, scan_tlds
 from repro.scanner.resolver_scan import ResolverSurvey, SurveyRetryPolicy
 from repro.testbed.internet import build_internet
 from repro.scanner.supervisor import deployment_counts
 from repro.testbed.population import (
+    Population,
     generate_population,
     generate_tlds,
     inject_tail_domains,
@@ -81,21 +81,34 @@ from repro.testbed.resolvers import deploy_resolvers
 from repro.testbed.rfc9276_wild import build_probe_zones
 
 
+def _streamed(args):
+    """The constant-memory pipeline is on unless the switch disabled it."""
+    return fastpath.enabled("streamed_pipeline")
+
+
 def _build(args, with_probes):
     # The scaling rule lives in repro.testbed.population.scaled_config:
     # campaign workers must derive the identical population.
     config = scaled_config(args.domains, args.tlds)
     tlds = generate_tlds(config)
-    domains = inject_tail_domains(generate_population(config, tlds=tlds))
     started = time.perf_counter()
-    inet = build_internet(domains, tlds, seed=args.seed)
+    if _streamed(args):
+        # Streamed default: the population is an index-addressed stream
+        # (no global list) and SLD zones materialise lazily on first
+        # authoritative query, bounded by an LRU — identical wire
+        # behaviour to the eager build.
+        domains = Population(config, tlds=tlds)
+        inet = build_internet(domains, tlds, seed=args.seed, lazy_domains=True)
+    else:
+        domains = inject_tail_domains(generate_population(config, tlds=tlds))
+        inet = build_internet(domains, tlds, seed=args.seed)
     # Claim the tracer clock for this run's kernel: later Network
     # constructions (none today, but nothing stops a plugin) can no
     # longer silently rebind it.
     inet.network.kernel.bind_obs()
     probes = build_probe_zones(inet) if with_probes else None
     print(
-        f"[testbed] {len(inet.domain_zones)} domains, {len(tlds)} TLDs "
+        f"[testbed] {len(domains)} domains, {len(tlds)} TLDs "
         f"({time.perf_counter() - started:.1f}s)",
         file=sys.stderr,
     )
@@ -186,9 +199,9 @@ def _dump_metrics(args, inet=None):
         print(f"[obs] metrics written to {args.metrics_out}", file=sys.stderr)
 
 
-def _run_domain_scan(inet, domains, chaos=False, concurrency=1):
+def _make_engine(inet, chaos=False, concurrency=1):
     upstream = inet.make_resolver(VENDOR_POLICIES["cloudflare"], name="cli-upstream")
-    engine = ScanEngine(
+    return ScanEngine(
         inet.network,
         inet.allocator.next_v4(),
         upstream.ip,
@@ -202,8 +215,33 @@ def _run_domain_scan(inet, domains, chaos=False, concurrency=1):
         # the paper's zdns deployment.
         shards=min(max(1, concurrency), 8),
     )
-    enabled = dnskey_scan(engine, [d.name for d in domains])
-    return engine, nsec3_scan(engine, enabled)
+
+
+def _iter_domain_results(engine, domains, seed=1355):
+    """Stage 1 + stage 2 as one per-domain stream.
+
+    For each domain: the DNSKEY gate (§4.1 stage 1), then — only for
+    DNSSEC-enabled names — the stage-2 NSEC3 probes, yielded as they
+    complete. This is the campaign supervisor's unit order, so the
+    single-process and fleet runs issue the same per-domain query
+    sequences; memory stays O(1) in the population size when the caller
+    folds results instead of collecting them.
+    """
+    for spec in domains:
+        name = spec.name
+        answer = engine.query(
+            name, RdataType.DNSKEY, want_dnssec=True, checking_disabled=True
+        )
+        if answer.rcode != Rcode.NOERROR:
+            continue
+        if not any(
+            int(rrset.rrtype) == int(RdataType.DNSKEY) for rrset in answer.answer
+        ):
+            continue
+        yield scan_domain(engine, name, domain_rng(seed, name))
+    # Settle the in-flight window so the next pipeline stage starts
+    # after every session has completed on the simulated clock.
+    engine.drain()
 
 
 def _run_survey(inet, probes, args):
@@ -232,12 +270,65 @@ def _run_survey(inet, probes, args):
     return entries
 
 
+def _start_mem_stats(args):
+    """Begin tracemalloc tracking when ``--mem-stats`` asked for it.
+
+    Call before the testbed build so construction allocations count
+    toward the reported peak.
+    """
+    if not getattr(args, "mem_stats", False):
+        return
+    import tracemalloc
+
+    if not tracemalloc.is_tracing():
+        tracemalloc.start()
+
+
+def _peak_rss_bytes():
+    """This process's lifetime peak RSS in bytes (ru_maxrss is KiB on
+    Linux, bytes on macOS)."""
+    import resource
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform != "darwin":
+        peak *= 1024
+    return peak
+
+
+def _mem_summary(args):
+    """The ``--mem-stats`` fragment of the [sim] line, or ''.
+
+    Also exports ``repro_peak_rss_bytes`` through the metrics registry
+    so ``--metrics-out`` snapshots carry the memory ceiling.
+    """
+    if not getattr(args, "mem_stats", False):
+        return ""
+    import tracemalloc
+
+    peak_rss = _peak_rss_bytes()
+    traced_peak = 0
+    if tracemalloc.is_tracing():
+        __, traced_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    if obs.enabled:
+        obs.registry.gauge(
+            "repro_peak_rss_bytes",
+            "Lifetime peak resident set size of the measurement process.",
+        ).set(peak_rss)
+        obs.registry.gauge(
+            "repro_tracemalloc_peak_bytes",
+            "Peak python-heap bytes traced while --mem-stats was active.",
+        ).set(traced_peak)
+    return f" peak_rss_bytes={peak_rss} tracemalloc_peak_bytes={traced_peak}"
+
+
 def _sim_summary(args, inet):
     """One stderr line about the kernel run (stdout stays diffable)."""
     kernel = inet.network.kernel
     print(
         f"[sim] concurrency={getattr(args, 'concurrency', 1)} "
-        f"clock_ms={kernel.now:.0f} events={kernel.events_run}",
+        f"clock_ms={kernel.now:.0f} events={kernel.events_run}"
+        f"{_mem_summary(args)}",
         file=sys.stderr,
     )
 
@@ -295,24 +386,48 @@ def _run_supervised_command(args, role):
 
 
 def cmd_study(args):
-    """Run both pipelines and print the combined study report."""
+    """Run both pipelines and print the combined study report.
+
+    Both modes of the ``streamed_pipeline`` switch walk the identical
+    per-domain query sequence through :func:`_iter_domain_results`; they
+    differ only in whether results are folded into
+    :class:`StudyAggregates` as they arrive (streamed, the default) or
+    collected into lists first (materialised) — the reports are
+    byte-identical.
+    """
     if getattr(args, "workers", 1) > 1:
         return _run_supervised_command(args, "study")
     if _telemetry_requested(args):
         obs.enable()
+    _start_mem_stats(args)
     inet, probes, domains, tlds = _build(args, with_probes=True)
     _apply_faults(args, inet)
     live = _start_telemetry(args, inet, label="study")
     if obs.console is not None:
         obs.console.phase("study:domains")
-    engine, results = _run_domain_scan(
-        inet, domains, chaos=_chaos_requested(args), concurrency=args.concurrency
+    engine = _make_engine(
+        inet, chaos=_chaos_requested(args), concurrency=args.concurrency
     )
-    tld_results = scan_tlds(engine, tlds)
-    if obs.console is not None:
-        obs.console.phase("study:survey")
-    entries = _run_survey(inet, probes, args)
-    print(render_study_report(results, len(domains), tld_results, entries))
+    stream = _iter_domain_results(engine, domains)
+    if _streamed(args):
+        aggregates = StudyAggregates()
+        for result in stream:
+            aggregates.update_domain(result)
+        for tld_result in scan_tlds(engine, tlds):
+            aggregates.update_tld(tld_result)
+        if obs.console is not None:
+            obs.console.phase("study:survey")
+        for entry in _run_survey(inet, probes, args):
+            aggregates.update_survey(entry)
+        report = aggregates.render(len(domains))
+    else:
+        results = list(stream)
+        tld_results = scan_tlds(engine, tlds)
+        if obs.console is not None:
+            obs.console.phase("study:survey")
+        entries = _run_survey(inet, probes, args)
+        report = render_study_report(results, len(domains), tld_results, entries)
+    print(report)
     _sim_summary(args, inet)
     _finish_telemetry(live)
     _dump_metrics(args, inet)
@@ -324,13 +439,22 @@ def cmd_scan(args):
         return _run_supervised_command(args, "scan")
     if _telemetry_requested(args):
         obs.enable()
+    _start_mem_stats(args)
     inet, __, domains, __tlds = _build(args, with_probes=False)
     _apply_faults(args, inet)
     live = _start_telemetry(args, inet, label="scan")
-    __, results = _run_domain_scan(
-        inet, domains, chaos=_chaos_requested(args), concurrency=args.concurrency
+    engine = _make_engine(
+        inet, chaos=_chaos_requested(args), concurrency=args.concurrency
     )
-    print(render_study_report(results, len(domains)))
+    stream = _iter_domain_results(engine, domains)
+    if _streamed(args):
+        aggregates = StudyAggregates()
+        for result in stream:
+            aggregates.update_domain(result)
+        report = aggregates.render(len(domains))
+    else:
+        report = render_study_report(list(stream), len(domains))
+    print(report)
     _sim_summary(args, inet)
     _finish_telemetry(live)
     _dump_metrics(args, inet)
@@ -342,14 +466,17 @@ def cmd_survey(args):
         return _run_supervised_command(args, "survey")
     if _telemetry_requested(args):
         obs.enable()
+    _start_mem_stats(args)
     args.domains = min(args.domains, 20)
     inet, probes, __, __tlds = _build(args, with_probes=True)
     _apply_faults(args, inet)
     live = _start_telemetry(args, inet, label="survey")
-    entries = _run_survey(inet, probes, args)
-    from repro.analysis.stats import resolver_headline_stats
+    from repro.analysis.stats import ResolverHeadlineAccumulator
 
-    headline = resolver_headline_stats([e.classification for e in entries])
+    accumulator = ResolverHeadlineAccumulator()
+    for entry in _run_survey(inet, probes, args):
+        accumulator.update(entry.classification)
+    headline = accumulator.headline()
     print("validating resolver survey (paper §5.2):")
     for label, paper, measured in headline.rows():
         print(f"  {label:40s} paper={paper:>6}  measured={measured}")
@@ -566,6 +693,12 @@ def _telemetry_parent():
         default=500.0,
         metavar="MS",
         help="time-series scrape interval in simulated ms (default: 500)",
+    )
+    group.add_argument(
+        "--mem-stats",
+        action="store_true",
+        help="report peak RSS and tracemalloc peak in the [sim] summary "
+        "and export repro_peak_rss_bytes via the metrics registry",
     )
     group.add_argument(
         "--faults",

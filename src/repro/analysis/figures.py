@@ -1,19 +1,27 @@
-"""Figure regeneration: the data series behind the paper's Figures 1–3."""
+"""Figure regeneration: the data series behind the paper's Figures 1–3.
+
+Figures 1 and 3 exist in two equivalent forms: the original
+list-at-once functions and ``update(record)``-style accumulators
+(:class:`Figure1Accumulator`, :class:`Figure3Accumulator`) folding
+results as they arrive with memory bounded by the number of *distinct*
+x-axis values, not the number of samples. The list forms are thin
+wrappers over the accumulators.
+"""
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
 
-from repro.analysis.cdf import Cdf
+from repro.analysis.cdf import Cdf, StreamingCdf
 
 
 @dataclass
 class Figure1:
     """CDFs of additional iterations and salt length (Figure 1)."""
 
-    iterations_cdf: Cdf
-    salt_length_cdf: Cdf
+    iterations_cdf: object
+    salt_length_cdf: object
 
     def rows(self, xs=(0, 1, 2, 5, 8, 10, 16, 25, 50, 100, 150, 500)):
         """(x, %domains with iterations ≤ x, %domains with salt ≤ x B)."""
@@ -27,16 +35,30 @@ class Figure1:
         ]
 
 
+class Figure1Accumulator:
+    """Fold stage-2 scan results into Figure 1's two CDFs incrementally."""
+
+    def __init__(self):
+        self.iterations = StreamingCdf()
+        self.salt_lengths = StreamingCdf()
+
+    def update(self, result):
+        if not result.nsec3_enabled:
+            return self
+        self.iterations.update(result.report.iterations)
+        self.salt_lengths.update(result.report.salt_length)
+        return self
+
+    def figure(self):
+        return Figure1(self.iterations, self.salt_lengths)
+
+
 def figure1_series(scan_results):
     """Figure 1 from stage-2 scan results (NSEC3-enabled domains only)."""
-    iterations = []
-    salts = []
+    accumulator = Figure1Accumulator()
     for result in scan_results:
-        if not result.nsec3_enabled:
-            continue
-        iterations.append(result.report.iterations)
-        salts.append(result.report.salt_length)
-    return Figure1(Cdf(iterations), Cdf(salts))
+        accumulator.update(result)
+    return accumulator.figure()
 
 
 @dataclass
@@ -116,6 +138,48 @@ class Figure3Category:
         ]
 
 
+class Figure3Accumulator:
+    """Fold survey entries into one Figure 3 subfigure incrementally.
+
+    Memory is O(distinct probe iteration counts) — ~50 keys — however
+    many resolvers stream through. Only validating resolvers contribute,
+    as in the paper.
+    """
+
+    def __init__(self):
+        self.validators = 0
+        self._tallies = defaultdict(lambda: [0, 0, 0])
+
+    def update(self, entry):
+        if not entry.classification.is_validating:
+            return self
+        self.validators += 1
+        for key, result in entry.matrix.items():
+            if not isinstance(key, int):
+                continue
+            if result.is_nxdomain:
+                self._tallies[key][0] += 1
+                if result.ad:
+                    self._tallies[key][1] += 1
+            elif result.is_servfail:
+                self._tallies[key][2] += 1
+        return self
+
+    def figure(self, category):
+        total = self.validators
+        series = {}
+        for count, (nx, adnx, servfail) in self._tallies.items():
+            if total:
+                series[count] = (
+                    100.0 * nx / total,
+                    100.0 * adnx / total,
+                    100.0 * servfail / total,
+                )
+            else:
+                series[count] = (0.0, 0.0, 0.0)
+        return Figure3Category(category=category, validators=total, series=series)
+
+
 def figure3_series(entries, category):
     """Build one Figure 3 subfigure from survey entries.
 
@@ -123,27 +187,7 @@ def figure3_series(entries, category):
     (open/closed, v4/v6) category; only validating resolvers contribute,
     as in the paper.
     """
-    validators = [e for e in entries if e.classification.is_validating]
-    tallies = defaultdict(lambda: [0, 0, 0])
-    for entry in validators:
-        for key, result in entry.matrix.items():
-            if not isinstance(key, int):
-                continue
-            if result.is_nxdomain:
-                tallies[key][0] += 1
-                if result.ad:
-                    tallies[key][1] += 1
-            elif result.is_servfail:
-                tallies[key][2] += 1
-    total = len(validators)
-    series = {}
-    for count, (nx, adnx, servfail) in tallies.items():
-        if total:
-            series[count] = (
-                100.0 * nx / total,
-                100.0 * adnx / total,
-                100.0 * servfail / total,
-            )
-        else:
-            series[count] = (0.0, 0.0, 0.0)
-    return Figure3Category(category=category, validators=total, series=series)
+    accumulator = Figure3Accumulator()
+    for entry in entries:
+        accumulator.update(entry)
+    return accumulator.figure(category)

@@ -1,0 +1,207 @@
+"""Streaming sketches: bounded-memory summaries for paper-scale streams.
+
+The paper's population is 302 M domains; holding per-domain records to
+compute marginals does not scale. Everything the §5 analyses actually
+report is expressible over three streaming primitives:
+
+- :class:`StreamStats` — count/min/max/sum moments in O(1);
+- :class:`SpaceSavingTopK` — the Metwally et al. space-saving heavy
+  hitters sketch: exact whenever the true cardinality fits the capacity
+  (our operator universe does), graceful overestimates beyond it;
+- :class:`QuantileSketch` — a Greenwald–Khanna quantile summary with a
+  deterministic rank-error bound of ``eps * n``.
+
+All three are deterministic functions of the update sequence (no
+randomisation, no hash seeding), so shard merges and resumed campaigns
+reproduce byte-identical downstream reports.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+
+
+class StreamStats:
+    """Count / min / max / sum / mean of a numeric stream, in O(1)."""
+
+    __slots__ = ("count", "minimum", "maximum", "total")
+
+    def __init__(self):
+        self.count = 0
+        self.minimum = None
+        self.maximum = None
+        self.total = 0
+
+    def update(self, value):
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        return self
+
+    def merge(self, other):
+        """Fold another :class:`StreamStats` into this one."""
+        if other.count == 0:
+            return self
+        self.count += other.count
+        self.total += other.total
+        if self.minimum is None or other.minimum < self.minimum:
+            self.minimum = other.minimum
+        if self.maximum is None or other.maximum > self.maximum:
+            self.maximum = other.maximum
+        return self
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def __len__(self):
+        return self.count
+
+
+class SpaceSavingTopK:
+    """Space-saving heavy-hitters counter (Metwally et al., 2005).
+
+    Tracks at most *capacity* distinct keys. While the true cardinality
+    stays within capacity every count is **exact** and first-seen
+    insertion order is preserved (the property the operator-table
+    renderer relies on for stable tie-breaks). Past capacity, the
+    minimum-count key is evicted and the newcomer inherits its count as
+    an overestimation bound, kept in :attr:`errors`.
+    """
+
+    def __init__(self, capacity=4096):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        #: key -> count (insertion-ordered; evictions replace in place).
+        self.counts = {}
+        #: key -> maximum overestimation of its count (0 = exact).
+        self.errors = {}
+        #: Number of evictions performed; 0 means all counts are exact.
+        self.evictions = 0
+
+    def update(self, key, count=1):
+        if key in self.counts:
+            self.counts[key] += count
+            return self
+        if len(self.counts) < self.capacity:
+            self.counts[key] = count
+            self.errors[key] = 0
+            return self
+        # Evict the minimum-count key; ties resolve to the earliest
+        # inserted (dict iteration order), keeping the sketch
+        # deterministic for a given update sequence.
+        victim = min(self.counts, key=self.counts.__getitem__)
+        floor = self.counts.pop(victim)
+        self.errors.pop(victim)
+        self.counts[key] = floor + count
+        self.errors[key] = floor
+        self.evictions += 1
+        return self
+
+    def top(self, n=None):
+        """[(key, count, max_error)] sorted by count desc, stable."""
+        ranked = sorted(
+            self.counts.items(), key=lambda item: item[1], reverse=True
+        )
+        if n is not None:
+            ranked = ranked[:n]
+        return [(key, count, self.errors[key]) for key, count in ranked]
+
+    @property
+    def exact(self):
+        """True while no eviction has occurred (all counts exact)."""
+        return self.evictions == 0
+
+    def __len__(self):
+        return len(self.counts)
+
+    def __contains__(self, key):
+        return key in self.counts
+
+
+class _GkEntry:
+    __slots__ = ("value", "g", "delta")
+
+    def __init__(self, value, g, delta):
+        self.value = value
+        self.g = g
+        self.delta = delta
+
+
+class QuantileSketch:
+    """Greenwald–Khanna quantile summary with rank error ``<= eps * n``.
+
+    ``query(phi)`` returns a sample whose rank is within ``eps * n`` of
+    ``phi * n``. The summary keeps O(1/eps * log(eps * n)) entries and is
+    a deterministic function of the insertion order — shards that replay
+    the same sub-stream rebuild the identical summary.
+    """
+
+    def __init__(self, eps=0.005):
+        if not 0.0 < eps < 0.5:
+            raise ValueError("eps must be in (0, 0.5)")
+        self.eps = eps
+        self.n = 0
+        self._entries = []
+        self._values = []  # parallel sorted values for bisect
+        self._compress_every = max(1, int(1.0 / (2.0 * eps)))
+        self._since_compress = 0
+
+    def update(self, value):
+        threshold = math.floor(2.0 * self.eps * self.n)
+        position = bisect.bisect_right(self._values, value)
+        if position == 0 or position == len(self._entries):
+            entry = _GkEntry(value, 1, 0)  # new min/max: exact rank
+        else:
+            entry = _GkEntry(value, 1, threshold)
+        self._entries.insert(position, entry)
+        self._values.insert(position, value)
+        self.n += 1
+        self._since_compress += 1
+        if self._since_compress >= self._compress_every:
+            self._compress()
+            self._since_compress = 0
+        return self
+
+    def _compress(self):
+        threshold = math.floor(2.0 * self.eps * self.n)
+        entries = self._entries
+        index = len(entries) - 2
+        while index >= 1:
+            current, nxt = entries[index], entries[index + 1]
+            if current.g + nxt.g + nxt.delta <= threshold:
+                nxt.g += current.g
+                del entries[index]
+                del self._values[index]
+            index -= 1
+
+    def query(self, fraction):
+        """A value whose rank is within ``eps * n`` of ``fraction * n``."""
+        if not self._entries:
+            raise ValueError("empty sketch")
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        target = max(1, math.ceil(fraction * self.n))
+        margin = math.floor(self.eps * self.n)
+        rank_min = 0
+        for index, entry in enumerate(self._entries):
+            rank_min += entry.g
+            rank_max = rank_min + entry.delta
+            if rank_min >= target - margin and rank_max <= target + margin:
+                return entry.value
+            if rank_max > target + margin:
+                return self._entries[max(0, index - 1)].value
+        return self._entries[-1].value
+
+    def __len__(self):
+        return self.n
+
+    @property
+    def retained(self):
+        """Number of summary entries currently held (the memory bound)."""
+        return len(self._entries)

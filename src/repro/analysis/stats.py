@@ -1,11 +1,19 @@
-"""Headline statistics — the numbers quoted in the paper's §5 prose."""
+"""Headline statistics — the numbers quoted in the paper's §5 prose.
+
+Both headline computations exist in two equivalent forms: the original
+list-at-once functions (:func:`domain_headline_stats`,
+:func:`resolver_headline_stats`) and ``update(record)``-style
+accumulators (:class:`DomainHeadlineAccumulator`,
+:class:`ResolverHeadlineAccumulator`) that fold results as they arrive
+in O(1) memory. The list forms are thin wrappers over the accumulators,
+so the streamed and materialised paths literally share the arithmetic.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.resolver_compliance import summarize as summarize_resolvers
-from repro.core.zone_compliance import summarize as summarize_zones
+from repro.analysis.sketch import StreamStats
 
 
 def _pct(part, whole):
@@ -64,6 +72,57 @@ class DomainHeadline:
         ]
 
 
+class DomainHeadlineAccumulator:
+    """Fold stage-2 scan results into §5.1 headline counters, one at a
+    time — the streaming front-end of :func:`domain_headline_stats`.
+
+    Mirrors :func:`repro.core.zone_compliance.summarize` counter for
+    counter so the folded headline equals the list-at-once one exactly.
+    """
+
+    def __init__(self):
+        self.results_seen = 0
+        self.nsec3_enabled = 0
+        self.zero_iterations = 0
+        self.no_salt = 0
+        self.both_compliant = 0
+        self.opt_out = 0
+        self.over_150_iterations = 0
+        self.iterations = StreamStats()
+
+    def update(self, result):
+        self.results_seen += 1
+        report = result.report
+        if report is None or not report.nsec3_enabled:
+            return self
+        self.nsec3_enabled += 1
+        self.zero_iterations += report.item2_zero_iterations
+        self.no_salt += report.item3_no_salt
+        self.both_compliant += report.rfc9276_compliant
+        self.opt_out += report.opt_out
+        if report.iterations is not None:
+            self.iterations.update(report.iterations)
+            self.over_150_iterations += report.iterations > 150
+        return self
+
+    def headline(self, total_domains, dnssec_enabled=None):
+        return DomainHeadline(
+            total_domains=total_domains,
+            dnssec_enabled=(
+                dnssec_enabled if dnssec_enabled is not None else self.results_seen
+            ),
+            nsec3_enabled=self.nsec3_enabled,
+            zero_iterations=self.zero_iterations,
+            no_salt=self.no_salt,
+            both_compliant=self.both_compliant,
+            opt_out=self.opt_out,
+            max_iterations=(
+                self.iterations.maximum if self.iterations.count else 0
+            ),
+            over_150_iterations=self.over_150_iterations,
+        )
+
+
 def domain_headline_stats(scan_results, total_domains, dnssec_enabled=None):
     """Compute §5.1 headlines from stage-2 scan results.
 
@@ -71,24 +130,10 @@ def domain_headline_stats(scan_results, total_domains, dnssec_enabled=None):
     started from (the 302 M equivalent); *dnssec_enabled* defaults to the
     number of scanned domains (stage 1 output).
     """
-    reports = [r.report for r in scan_results if r.report is not None]
-    totals = summarize_zones(reports)
-    iteration_values = [
-        r.report.iterations
-        for r in scan_results
-        if r.nsec3_enabled and r.report.iterations is not None
-    ]
-    return DomainHeadline(
-        total_domains=total_domains,
-        dnssec_enabled=dnssec_enabled if dnssec_enabled is not None else len(scan_results),
-        nsec3_enabled=totals["nsec3_enabled"],
-        zero_iterations=totals["item2_compliant"],
-        no_salt=totals["item3_compliant"],
-        both_compliant=totals["both_compliant"],
-        opt_out=totals["opt_out"],
-        max_iterations=max(iteration_values, default=0),
-        over_150_iterations=sum(1 for v in iteration_values if v > 150),
-    )
+    accumulator = DomainHeadlineAccumulator()
+    for result in scan_results:
+        accumulator.update(result)
+    return accumulator.headline(total_domains, dnssec_enabled)
 
 
 @dataclass
@@ -141,17 +186,54 @@ class ResolverHeadline:
         ]
 
 
+class ResolverHeadlineAccumulator:
+    """Fold resolver classifications into §5.2 headline counters — the
+    streaming front-end of :func:`resolver_headline_stats`. Mirrors
+    :func:`repro.core.resolver_compliance.summarize` exactly.
+    """
+
+    def __init__(self):
+        self.resolvers = 0
+        self.validating = 0
+        self.limit_iterations = 0
+        self.item6 = 0
+        self.item8 = 0
+        self.servfail_at_one = 0
+        self.ede27 = 0
+        self.item7_violations = 0
+        self.item12_gaps = 0
+
+    def update(self, classification):
+        self.resolvers += 1
+        if not classification.is_validating:
+            return self
+        self.validating += 1
+        self.limit_iterations += classification.limits_iterations
+        self.item6 += classification.implements_item6
+        self.item8 += classification.implements_item8
+        self.servfail_at_one += classification.strict_servfail_at_one
+        self.ede27 += classification.ede27_support
+        self.item7_violations += classification.item7_violation
+        self.item12_gaps += classification.item12_gap
+        return self
+
+    def headline(self):
+        return ResolverHeadline(
+            resolvers_probed=self.resolvers,
+            validators=self.validating,
+            limit_iterations=self.limit_iterations,
+            item6=self.item6,
+            item8=self.item8,
+            servfail_at_one=self.servfail_at_one,
+            ede27=self.ede27,
+            item7_violations=self.item7_violations,
+            item12_gaps=self.item12_gaps,
+        )
+
+
 def resolver_headline_stats(classifications):
     """Compute §5.2 headlines from a set of resolver classifications."""
-    totals = summarize_resolvers(classifications)
-    return ResolverHeadline(
-        resolvers_probed=totals["resolvers"],
-        validators=totals["validating"],
-        limit_iterations=totals["limit_iterations"],
-        item6=totals["item6"],
-        item8=totals["item8"],
-        servfail_at_one=totals["servfail_at_one"],
-        ede27=totals["ede27"],
-        item7_violations=totals["item7_violations"],
-        item12_gaps=totals["item12_gaps"],
-    )
+    accumulator = ResolverHeadlineAccumulator()
+    for classification in classifications:
+        accumulator.update(classification)
+    return accumulator.headline()

@@ -4,12 +4,23 @@ The paper processes the NS records of all NSEC3-enabled domains,
 aggregates the NS targets by *registered domain* (even across public
 suffixes), and reports the 10 operators that exclusively serve the most
 domains, with each operator's dominant NSEC3 parameter settings.
+
+:class:`OperatorTableAccumulator` is the ``update(result)``-style
+streaming form: per-operator tallies ride on a
+:class:`~repro.analysis.sketch.SpaceSavingTopK` so memory is bounded by
+the sketch capacity, not the scan size. While the true operator
+cardinality fits the capacity (the calibrated universe is a dozen
+operators; real-world NS namespaces are a few thousand) the sketch is
+exact and :func:`operator_table` — now a thin fold over the accumulator
+— renders byte-identical tables from a stream or a list.
 """
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import Counter
 from dataclasses import dataclass
+
+from repro.analysis.sketch import SpaceSavingTopK
 
 
 def registered_domain(ns_target):
@@ -38,6 +49,74 @@ class OperatorRow:
         return ", ".join(f"{it}/{salt}" for __, it, salt in self.top_params)
 
 
+class OperatorTableAccumulator:
+    """Fold stage-2 scan results into Table 2 tallies, one at a time.
+
+    Only *exclusively served* domains count (all NS targets under one
+    registered domain), mirroring the paper. *capacity* bounds the
+    distinct operators tracked; overflow falls back to space-saving
+    eviction (counts become upper bounds, flagged via :attr:`exact`).
+    """
+
+    def __init__(self, capacity=4096):
+        self.nsec3_total = 0
+        self._domains = SpaceSavingTopK(capacity)
+        #: operator -> Counter of (iterations, salt_length), evicted in
+        #: lockstep with the count sketch.
+        self._params = {}
+
+    def update(self, result):
+        if not result.nsec3_enabled:
+            return self
+        self.nsec3_total += 1
+        operators = {registered_domain(t) for t in result.ns_targets}
+        if len(operators) != 1:
+            return self  # not exclusively served
+        operator = next(iter(operators))
+        self._domains.update(operator)
+        params = self._params.get(operator)
+        if params is None:
+            params = self._params[operator] = Counter()
+            for evicted in [key for key in self._params if key not in self._domains]:
+                del self._params[evicted]
+        params[(result.report.iterations, result.report.salt_length)] += 1
+        return self
+
+    @property
+    def exact(self):
+        """True while no operator has been evicted (counts are exact)."""
+        return self._domains.exact
+
+    def rows(self, top_n=10, params_coverage=0.999):
+        """The rendered Table 2 rows, largest operators first.
+
+        Iterates operators in first-seen order before the stable sort,
+        so tie-breaks match the materialised computation exactly.
+        """
+        rows = []
+        for operator, count in self._domains.counts.items():
+            params = self._params.get(operator, Counter())
+            covered = 0
+            top = []
+            for (iterations, salt), param_count in params.most_common():
+                top.append((param_count, iterations, salt))
+                covered += param_count
+                if count and covered / count >= params_coverage:
+                    break
+            rows.append(
+                OperatorRow(
+                    operator=operator,
+                    domains=count,
+                    share_pct=(
+                        100.0 * count / self.nsec3_total if self.nsec3_total else 0.0
+                    ),
+                    top_params=top,
+                )
+            )
+        rows.sort(key=lambda row: -row.domains)
+        return rows[:top_n]
+
+
 def operator_table(scan_results, top_n=10, params_coverage=0.999):
     """Build Table 2 from stage-2 scan results.
 
@@ -46,38 +125,10 @@ def operator_table(scan_results, top_n=10, params_coverage=0.999):
     parameter settings covering ≥ *params_coverage* of the operator's
     domains.
     """
-    nsec3_results = [r for r in scan_results if r.nsec3_enabled]
-    by_operator = defaultdict(list)
-    for result in nsec3_results:
-        operators = {registered_domain(t) for t in result.ns_targets}
-        if len(operators) != 1:
-            continue  # not exclusively served
-        by_operator[next(iter(operators))].append(result)
-
-    total = len(nsec3_results)
-    rows = []
-    for operator, results in by_operator.items():
-        params = Counter(
-            (r.report.iterations, r.report.salt_length) for r in results
-        )
-        ranked = params.most_common()
-        covered = 0
-        top = []
-        for (iterations, salt), count in ranked:
-            top.append((count, iterations, salt))
-            covered += count
-            if covered / len(results) >= params_coverage:
-                break
-        rows.append(
-            OperatorRow(
-                operator=operator,
-                domains=len(results),
-                share_pct=100.0 * len(results) / total if total else 0.0,
-                top_params=top,
-            )
-        )
-    rows.sort(key=lambda row: -row.domains)
-    return rows[:top_n]
+    accumulator = OperatorTableAccumulator()
+    for result in scan_results:
+        accumulator.update(result)
+    return accumulator.rows(top_n, params_coverage)
 
 
 def format_operator_table(rows):

@@ -25,12 +25,17 @@ from __future__ import annotations
 import os
 from contextlib import contextmanager
 
-#: Every switch this module knows about.
+#: Every switch this module knows about. ``streamed_pipeline`` selects
+#: the constant-memory study path (streamed population, lazily
+#: materialised SLD zones, incremental report aggregates); disabling it
+#: restores the materialise-everything path, whose report is
+#: byte-identical — that equivalence is what CI diffs.
 KNOWN_SWITCHES = (
     "validator_memo",
     "answer_cache",
     "nsec3_memo",
     "rsa_crt",
+    "streamed_pipeline",
 )
 
 _ENV_VAR = "REPRO_FASTPATH_DISABLE"
@@ -69,6 +74,12 @@ def disable(spec):
 def enable(name):
     """Re-enable a single switch."""
     _disabled.discard(name)
+
+
+def disabled_names():
+    """The currently disabled switches, sorted — e.g. for shipping the
+    parent's programmatic state across a spawn boundary."""
+    return tuple(sorted(_disabled))
 
 
 def reset():

@@ -101,7 +101,7 @@ class Cache:
         if len(self._store) >= self.max_entries:
             self._evict_expired()
             if len(self._store) >= self.max_entries:
-                self._evict_oldest()
+                self._evict_oldest_batch()
         self._store[key] = CacheEntry(
             value, self._now() + ttl_seconds * 1000.0, secure
         )
@@ -113,12 +113,21 @@ class Cache:
             del self._store[key]
         self._count_evictions("expired", len(dead))
 
-    def _evict_oldest(self):
-        """Evict the entry expiring soonest (deterministic: ties resolve to
-        the earliest-inserted entry, since ``min`` scans in insertion order)."""
-        oldest = min(self._store, key=lambda key: self._store[key].expires_ms)
-        del self._store[oldest]
-        self._count_evictions("overflow", 1)
+    def _evict_oldest_batch(self):
+        """Evict the ~5% of entries expiring soonest, restoring headroom.
+
+        A full cache used to pay an O(n) single-``min`` scan on *every*
+        subsequent put; batching drops that to one sort amortised over
+        the next 5% of inserts. Deterministic: ties resolve to the
+        earliest-inserted entry (``sorted`` is stable over insertion
+        order).
+        """
+        target = self.max_entries - max(1, self.max_entries // 20)
+        excess = len(self._store) - target
+        oldest = sorted(self._store, key=lambda key: self._store[key].expires_ms)
+        for key in oldest[:excess]:
+            del self._store[key]
+        self._count_evictions("overflow", excess)
 
     def drop(self, key):
         """Remove *key* if present; returns True when something was dropped."""

@@ -16,6 +16,10 @@ Pieces:
   the supervisor and in every worker. Units are dealt round-robin to
   shards, preserving **global indices** so cache-busting probe labels
   (``r{index}``, ``atlas{index}``) match the single-process run.
+  Workers never build that list: :class:`UnitUniverse` resolves their
+  (start=shard, stride=workers) sub-stream on demand, so worker memory
+  is bounded by the shard's checkpoint while only the supervisor —
+  whose merge reads every record anyway — pays O(N).
 - :func:`worker_main` — the spawn entry point: builds its world, runs
   its shard's units against a per-shard
   :class:`~repro.scanner.campaign.CampaignCheckpoint` (the durable
@@ -50,7 +54,7 @@ import time
 import traceback
 from dataclasses import dataclass, field
 
-from repro import obs
+from repro import fastpath, obs
 from repro.net.faults import parse_fault_spec
 from repro.net.procpool import Watchdog, WorkerHandle, backoff_delay
 from repro.scanner.campaign import CampaignCheckpoint, CampaignError
@@ -172,6 +176,67 @@ def deployment_counts(resolvers):
     }
 
 
+class UnitUniverse:
+    """Index-addressed view of the campaign's global unit list.
+
+    The canonical order is unchanged — domains, then TLD audits, then
+    resolver probes — but unit *i* resolves on demand from the
+    deterministic population stream instead of a materialised list.
+    A worker walks its round-robin shard as the (start=shard,
+    stride=workers) sub-stream, so its resident footprint is its own
+    checkpoint, not the campaign: the supervisor process still holds
+    the O(N) merge state, but workers stay flat however large the
+    population gets.
+    """
+
+    def __init__(self, plan):
+        from repro.testbed.population import (
+            Population,
+            generate_tlds,
+            scaled_config,
+        )
+
+        config = scaled_config(plan.domains, plan.tlds)
+        self.tld_specs = generate_tlds(config)
+        self.population = Population(config, tlds=self.tld_specs)
+        self.n_domain_units = (
+            len(self.population) if plan.role in ("study", "scan") else 0
+        )
+        self.n_tld_units = len(self.tld_specs) if plan.role == "study" else 0
+        if plan.role in ("study", "survey"):
+            self.n_resolver_units = sum(
+                deployment_counts(plan.resolvers).values()
+            )
+        else:
+            self.n_resolver_units = 0
+
+    def __len__(self):
+        return self.n_domain_units + self.n_tld_units + self.n_resolver_units
+
+    def unit_at(self, index):
+        """The ``(kind, name)`` unit at global *index*."""
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        if index < self.n_domain_units:
+            return ("d", self.population.spec_at(index).name)
+        index -= self.n_domain_units
+        if index < self.n_tld_units:
+            return ("t", self.tld_specs[index].label)
+        return ("r", str(index - self.n_tld_units))
+
+    def iter_shard(self, start, stride=1):
+        """Lazily yield the units at ``start, start+stride, ...``."""
+        for index in range(start, len(self), stride):
+            yield self.unit_at(index)
+
+    def shard_size(self, shard, workers):
+        """How many units the (shard, workers) sub-stream yields."""
+        return max(0, (len(self) - shard + workers - 1) // workers)
+
+    def __iter__(self):
+        return self.iter_shard(0, 1)
+
+
 def plan_units(plan):
     """The campaign's global unit list, in canonical order.
 
@@ -179,28 +244,12 @@ def plan_units(plan):
     ``(kind, name)`` pair — ``("d", domain)``, ``("t", tld label)``,
     ``("r", global resolver index)``. Derived purely from the plan, so
     the supervisor and every worker agree without building a testbed.
+    This is the materialising front-end of :class:`UnitUniverse`, used
+    by the supervisor (whose merge is O(N) anyway); workers walk the
+    universe lazily instead.
     """
-    from repro.testbed.population import (
-        generate_population,
-        generate_tlds,
-        inject_tail_domains,
-        scaled_config,
-    )
-
-    config = scaled_config(plan.domains, plan.tlds)
-    tld_specs = generate_tlds(config)
-    domain_specs = inject_tail_domains(
-        generate_population(config, tlds=tld_specs)
-    )
-    units = []
-    if plan.role in ("study", "scan"):
-        units.extend(("d", spec.name) for spec in domain_specs)
-    if plan.role == "study":
-        units.extend(("t", spec.label) for spec in tld_specs)
-    if plan.role in ("study", "survey"):
-        total = sum(deployment_counts(plan.resolvers).values())
-        units.extend(("r", str(index)) for index in range(total))
-    return units, domain_specs, tld_specs
+    universe = UnitUniverse(plan)
+    return list(universe), list(universe.population), universe.tld_specs
 
 
 def shard_units(units, shard, workers):
@@ -368,6 +417,8 @@ def _worker_run(spec):
     plan = CampaignPlan(**spec["plan"])
     shard = spec["shard"]
     attempt = spec["attempt"]
+    if spec.get("fastpath_disable"):
+        fastpath.disable(spec["fastpath_disable"])
     build_start = time.perf_counter()
     build_start_cpu = time.process_time()
     if plan.collect_metrics:
@@ -383,15 +434,24 @@ def _worker_run(spec):
     )
     killer = _KillSwitch(spec.get("directive"), checkpoint)
 
-    units, domain_specs, tld_specs = plan_units(plan)
-    my_units = shard_units(units, shard, plan.workers)
+    universe = UnitUniverse(plan)
+    tld_specs = universe.tld_specs
+    my_total = universe.shard_size(shard, plan.workers)
 
     # Build the identical world every other worker (and the inline
     # single-process path) builds; allocation order mirrors cmd_study:
     # upstream resolver, engine source IP, resolver deployment, survey
     # source IP — in that order, regardless of which units this shard
-    # happens to own.
-    inet = build_internet(domain_specs, tld_specs, seed=plan.seed)
+    # happens to own. With the streamed pipeline enabled, SLD zones
+    # materialise lazily on first query, so the worker never holds the
+    # whole population's zones — only the bounded working set its
+    # shard sub-stream touches.
+    inet = build_internet(
+        universe.population,
+        tld_specs,
+        seed=plan.seed,
+        lazy_domains=fastpath.enabled("streamed_pipeline"),
+    )
     inet.network.kernel.bind_obs()
     probes = (
         build_probe_zones(inet) if plan.role in ("study", "survey") else None
@@ -546,7 +606,7 @@ def _worker_run(spec):
     phase_of = {"d": "scan", "t": "tlds", "r": "survey"}
     done = resumed = executed = 0
     deferred = []  # unhealthy *open* survey units awaiting the requeue pass
-    for unit in my_units:
+    for unit in universe.iter_shard(shard, plan.workers):
         key = unit_key(unit)
         if checkpoint.done(key):
             done += 1
@@ -654,7 +714,7 @@ def _worker_run(spec):
     report = {
         "shard": shard,
         "attempt": attempt,
-        "units": len(my_units),
+        "units": my_total,
         "resumed": resumed,
         "executed": executed,
         "clock_ms": inet.network.kernel.now,
@@ -792,6 +852,11 @@ def run_supervised(plan):
             "done_path": _done_path(plan.state_dir, state.shard),
             "error_path": _error_path(plan.state_dir, state.shard),
             "directive": directive,
+            # Spawned workers start a fresh interpreter whose fastpath
+            # state comes from the environment alone — ship the
+            # parent's programmatic disables so --disable-fastpath
+            # governs the whole fleet.
+            "fastpath_disable": ",".join(fastpath.disabled_names()),
         }
         state.handle = WorkerHandle(worker_main, spec, spec["heartbeat_path"])
         state.watchdog = Watchdog(plan.stall_timeout_s)

@@ -135,6 +135,9 @@ class AuthoritativeServer(Host):
         self.answer_cache = PackedAnswerCache()
         #: Longest-prefix index over zone origins (canonical label keys).
         self._zone_index = {}
+        #: Optional hook: called with a qname that matched no hosted
+        #: zone; may materialise and host one on the spot (lazy SLDs).
+        self.zone_factory = None
 
     def add_zone(self, zone):
         """Host *zone* (keyed by origin) on this server."""
@@ -146,12 +149,34 @@ class AuthoritativeServer(Host):
         self.answer_cache.invalidate()
         return self
 
+    def host_lazily(self, zone):
+        """Host *zone* without invalidating the packed-answer cache.
+
+        Only sound when the zone is a deterministic materialisation —
+        any answer the cache could already hold for its names was
+        computed from an identical earlier materialisation, so nothing
+        cached can be stale.
+        """
+        self.zones[zone.origin] = zone
+        self._zone_index[zone.origin._key()] = zone
+        zone.add_mutation_listener(self.answer_cache.invalidate)
+        return self
+
+    def evict_zone(self, origin):
+        """Forget a lazily hosted zone (cached answers stay valid)."""
+        zone = self.zones.pop(origin, None)
+        if zone is not None:
+            self._zone_index.pop(origin._key(), None)
+        return zone
+
     def zone_for(self, qname):
         """The most specific zone containing *qname*, or None.
 
         Longest-suffix match over the origin index: walk the question's
         canonical key from most to least specific instead of scanning
-        every hosted zone (registry servers host hundreds).
+        every hosted zone (registry servers host hundreds). On a miss,
+        the :attr:`zone_factory` hook gets one chance to materialise the
+        zone lazily.
         """
         qkey = Name.from_text(qname)._key()
         index = self._zone_index
@@ -159,6 +184,8 @@ class AuthoritativeServer(Host):
             zone = index.get(qkey[:depth])
             if zone is not None:
                 return zone
+        if self.zone_factory is not None:
+            return self.zone_factory(qname)
         return None
 
     # -- datagram entry point ------------------------------------------------

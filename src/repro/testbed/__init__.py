@@ -17,10 +17,13 @@ published marginals so the analysis pipelines regenerate the same shapes:
 from repro.testbed.operators import OPERATORS, OperatorProfile
 from repro.testbed.population import (
     DomainSpec,
+    Population,
     PopulationConfig,
     TldSpec,
     generate_population,
     generate_tlds,
+    iter_population,
+    population_size,
 )
 from repro.testbed.internet import Internet, build_internet
 from repro.testbed.rfc9276_wild import ProbeZoneSet, build_probe_zones
@@ -33,9 +36,12 @@ __all__ = [
     "OperatorProfile",
     "DomainSpec",
     "TldSpec",
+    "Population",
     "PopulationConfig",
     "generate_population",
     "generate_tlds",
+    "iter_population",
+    "population_size",
     "Internet",
     "build_internet",
     "ProbeZoneSet",

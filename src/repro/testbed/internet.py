@@ -12,10 +12,13 @@ asymmetry real resolvers enjoy via OpenSSL and keeps large testbeds fast.
 from __future__ import annotations
 
 import random
+import zlib
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.crypto.keys import ALG_RSASHA256, generate_keypair, make_ds
 from repro.dns.name import Name
+from repro.dns.rdata import NS
 from repro.dns.rrset import RRset
 from repro.dns.types import RdataType
 from repro.net.address import AddressAllocator
@@ -56,6 +59,20 @@ class KeyPool:
         self._index += 1
         return ksk, zsk
 
+    def pair_for(self, name):
+        """The pool pair owned by *name* — stable, order-independent.
+
+        Keying on CRC32 of the zone name (never Python's salted
+        ``hash()``) means a zone built lazily on first query draws the
+        same keys it would have drawn in an eager build, so both paths
+        sign byte-identical zones.
+        """
+        index = zlib.crc32(str(name).rstrip(".").lower().encode("ascii"))
+        return (
+            self._ksks[index % len(self._ksks)],
+            self._zsks[index % len(self._zsks)],
+        )
+
 
 @dataclass
 class Internet:
@@ -74,6 +91,8 @@ class Internet:
     operator_ips: dict
     key_pool: KeyPool
     resolvers: list = field(default_factory=list)
+    #: The bounded lazy SLD host when built with ``lazy_domains=True``.
+    lazy_host: object = None
 
     def make_resolver(
         self,
@@ -105,7 +124,21 @@ class Internet:
         return resolver
 
     def zone_of(self, domain):
-        return self.domain_zones.get(Name.from_text(domain))
+        zone = self.domain_zones.get(Name.from_text(domain))
+        if zone is None and self.lazy_host is not None:
+            spec = self.domain_specs.spec_for_name(str(domain))
+            if spec is not None:
+                server = self.operator_servers[spec.operator]
+                zone = server.zone_for(domain)
+        return zone
+
+
+def zone_rng(seed, name):
+    """The per-zone rng: every zone's random content (A-record addresses,
+    NSEC3 salt bytes) derives from ``(seed, zone name)`` alone, so a zone
+    materialised lazily mid-campaign is byte-identical to one built
+    eagerly at startup."""
+    return random.Random(f"{seed}/zone/{str(name).rstrip('.').lower()}")
 
 
 def _nsec3_params_for(spec, rng):
@@ -113,14 +146,96 @@ def _nsec3_params_for(spec, rng):
     return Nsec3Params(iterations=spec.iterations, salt=salt, opt_out=spec.opt_out)
 
 
-def _sign_from_spec(zone, spec, pool, rng):
-    ksk, zsk = pool.next_pair()
+def _sign_from_spec(zone, spec, pool, rng, name):
+    ksk, zsk = pool.pair_for(name)
     if spec.denial == "nsec3":
         policy = SigningPolicy(nsec3=_nsec3_params_for(spec, rng))
     else:
         policy = SigningPolicy(nsec3=None)
-    sign_zone(zone, policy, ksk=ksk, zsk=zsk, rng=rng)
+    sign_zone(zone, policy, ksk=ksk, zsk=zsk)
     return zone
+
+
+def build_domain_zone(spec, seed, pool, ns_domain):
+    """Build (and sign, per its spec) one registered-domain zone.
+
+    Everything is derived from ``(spec, seed)``: addresses and salt from
+    the per-zone rng, keys from :meth:`KeyPool.pair_for`. The eager
+    build loop and the lazy on-first-query factory both call this, which
+    is what makes the two hosting modes wire-identical.
+    """
+    rng = zone_rng(seed, spec.name)
+    ns_names = (f"ns1.{ns_domain}.", f"ns2.{ns_domain}.")
+    zone = (
+        ZoneBuilder(spec.name)
+        .soa(ns_names[0], f"hostmaster.{spec.name}")
+        .ns(*ns_names)
+        .a("@", f"198.18.{rng.randrange(256)}.{rng.randrange(1, 255)}")
+        .a("www", f"198.18.{rng.randrange(256)}.{rng.randrange(1, 255)}")
+        .build()
+    )
+    if spec.dnssec:
+        _sign_from_spec(zone, spec, pool, rng, spec.name)
+    return zone
+
+
+def domain_ds_records(spec, pool):
+    """The DS set the parent publishes for *spec* (no zone build needed)."""
+    if not spec.dnssec:
+        return None
+    ksk, __ = pool.pair_for(spec.name)
+    return [make_ds(spec.name, ksk.dnskey)]
+
+
+class LazyZoneHost:
+    """Materialise population SLD zones on first authoritative query.
+
+    Registered as each operator server's ``zone_factory``: when a query
+    misses every hosted zone, the candidate SLD (last two labels) is
+    inverted back to its :class:`~repro.testbed.population.DomainSpec`
+    and the zone is built, signed, and hosted on the spot — byte-identical
+    to the eager build, because :func:`build_domain_zone` derives all
+    content from ``(spec, seed)``. A bounded FIFO keeps at most *limit*
+    signed zones resident; evicted zones rebuild deterministically if
+    queried again, so cached packed answers stay valid across evictions
+    (eviction therefore does **not** invalidate answer caches).
+    """
+
+    def __init__(self, population, ns_domains, seed, pool, limit=256):
+        self.population = population
+        self.ns_domains = ns_domains
+        self.seed = seed
+        self.pool = pool
+        self.limit = limit
+        self.builds = 0
+        self.evictions = 0
+        self._resident = OrderedDict()  # origin Name -> hosting server
+
+    def factory_for(self, operator_key, server):
+        def factory(qname):
+            return self._materialise(operator_key, server, qname)
+
+        return factory
+
+    def _materialise(self, operator_key, server, qname):
+        labels = str(qname).rstrip(".").lower().split(".")
+        if len(labels) < 2:
+            return None
+        candidate = ".".join(labels[-2:])
+        spec = self.population.spec_for_name(candidate)
+        if spec is None or spec.operator != operator_key:
+            return None
+        zone = build_domain_zone(
+            spec, self.seed, self.pool, self.ns_domains[spec.operator]
+        )
+        server.host_lazily(zone)
+        self._resident[zone.origin] = server
+        self.builds += 1
+        while len(self._resident) > self.limit:
+            origin, host = self._resident.popitem(last=False)
+            host.evict_zone(origin)
+            self.evictions += 1
+        return zone
 
 
 def build_internet(
@@ -130,18 +245,34 @@ def build_internet(
     network=None,
     host_domains=True,
     domains_per_zone_extra=1,
+    lazy_domains=False,
+    lazy_zone_limit=256,
 ):
     """Build and wire up the whole simulated Internet.
 
-    *domain_specs* / *tld_specs* come from :mod:`repro.testbed.population`.
-    With ``host_domains=False`` only the root/TLD/operator infrastructure
-    is hosted (useful when an experiment needs the tree but not the
+    *domain_specs* / *tld_specs* come from :mod:`repro.testbed.population`;
+    *domain_specs* may be a materialised list or a streaming
+    :class:`~repro.testbed.population.Population`. With
+    ``host_domains=False`` only the root/TLD/operator infrastructure is
+    hosted (useful when an experiment needs the tree but not the
     population).
+
+    With ``lazy_domains=True`` (requires a :class:`Population`) the
+    registered-domain zones are *not* built up front: the parent TLD
+    zones carry every delegation and DS exactly as in the eager build —
+    the build streams over the population once without retaining it — but
+    each SLD zone is built and signed only when an authoritative query
+    first needs it, through a bounded :class:`LazyZoneHost`. Peak memory
+    then stays flat in the number of domains while every datagram on the
+    wire is byte-identical to the eager build's.
     """
-    rng = random.Random(seed)
+    from repro.testbed.population import Population
+
     network = network or Network(seed=seed)
     allocator = AddressAllocator()
     pool = KeyPool(seed=seed + 1)
+    if lazy_domains and not isinstance(domain_specs, Population):
+        raise TypeError("lazy_domains=True needs a streaming Population")
 
     # --- servers -----------------------------------------------------------
     root_server = AuthoritativeServer("root-servers", network)
@@ -156,6 +287,9 @@ def build_internet(
 
     operator_servers = {}
     operator_ips = {}
+    # One streaming pass: which operators actually appear decides which
+    # servers exist (and therefore every later address allocation), so
+    # the rule must not depend on how the specs are stored.
     operator_keys = set(spec.operator for spec in domain_specs)
     operator_keys.add("generic-web")
     for key in sorted(operator_keys):
@@ -209,30 +343,41 @@ def build_internet(
             builder.aaaa(f"ns2.{ns_domain}.", v6)
 
     # --- domain zones ---------------------------------------------------------------
+    # One pass over the population stream, shared by both hosting modes:
+    # the parent-side state (delegations + DS in the TLD builders) is
+    # always materialised, the child zones only when ``not lazy_domains``.
     domain_zones = {}
+    lazy_host = None
     if host_domains:
+        # One immutable NS rdata pair per operator: a million delegations
+        # share ~two dozen objects instead of re-parsing the same
+        # nameserver names once per cut (the rdata bytes — and hence the
+        # signed zones and every wire datagram — are identical).
+        ns_rdata = {
+            key: (NS(f"ns1.{domain}."), NS(f"ns2.{domain}."))
+            for key, domain in ns_domains.items()
+        }
         for spec in domain_specs:
-            ns_domain = ns_domains[spec.operator]
-            ns_names = (f"ns1.{ns_domain}.", f"ns2.{ns_domain}.")
-            builder = (
-                ZoneBuilder(spec.name)
-                .soa(ns_names[0], f"hostmaster.{spec.name}")
-                .ns(*ns_names)
-                .a("@", f"198.18.{rng.randrange(256)}.{rng.randrange(1, 255)}")
-                .a("www", f"198.18.{rng.randrange(256)}.{rng.randrange(1, 255)}")
-            )
-            zone = builder.build()
-            ds_records = None
-            if spec.dnssec:
-                _sign_from_spec(zone, spec, pool, rng)
-                ds_records = [make_ds(spec.name, zone.keys[0].dnskey)]
-            operator_servers[spec.operator].add_zone(zone)
-            domain_zones[zone.origin] = zone
+            ds_records = domain_ds_records(spec, pool)
+            if not lazy_domains:
+                zone = build_domain_zone(
+                    spec, seed, pool, ns_domains[spec.operator]
+                )
+                operator_servers[spec.operator].add_zone(zone)
+                domain_zones[zone.origin] = zone
             tld_builder = tld_builders.get(spec.tld)
             if tld_builder is not None:
                 tld_builder.delegate(
-                    Name.from_text(spec.name), *ns_names, ds=ds_records
+                    Name.from_text(spec.name),
+                    *ns_rdata[spec.operator],
+                    ds=ds_records,
                 )
+        if lazy_domains:
+            lazy_host = LazyZoneHost(
+                domain_specs, ns_domains, seed, pool, limit=lazy_zone_limit
+            )
+            for key, server in operator_servers.items():
+                server.zone_factory = lazy_host.factory_for(key, server)
 
     # --- sign and host the TLD zones -------------------------------------------------
     tld_spec_by_label = {spec.label: spec for spec in tld_specs}
@@ -248,7 +393,7 @@ def build_internet(
         zone = builder.build()
         ds_records = None
         if spec.dnssec:
-            _sign_from_spec(zone, spec, pool, rng)
+            _sign_from_spec(zone, spec, pool, zone_rng(seed, label), label)
             ds_records = [make_ds(label, zone.keys[0].dnskey)]
         registry_server.add_zone(zone)
         tld_zones[label] = zone
@@ -258,8 +403,8 @@ def build_internet(
 
     # --- root zone (NSEC-signed, like the real root) ------------------------------------
     root_zone = root_builder.build()
-    ksk, zsk = pool.next_pair()
-    sign_zone(root_zone, SigningPolicy(nsec3=None), ksk=ksk, zsk=zsk, rng=rng)
+    ksk, zsk = pool.pair_for(".")
+    sign_zone(root_zone, SigningPolicy(nsec3=None), ksk=ksk, zsk=zsk)
     root_server.add_zone(root_zone)
     trust_anchor = RRset(".", RdataType.DS, 3600, [make_ds(".", ksk.dnskey)])
 
@@ -271,9 +416,14 @@ def build_internet(
         root_zone=root_zone,
         tld_zones=tld_zones,
         tld_specs=list(tld_specs),
-        domain_specs=list(domain_specs),
+        domain_specs=(
+            domain_specs
+            if isinstance(domain_specs, Population)
+            else list(domain_specs)
+        ),
         domain_zones=domain_zones,
         operator_servers=operator_servers,
         operator_ips=operator_ips,
         key_pool=pool,
+        lazy_host=lazy_host,
     )

@@ -244,74 +244,192 @@ def _domain_label(rng, index):
     return f"{word1}-{word2}-{index}"
 
 
+class _StreamTables:
+    """Per-config lookup tables shared by every per-index draw."""
+
+    def __init__(self, config, tlds):
+        self.config = config
+        self.tlds = tlds
+        tld_labels = [t.label for t in tlds]
+        label_set = set(tld_labels)
+        weighted = list(config.tld_popularity)
+        self.tld_labels = tld_labels
+        self.weighted = [
+            (label, weight) for label, weight in weighted if label in label_set
+        ]
+        self.operator_mixes = {
+            op.key: normalized_param_mix(op) for op in OPERATORS
+        }
+        self.operator_weights = [(op.key, op.share) for op in OPERATORS]
+        self.operator_optout = {op.key: op.opt_out_rate for op in OPERATORS}
+
+
+def _spec_at(tables, index):
+    """Derive domain *index* of the population from its own seeded rng.
+
+    Seeding ``random.Random`` with the string ``"{seed}/domain/{index}"``
+    hashes it through SHA-512 (PYTHONHASHSEED-independent), so any index
+    is computable in O(1) without generating its predecessors — the
+    property that lets campaigns shard a multi-million-domain population
+    by (start, stride) with no global list.
+    """
+    config = tables.config
+    rng = random.Random(f"{config.seed}/domain/{index}")
+    roll = rng.random()
+    tld = None
+    acc = 0.0
+    for label, weight in tables.weighted:
+        acc += weight
+        if roll <= acc:
+            tld = label
+            break
+    if tld is None:
+        tld = tables.tld_labels[rng.randrange(len(tables.tld_labels))]
+    name = f"{_domain_label(rng, index)}.{tld}"
+
+    dnssec = rng.random() < config.dnssec_rate
+    if not dnssec:
+        return DomainSpec(name, tld, "generic-web", False, "")
+    if rng.random() >= config.nsec3_given_dnssec:
+        return DomainSpec(name, tld, "generic-web", True, "nsec")
+
+    roll = rng.random()
+    acc = 0.0
+    operator = tables.operator_weights[-1][0]
+    for key, share in tables.operator_weights:
+        acc += share
+        if roll <= acc:
+            operator = key
+            break
+    iterations, salt_length = _pick_weighted(rng, tables.operator_mixes[operator])
+    opt_out = rng.random() < tables.operator_optout[operator]
+    return DomainSpec(
+        name,
+        tld,
+        operator,
+        True,
+        "nsec3",
+        iterations=iterations,
+        salt_length=salt_length,
+        opt_out=opt_out,
+    )
+
+
+def tail_domains():
+    """The fixed long-tail exemplars appended to every population."""
+    return [
+        DomainSpec("tail-it500-a.com", "com", "other", True, "nsec3", 500, 8),
+        DomainSpec("tail-it500-b.net", "net", "other", True, "nsec3", 500, 0),
+        DomainSpec("tail-it200.org", "org", "other", True, "nsec3", 200, 8),
+        DomainSpec("tail-salt160.com", "com", "other", True, "nsec3", 2, 160),
+    ]
+
+
+def population_size(config, include_tail=True):
+    """Total stream length: generated domains plus the forced tail."""
+    return config.n_domains + (len(tail_domains()) if include_tail else 0)
+
+
+def iter_population(config=None, tlds=None, start=0, stride=1,
+                    include_tail=True):
+    """Yield :class:`DomainSpec` number ``start, start+stride, ...``.
+
+    The stream order (and content) is identical to
+    ``inject_tail_domains(generate_population(config, tlds=tlds))`` — the
+    tail exemplars occupy indices ``n_domains .. n_domains+3`` — but no
+    list is ever materialised, so memory stays O(1) at any population
+    scale. ``(start, stride)`` selects a round-robin sub-stream, which is
+    exactly the campaign supervisor's shard partition.
+    """
+    population = Population(config, tlds=tlds, include_tail=include_tail)
+    yield from population.iter_shard(start, stride)
+
+
+class Population:
+    """A sequence view of the domain population, computed on demand.
+
+    Behaves like the materialised list (``len``, indexing, iteration,
+    equality of elements) while deriving every spec from its index, so
+    holding a ``Population`` costs O(1) regardless of ``n_domains``.
+    ``spec_for_name`` inverts the generator (the index is embedded in the
+    first label), which is what lets authoritative servers materialise
+    zones lazily on first query.
+    """
+
+    def __init__(self, config=None, tlds=None, include_tail=True):
+        self.config = config or PopulationConfig()
+        if tlds is None:
+            tlds = generate_tlds(
+                self.config, random.Random(self.config.seed + 1)
+            )
+        self.tlds = tlds
+        self._tables = _StreamTables(self.config, tlds)
+        self._tail = tail_domains() if include_tail else []
+        self._tail_by_name = {spec.name: spec for spec in self._tail}
+
+    def __len__(self):
+        return self.config.n_domains + len(self._tail)
+
+    def spec_at(self, index):
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        if index >= self.config.n_domains:
+            return self._tail[index - self.config.n_domains]
+        return _spec_at(self._tables, index)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self.spec_at(i) for i in range(*index.indices(len(self)))]
+        return self.spec_at(index)
+
+    def __iter__(self):
+        return self.iter_shard(0, 1)
+
+    def iter_shard(self, start, stride):
+        for index in range(start, len(self), stride):
+            yield self.spec_at(index)
+
+    def spec_for_name(self, name):
+        """The spec whose ``name`` matches, or ``None``.
+
+        O(1): parses the embedded index out of the first label and
+        verifies the recomputed spec round-trips to the same name (so a
+        lookalike name that merely *ends* in digits cannot alias a real
+        domain).
+        """
+        name = name.rstrip(".").lower()
+        tail = self._tail_by_name.get(name)
+        if tail is not None:
+            return tail
+        first_label, __, rest = name.partition(".")
+        if not rest:
+            return None
+        index_text = first_label.rpartition("-")[2]
+        if not index_text.isdigit():
+            return None
+        index = int(index_text)
+        if index >= self.config.n_domains:
+            return None
+        spec = _spec_at(self._tables, index)
+        return spec if spec.name == name else None
+
+
 def generate_population(config=None, rng=None, tlds=None):
     """Generate the registered-domain population.
 
     Returns a list of :class:`DomainSpec`. Operator assignment follows
     Table 2 for NSEC3-enabled domains; NSEC-signed and unsigned domains go
     to generic web hosters (which Table 2 does not cover).
+
+    This is the materialising front-end of :func:`iter_population`; the
+    *rng* parameter is retained for signature compatibility but unused —
+    every domain derives from its own index-seeded rng so the stream can
+    be entered at any offset.
     """
     config = config or PopulationConfig()
-    rng = rng or random.Random(config.seed)
-    if tlds is None:
-        tlds = generate_tlds(config, random.Random(config.seed + 1))
-    tld_labels = [t.label for t in tlds]
-    weighted = list(config.tld_popularity)
-    weighted_labels = [label for label, __ in weighted if label in set(tld_labels)]
-    weight_values = [w for label, w in weighted if label in set(tld_labels)]
-    rest_weight = max(0.0, 1.0 - sum(weight_values))
-
-    operator_mixes = {
-        op.key: normalized_param_mix(op) for op in OPERATORS
-    }
-    operator_weights = [(op.key, op.share) for op in OPERATORS]
-    operator_optout = {op.key: op.opt_out_rate for op in OPERATORS}
-
-    specs = []
-    for index in range(config.n_domains):
-        roll = rng.random()
-        tld = None
-        acc = 0.0
-        for label, weight in zip(weighted_labels, weight_values):
-            acc += weight
-            if roll <= acc:
-                tld = label
-                break
-        if tld is None:
-            tld = tld_labels[rng.randrange(len(tld_labels))]
-        name = f"{_domain_label(rng, index)}.{tld}"
-
-        dnssec = rng.random() < config.dnssec_rate
-        if not dnssec:
-            specs.append(DomainSpec(name, tld, "generic-web", False, ""))
-            continue
-        if rng.random() >= config.nsec3_given_dnssec:
-            specs.append(DomainSpec(name, tld, "generic-web", True, "nsec"))
-            continue
-
-        roll = rng.random()
-        acc = 0.0
-        operator = operator_weights[-1][0]
-        for key, share in operator_weights:
-            acc += share
-            if roll <= acc:
-                operator = key
-                break
-        iterations, salt_length = _pick_weighted(rng, operator_mixes[operator])
-        opt_out = rng.random() < operator_optout[operator]
-        specs.append(
-            DomainSpec(
-                name,
-                tld,
-                operator,
-                True,
-                "nsec3",
-                iterations=iterations,
-                salt_length=salt_length,
-                opt_out=opt_out,
-            )
-        )
-    return specs
+    return list(iter_population(config, tlds=tlds, include_tail=False))
 
 
 def inject_tail_domains(specs, config=None):
@@ -323,10 +441,4 @@ def inject_tail_domains(specs, config=None):
     analyses and the probe experiments always have witnesses. The count is
     deliberately tiny and documented in EXPERIMENTS.md.
     """
-    tail = [
-        DomainSpec("tail-it500-a.com", "com", "other", True, "nsec3", 500, 8),
-        DomainSpec("tail-it500-b.net", "net", "other", True, "nsec3", 500, 0),
-        DomainSpec("tail-it200.org", "org", "other", True, "nsec3", 200, 8),
-        DomainSpec("tail-salt160.com", "com", "other", True, "nsec3", 2, 160),
-    ]
-    return list(specs) + tail
+    return list(specs) + tail_domains()

@@ -84,10 +84,16 @@ class ZoneBuilder:
         return self
 
     def delegate(self, child_label, *servers, ds=None):
-        """Create a delegation: NS at the child cut, optional DS records."""
+        """Create a delegation: NS at the child cut, optional DS records.
+
+        *servers* may be names or prebuilt :class:`NS` rdata; passing
+        rdata lets a million-delegation parent share one immutable NS
+        object per nameserver instead of re-parsing it per cut.
+        """
         cut = self._absolute(child_label)
         for server in servers:
-            self.zone.add(cut, RdataType.NS, self.ttl, NS(server))
+            rdata = server if isinstance(server, NS) else NS(server)
+            self.zone.add(cut, RdataType.NS, self.ttl, rdata)
         if ds:
             for record in ds if isinstance(ds, (list, tuple)) else [ds]:
                 self.zone.add(cut, RdataType.DS, self.ttl, record)
