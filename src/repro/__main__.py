@@ -10,6 +10,14 @@ Commands:
 - ``attack`` — run adversarial NSEC3/DNSSEC workloads (CVE-2023-50868
   encloser zones, KeyTrap-style key-tag collisions) against an unguarded
   and a resource-guarded resolver and report per-query cost;
+- ``serve`` — put the simulated testbed on real UDP/TCP sockets,
+  wire-compatible with ``dig``/zdns (overload-hardened: admission
+  control, TCP reaping, graceful drain on SIGTERM);
+- ``loadgen`` — replay benign population traffic mixed with adversarial
+  streams against a running ``serve`` instance at a configured QPS;
+- ``soak`` — the chaos soak harness: benign baseline, attack flood,
+  malformed-datagram fuzz, connection churn, recovery, graceful drain —
+  exits non-zero on any robustness violation;
 - ``timeline`` — the modelled longitudinal view of RFC 9276 adoption;
 - ``guidance`` — print the twelve RFC 9276 items (paper Table 1).
 
@@ -65,6 +73,7 @@ from repro.resolver.guard import GUARD_PROFILES
 from repro.resolver.policy import VENDOR_POLICIES
 from repro.resolver.stub import StubClient
 from repro.scanner.atlas import AtlasCampaign
+from repro.scanner.campaign import CampaignError
 from repro.scanner.engine import ScanEngine
 from repro.scanner.nsec3_scan import domain_rng, scan_domain, scan_tlds
 from repro.scanner.resolver_scan import ResolverSurvey, SurveyRetryPolicy
@@ -383,6 +392,15 @@ def _run_supervised_command(args, role):
         for label, paper, measured in headline.rows():
             print(f"  {label:40s} paper={paper:>6}  measured={measured}")
     _dump_metrics(args)
+    coverage = outcome.coverage
+    if getattr(args, "exit_code_on_partial", False) and not coverage.complete:
+        print(
+            f"[supervisor] partial coverage "
+            f"{coverage.units_merged}/{coverage.units_total}; "
+            "exiting 4 (--exit-code-on-partial)",
+            file=sys.stderr,
+        )
+        return 4
 
 
 def cmd_study(args):
@@ -619,6 +637,140 @@ def cmd_attack(args):
     _dump_metrics(args, inet)
 
 
+def cmd_serve(args):
+    """Put the simulated testbed on real sockets and serve until signal.
+
+    Binds the guarded validating resolver (and, with ``--auth-port``, the
+    probe-zone authoritative server) to UDP+TCP on the requested address,
+    wire-compatible with ``dig``/``kdig``/zdns. SIGTERM/SIGINT (or
+    ``--duration``) trigger a graceful drain — listeners close, every
+    queued query is answered, and the final counter snapshot lands on
+    stdout as JSON.
+    """
+    import asyncio
+
+    from repro.service.engine import ServiceEngine
+    from repro.service.frontend import Binding, DnsService
+    from repro.service.world import build_service_world
+
+    if _telemetry_requested(args):
+        obs.enable()
+    guard = None if args.guard == "none" else args.guard
+    started = time.perf_counter()
+    world = build_service_world(
+        domains=args.domains,
+        tlds=args.tlds,
+        seed=args.seed,
+        guard=guard,
+        policy=args.policy,
+        with_attack=not args.no_attack,
+    )
+    print(
+        f"[serve] testbed ready: {args.domains} domains, {args.tlds} TLDs, "
+        f"guard={args.guard}, policy={args.policy} "
+        f"({time.perf_counter() - started:.1f}s)",
+        file=sys.stderr,
+    )
+    bindings = [
+        Binding(
+            "resolver",
+            world.resolver,
+            host=args.host,
+            port=args.port,
+            max_pending=args.max_pending,
+        )
+    ]
+    if args.auth_port is not None:
+        bindings.append(
+            Binding(
+                "auth",
+                world.auth_server,
+                host=args.host,
+                port=args.auth_port,
+                max_pending=args.max_pending,
+            )
+        )
+    engine = ServiceEngine(
+        capacity=args.capacity, pending_timeout_s=args.pending_timeout
+    )
+    service = DnsService(
+        bindings,
+        engine=engine,
+        tcp_max_connections=args.tcp_max_connections,
+        tcp_idle_timeout_s=args.tcp_idle_timeout,
+    )
+
+    async def _serve():
+        await service.start()
+        for binding in service.bindings:
+            print(
+                f"[serve] {binding.name} listening on "
+                f"{args.host}:{binding.bound_port} (udp+tcp)",
+                file=sys.stderr,
+            )
+        print(
+            f"[serve] try: dig @{args.host} -p "
+            f"{service.bindings[0].bound_port} "
+            "www.valid.rfc9276-in-the-wild.com A +dnssec",
+            file=sys.stderr,
+        )
+        if args.duration:
+            asyncio.get_running_loop().call_later(args.duration, service.shutdown)
+        return await service.serve_until_signal()
+
+    snapshot = asyncio.run(_serve())
+    print("[serve] drained; final snapshot on stdout", file=sys.stderr)
+    print(json.dumps(snapshot, indent=2, sort_keys=True))
+    _dump_metrics(args)
+
+
+def cmd_loadgen(args):
+    """Replay benign/attack traffic against a live service instance."""
+    from repro.service.loadgen import benign_pool, run_loadgen
+
+    report = run_loadgen(
+        host=args.host,
+        port=args.port,
+        qps=args.qps,
+        duration_s=args.duration,
+        attack_ratio=args.attack_ratio,
+        benign_names=benign_pool(args.domains, args.tlds),
+        unique_ratio=args.unique_ratio,
+        timeout_s=args.timeout,
+        seed=args.seed,
+    )
+    print(report.render())
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"[loadgen] report written to {args.json_out}", file=sys.stderr)
+
+
+def cmd_soak(args):
+    """Run the chaos soak against a fresh service; exit 1 on violations."""
+    from repro.service.soak import SoakConfig, run_soak
+
+    config = SoakConfig(
+        domains=args.domains,
+        tlds=args.tlds,
+        seed=args.seed,
+        phase_s=args.phase_seconds,
+        benign_qps=args.benign_qps,
+        attack_qps=args.attack_qps,
+        rss_growth_limit_mb=args.rss_limit_mb,
+        benign_p99_limit_ms=args.p99_limit_ms,
+    )
+    report = run_soak(config)
+    print(report.render())
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"[soak] report written to {args.json_out}", file=sys.stderr)
+    return 0 if report.passed else 1
+
+
 def cmd_timeline(args):
     """Print the modelled RFC 9276 adoption timeline."""
     states = compliance_timeline()
@@ -758,6 +910,12 @@ def _fleet_parent():
         help="restart budget per shard before it is quarantined as lame "
         "and the report degrades to partial coverage (default: 3)",
     )
+    group.add_argument(
+        "--exit-code-on-partial",
+        action="store_true",
+        help="exit 4 when the merged report has partial coverage (lame or "
+        "operator-stopped shards) instead of the default warn-and-exit-0",
+    )
     return parent
 
 
@@ -855,6 +1013,168 @@ def main(argv=None):
     )
     attack.set_defaults(handler=cmd_attack)
 
+    service_size = _campaign_parent(40, 12)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve the testbed on real UDP/TCP sockets (dig-compatible)",
+        parents=[service_size, telemetry],
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=5300,
+        help="resolver UDP+TCP port (0 = ephemeral; default: 5300)",
+    )
+    serve.add_argument(
+        "--auth-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="also bind the probe-zone authoritative server here",
+    )
+    serve.add_argument(
+        "--guard",
+        choices=sorted(GUARD_PROFILES) + ["none"],
+        default="guarded",
+        help="resolver guard profile ('none' = unguarded; default: guarded)",
+    )
+    serve.add_argument(
+        "--policy",
+        choices=sorted(VENDOR_POLICIES),
+        default="legacy",
+        help="validating-resolver vendor policy (default: legacy)",
+    )
+    serve.add_argument(
+        "--no-attack",
+        action="store_true",
+        help="skip building the adversarial NSEC3/KeyTrap lab zones",
+    )
+    serve.add_argument(
+        "--capacity",
+        type=int,
+        default=64,
+        help="global pending-query admission bound (default: 64)",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=128,
+        help="per-socket pending-query bound (default: 128)",
+    )
+    serve.add_argument(
+        "--pending-timeout",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="queued queries older than this are shed (default: 5)",
+    )
+    serve.add_argument(
+        "--tcp-max-connections",
+        type=int,
+        default=64,
+        help="global open TCP connection cap (default: 64)",
+    )
+    serve.add_argument(
+        "--tcp-idle-timeout",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="idle/slow-loris TCP reap threshold (default: 10)",
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="drain and exit after S seconds (0 = serve until signal)",
+    )
+    serve.set_defaults(handler=cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="replay benign/attack traffic against a running 'repro serve'",
+        parents=[service_size],
+    )
+    loadgen.add_argument("--host", default="127.0.0.1", help="target address")
+    loadgen.add_argument(
+        "--port", type=int, default=5300, help="target port (default: 5300)"
+    )
+    loadgen.add_argument(
+        "--qps", type=float, default=200.0, help="offered load (default: 200)"
+    )
+    loadgen.add_argument(
+        "--duration",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="send window in seconds (default: 5)",
+    )
+    loadgen.add_argument(
+        "--attack-ratio",
+        type=float,
+        default=0.0,
+        help="fraction of queries drawn from the CVE-2023-50868/KeyTrap "
+        "streams (default: 0 = all benign)",
+    )
+    loadgen.add_argument(
+        "--unique-ratio",
+        type=float,
+        default=0.3,
+        help="fraction of benign queries with cache-busting labels "
+        "(default: 0.3)",
+    )
+    loadgen.add_argument(
+        "--timeout",
+        type=float,
+        default=3.0,
+        metavar="S",
+        help="per-query reply timeout (default: 3)",
+    )
+    loadgen.add_argument(
+        "--json-out", metavar="PATH", help="also write the report as JSON"
+    )
+    loadgen.set_defaults(handler=cmd_loadgen)
+
+    soak = sub.add_parser(
+        "soak",
+        help="chaos soak: benign → attack → fuzz → churn → recovery → drain",
+        parents=[service_size],
+    )
+    soak.add_argument(
+        "--phase-seconds",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="wall seconds per soak phase (default: 5)",
+    )
+    soak.add_argument(
+        "--benign-qps", type=float, default=120.0, help="benign load (default: 120)"
+    )
+    soak.add_argument(
+        "--attack-qps",
+        type=float,
+        default=250.0,
+        help="mixed load during the attack phase (default: 250)",
+    )
+    soak.add_argument(
+        "--rss-limit-mb",
+        type=float,
+        default=400.0,
+        help="RSS growth ceiling over the whole soak (default: 400)",
+    )
+    soak.add_argument(
+        "--p99-limit-ms",
+        type=float,
+        default=5000.0,
+        help="benign p99 ceiling during the attack phase (default: 5000)",
+    )
+    soak.add_argument(
+        "--json-out", metavar="PATH", help="also write the report as JSON"
+    )
+    soak.set_defaults(handler=cmd_soak)
+
     timeline = sub.add_parser("timeline", help="modelled adoption timeline")
     timeline.set_defaults(handler=cmd_timeline)
     guidance = sub.add_parser("guidance", help="print the twelve items")
@@ -866,8 +1186,17 @@ def main(argv=None):
             fastpath.disable(args.disable_fastpath)
         except ValueError as exc:
             parser.error(str(exc))
-    args.handler(args)
-    return 0
+    try:
+        code = args.handler(args)
+    except KeyboardInterrupt:
+        print("repro: interrupted", file=sys.stderr)
+        return 130
+    except CampaignError as exc:
+        # Operator-facing campaign failures (bad checkpoints, foreign
+        # state dirs) get one line, not a traceback.
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    return int(code) if code else 0
 
 
 if __name__ == "__main__":

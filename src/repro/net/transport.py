@@ -37,6 +37,26 @@ DEFAULT_PAYLOAD = 1232
 DEFAULT_BACKOFF = BackoffPolicy()
 
 
+def validate_reply(raw, query_id):
+    """Parse *raw* and accept it as the reply to *query_id*, or None.
+
+    Unparseable wire and mismatched message ids are both treated as
+    off-path garbage — the caller retries as if the datagram never
+    arrived. Shared by the sim-rail :class:`Transport` and the real-socket
+    load generator (:mod:`repro.service.loadgen`): both must apply the
+    same acceptance test or their loss accounting diverges.
+    """
+    if raw is None:
+        return None
+    try:
+        response = Message.from_wire(raw)
+    except WireError:
+        return None
+    if response.id != query_id:
+        return None
+    return response
+
+
 class QueryFailure(Exception):
     """Raised when a query exhausts its retries without a usable response."""
 
@@ -118,13 +138,8 @@ class Transport:
                 reason = f"timeout budget exhausted for {dst_ip}"
                 break
             raw = yield from self.network.exchange(self.source_ip, dst_ip, wire)
-            if raw is None:
-                continue
-            try:
-                response = Message.from_wire(raw)
-            except WireError:
-                continue
-            if response.id != message.id:
+            response = validate_reply(raw, message.id)
+            if response is None:
                 continue
             if response.has_flag(Flag.TC):
                 result = yield from self._tcp_session(

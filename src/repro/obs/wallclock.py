@@ -1,0 +1,109 @@
+"""Wall-clock metrics scrape path for the real-socket service mode.
+
+:class:`~repro.obs.timeseries.TimeSeriesScraper` samples on the
+*simulated* clock — a periodic kernel task with a deterministic time
+base. The service mode (:mod:`repro.service`) runs against real OS
+sockets where the kernel clock only advances while the worker thread is
+inside a query, so its curves need real elapsed time instead.
+:class:`WallClockScraper` reuses the same selectors, ring series, and
+export formats, but samples from a daemon thread on a monotonic
+real-time interval; ``t_ms`` is milliseconds since :meth:`start`.
+
+The scrape set grows one service-specific selector: resident set size
+(:func:`rss_bytes`), the figure the soak harness bounds — a service
+surviving an attack burst only counts if its memory stayed flat too.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from repro.obs.timeseries import DEFAULT_CAPACITY, TimeSeriesScraper, default_selectors
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+
+
+def rss_bytes():
+    """Current resident set size of this process in bytes (0 if unknown).
+
+    Reads ``/proc/self/statm`` (present on every Linux the testbed runs
+    on); on platforms without procfs the selector degrades to 0 rather
+    than failing the scrape.
+    """
+    try:
+        with open("/proc/self/statm", "rb") as handle:
+            return int(handle.read().split()[1]) * _PAGE_SIZE
+    except (OSError, IndexError, ValueError):
+        return 0
+
+
+def service_selectors():
+    """The sim-rail scrape set plus the wall-clock-only RSS curve."""
+    return default_selectors() + [("rss_bytes", lambda r: float(rss_bytes()))]
+
+
+class WallClockScraper(TimeSeriesScraper):
+    """Samples selectors into ring series from a real-time daemon thread.
+
+    Inherits the selector/series/export machinery of the sim-clock
+    scraper; only the time base and lifecycle differ. Selectors read
+    counters and the cost meter without locking — safe under the GIL,
+    and a torn read costs one slightly-stale sample, never corruption.
+    """
+
+    def __init__(
+        self,
+        registry,
+        interval_s=1.0,
+        capacity=DEFAULT_CAPACITY,
+        selectors=None,
+    ):
+        super().__init__(
+            kernel=None,
+            registry=registry,
+            interval_ms=float(interval_s) * 1000.0,
+            capacity=capacity,
+            selectors=service_selectors() if selectors is None else selectors,
+        )
+        self._thread = None
+        self._stop = threading.Event()
+        self._started_at = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self):
+        """Take a t=0 baseline sample and start the scrape thread."""
+        if self._thread is None:
+            self._started_at = time.monotonic()
+            self._stop.clear()
+            self.scrape()
+            self._thread = threading.Thread(
+                target=self._run, name="wallclock-scrape", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self):
+        """Stop the thread and take a final sample (series are kept)."""
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+            self.scrape()
+
+    def _run(self):
+        while not self._stop.wait(self.interval_ms / 1000.0):
+            self.scrape()
+
+    # -- sampling ------------------------------------------------------------
+
+    def elapsed_ms(self):
+        if self._started_at is None:
+            return 0.0
+        return (time.monotonic() - self._started_at) * 1000.0
+
+    def scrape(self, t_ms=None):
+        """One sample at *t_ms* (default: real milliseconds since start)."""
+        super().scrape(self.elapsed_ms() if t_ms is None else t_ms)

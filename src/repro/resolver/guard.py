@@ -40,6 +40,7 @@ definition of per-query cost.
 from __future__ import annotations
 
 import heapq
+import threading
 from dataclasses import dataclass
 
 from repro import obs
@@ -275,6 +276,47 @@ class AdmissionController:
     def complete(self, start_ms, end_ms):
         """Record the busy interval of an admitted query."""
         heapq.heappush(self._busy, max(end_ms, start_ms))
+
+
+class ConcurrencyGate:
+    """Real-time admission control for the socket-service frontends.
+
+    :class:`AdmissionController` infers in-flight work from *completed*
+    busy intervals — sound on the simulated clock, where the campaign
+    executor records every completion before the next arrival, but
+    meaningless under wall-clock concurrency, where admitted queries are
+    still running when the next datagram lands. The gate counts
+    explicitly instead: :meth:`admit` reserves a slot, :meth:`release`
+    returns it, and an arrival finding no free slot is shed. Thread-safe
+    (the service's event loop admits while its worker thread releases).
+    """
+
+    __slots__ = ("capacity", "inflight", "admitted", "shed", "peak", "_lock")
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.inflight = 0
+        self.admitted = 0
+        self.shed = 0
+        self.peak = 0
+        self._lock = threading.Lock()
+
+    def admit(self):
+        """Reserve a work slot; False means the arrival must be shed."""
+        with self._lock:
+            if self.capacity is not None and self.inflight >= self.capacity:
+                self.shed += 1
+                return False
+            self.inflight += 1
+            self.admitted += 1
+            if self.inflight > self.peak:
+                self.peak = self.inflight
+            return True
+
+    def release(self):
+        """Return a previously admitted slot."""
+        with self._lock:
+            self.inflight -= 1
 
 
 # -- metrics ------------------------------------------------------------------

@@ -169,6 +169,10 @@ class ValidatingResolver(Host):
             finally:
                 if self.admission is not None:
                     self.admission.complete(start_ms, self.network.clock_ms)
+        return self._finish_response(query, response, verdict, via_tcp)
+
+    def _finish_response(self, query, response, verdict, via_tcp):
+        """Apply *verdict* and encode, honouring DO filtering and EDNS size."""
         verdict.apply(response)
         if not query.dnssec_ok:
             response.answer = [
@@ -183,6 +187,28 @@ class ValidatingResolver(Host):
         max_size = query.edns.payload_size if query.edns else 512
         return response.to_wire(max_size=None if via_tcp else max_size)
 
+    def shed_datagram(self, wire, via_tcp=False):
+        """A complete wire reply for one shed arrival, without resolving.
+
+        The socket service calls this from its event loop when the
+        real-time :class:`~repro.resolver.guard.ConcurrencyGate` refuses
+        an arrival: it parses the query and answers from
+        :meth:`shed_verdict` — a cache peek at most, never the iterative
+        engine — so it is safe to run concurrently with the worker
+        thread that owns the resolution state. Returns None on garbage
+        (the frontend stays silent, like the sim fabric does).
+        """
+        try:
+            query = Message.from_wire(wire)
+        except WireError:
+            return None
+        if query.is_response or query.opcode != Opcode.QUERY or not query.question:
+            return None
+        response = make_response(query, recursion_available=True)
+        question = query.question[0]
+        verdict = self.shed_verdict(question.name, question.rrtype)
+        return self._finish_response(query, response, verdict, via_tcp)
+
     # -- load shedding ----------------------------------------------------------
 
     def _admission_shed(self, question):
@@ -196,34 +222,54 @@ class ValidatingResolver(Host):
             return None
         if self.admission.admit(self.network.clock_ms):
             return None
-        qname = Name.from_text(question.name)
-        qtype = int(question.rrtype)
-        if self.guard.serve_stale:
-            stale = self.cache.peek(negative_key(qname, qtype))
-            if stale is not None:
-                cached = stale.value
+        return self.shed_verdict(question.name, question.rrtype)
+
+    def stale_verdict(self, qname, qtype):
+        """An RFC 8767 stale answer for ``(qname, qtype)``, or None.
+
+        Shared by the sim-clock admission path and the socket service's
+        real-time overload path: reads the verdict cache without
+        mutating it, so the service event loop may call it while the
+        worker thread is resolving.
+        """
+        stale = self.cache.peek(negative_key(Name.from_text(qname), int(qtype)))
+        if stale is None:
+            return None
+        cached = stale.value
+        return Verdict(
+            cached.rcode,
+            cached.answer,
+            cached.authority,
+            ad=cached.ad,
+            ede=cached.ede + ((EDE_STALE_ANSWER, "served stale under load"),),
+        )
+
+    def shed_verdict(self, qname, qtype):
+        """The overload answer for one shed arrival (RFC 8767 where possible).
+
+        An expired cached verdict for the same question is served with
+        EDE 3 (Stale Answer); otherwise the query is REFUSED outright.
+        Also counts the shed in ``repro_guard_shed_total``.
+        """
+        if self.guard is not None and self.guard.serve_stale:
+            verdict = self.stale_verdict(qname, qtype)
+            if verdict is not None:
                 resource_guard.count_shed(self.name, "stale")
                 if obs.events:
                     obs.emit(
                         "guard.shed",
                         resolver=self.name,
                         action="stale",
-                        qname=question.name,
+                        qname=str(qname),
                     )
-                return Verdict(
-                    cached.rcode,
-                    cached.answer,
-                    cached.authority,
-                    ad=cached.ad,
-                    ede=cached.ede + ((EDE_STALE_ANSWER, "served stale under load"),),
-                )
+                return verdict
         resource_guard.count_shed(self.name, "refused")
         if obs.events:
             obs.emit(
                 "guard.shed",
                 resolver=self.name,
                 action="refused",
-                qname=question.name,
+                qname=str(qname),
             )
         return Verdict(Rcode.REFUSED, [], [])
 

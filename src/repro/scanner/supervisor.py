@@ -344,6 +344,55 @@ def _scan_result_from_record(domain, record):
 # -- the worker --------------------------------------------------------------
 
 
+class OperatorShutdown(Exception):
+    """Raised at a unit boundary after a SIGTERM/SIGINT reached the worker.
+
+    By the time this propagates, the checkpoint journal is flushed and a
+    final ``phase="terminated"`` heartbeat is on disk — the supervisor
+    reads that phase and treats the exit as an operator decision rather
+    than a crash to restart.
+    """
+
+    def __init__(self, signum):
+        super().__init__(f"operator shutdown (signal {signum})")
+        self.signum = signum
+
+
+class _ShutdownFlag:
+    """Deferred SIGTERM/SIGINT handling for the worker's unit loop.
+
+    The signal handler only records the signum — no journal writes from
+    handler context, where a frame could be half-written. The unit loop
+    calls :meth:`check` at unit boundaries: flush the journal, write the
+    final heartbeat, and unwind via :class:`OperatorShutdown`, so an
+    operator ``kill`` is indistinguishable from a clean finish as far as
+    checkpoint integrity goes.
+    """
+
+    def __init__(self, checkpoint, heartbeat):
+        self.checkpoint = checkpoint
+        self.heartbeat = heartbeat
+        self.signum = None
+
+    def install(self):
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                signal.signal(signum, self._handle)
+            except ValueError:
+                return  # not the main thread (in-process tests drive us)
+
+    def _handle(self, signum, frame):
+        self.signum = signum
+
+    def check(self):
+        if self.signum is None:
+            return
+        self.checkpoint.flush()
+        self.heartbeat.advance(phase="terminated")
+        self.heartbeat.stop()
+        raise OperatorShutdown(self.signum)
+
+
 class _KillSwitch:
     """Worker-side seeded fault: SIGKILL/hang after N completed units.
 
@@ -384,6 +433,11 @@ def worker_main(spec):
     errors land in the shard's ``.err`` file and a nonzero exit."""
     try:
         _worker_run(spec)
+    except OperatorShutdown as stop:
+        # Clean operator-initiated exit: journal flushed and final
+        # heartbeat written before the raise; no .err file, and the
+        # conventional 128+signum exit code.
+        os._exit(128 + stop.signum)
     except BaseException:
         try:
             with open(spec["error_path"], "w", encoding="utf-8") as handle:
@@ -433,6 +487,8 @@ def _worker_run(spec):
         discard=plan.discard_checkpoint,
     )
     killer = _KillSwitch(spec.get("directive"), checkpoint)
+    shutdown = _ShutdownFlag(checkpoint, heartbeat)
+    shutdown.install()
 
     universe = UnitUniverse(plan)
     tld_specs = universe.tld_specs
@@ -612,6 +668,7 @@ def _worker_run(spec):
             done += 1
             resumed += 1
             heartbeat.advance(units_done=done)
+            shutdown.check()
             continue
         kind, name = unit
         heartbeat.advance(phase=phase_of[kind])
@@ -651,6 +708,7 @@ def _worker_run(spec):
         executed += 1
         heartbeat.advance(units_done=done)
         killer.after_unit(done)
+        shutdown.check()
 
     if engine is not None:
         engine.drain()
@@ -691,6 +749,7 @@ def _worker_run(spec):
                     executed += 1
                     heartbeat.advance(units_done=done)
                     killer.after_unit(done)
+                    shutdown.check()
                 else:
                     last[key] = matrix
                     still_failing.append((index, key))
@@ -746,6 +805,8 @@ class Coverage:
     missing: list = field(default_factory=list)
     #: Shards that exceeded their restart budget.
     lame_shards: list = field(default_factory=list)
+    #: Shards stopped cleanly by an operator signal (journal flushed).
+    stopped_shards: list = field(default_factory=list)
 
     @property
     def complete(self):
@@ -779,7 +840,7 @@ class _ShardState:
         self.shard = shard
         self.units_assigned = units_assigned
         self.attempt = 0
-        self.status = "pending"      # pending | running | done | lame
+        self.status = "pending"      # pending | running | done | lame | stopped
         self.handle = None
         self.next_start_t = 0.0
         self.watchdog = None
@@ -939,7 +1000,23 @@ def run_supervised(plan):
                         f"(attempt {state.attempt}, exit {exitcode})"
                     )
                 else:
-                    quarantine_or_restart(state, f"exit {exitcode}")
+                    beat = handle.heartbeat()
+                    if (
+                        beat is not None
+                        and beat.attempt == state.attempt
+                        and beat.phase == "terminated"
+                    ):
+                        # Operator SIGTERM/SIGINT: the worker flushed its
+                        # journal and said goodbye — an intentional stop,
+                        # not a crash to restart.
+                        state.status = "stopped"
+                        _log(
+                            f"shard {state.shard} stopped by operator "
+                            f"signal (exit {exitcode}); journal flushed, "
+                            "not restarting"
+                        )
+                    else:
+                        quarantine_or_restart(state, f"exit {exitcode}")
                 continue
             beat = handle.heartbeat()
             state.watchdog.observe(beat)
@@ -1013,6 +1090,7 @@ def merge_shards(plan, units, domain_specs, shards):
     coverage = Coverage(
         units_total=len(units),
         lame_shards=[s.shard for s in shards if s.status == "lame"],
+        stopped_shards=[s.shard for s in shards if s.status == "stopped"],
     )
     domain_results = []
     tld_results = []

@@ -138,6 +138,16 @@ class AuthoritativeServer(Host):
         #: Optional hook: called with a qname that matched no hosted
         #: zone; may materialise and host one on the spot (lazy SLDs).
         self.zone_factory = None
+        #: Optional clock override for query-log timestamps. The
+        #: simulated campaigns leave it None (log entries carry the sim
+        #: clock); the socket service points it at wall time so live
+        #: logs line up with operator tooling.
+        self.clock = None
+
+    def _log_clock(self):
+        if self.clock is not None:
+            return self.clock()
+        return self.network.clock_ms if self.network else 0.0
 
     def add_zone(self, zone):
         """Host *zone* (keyed by origin) on this server."""
@@ -281,7 +291,7 @@ class AuthoritativeServer(Host):
     def _serve_cached(self, query, entry, src_ip):
         """Log, re-charge the cost model, and splice the query id in."""
         question = query.question[0]
-        clock = self.network.clock_ms if self.network else 0.0
+        clock = self._log_clock()
         self.log.record(src_ip, question.name.to_text(), question.rrtype, clock)
         self.answer_cache.hits += 1
         if not obs.enabled:
@@ -315,7 +325,7 @@ class AuthoritativeServer(Host):
         as almost every registry does in practice.
         """
         question = query.question[0]
-        clock = self.network.clock_ms if self.network else 0.0
+        clock = self._log_clock()
         self.log.record(src_ip, question.name.to_text(), question.rrtype, clock)
         response = make_response(query)
         zone = self.zones.get(question.name)
@@ -350,7 +360,7 @@ class AuthoritativeServer(Host):
             response.rcode = Rcode.FORMERR
             return response
         question = query.question[0]
-        clock = self.network.clock_ms if self.network else 0.0
+        clock = self._log_clock()
         self.log.record(src_ip, question.name.to_text(), question.rrtype, clock)
 
         response = make_response(query)

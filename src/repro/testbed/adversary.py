@@ -45,6 +45,26 @@ from repro.zone.signing import SigningPolicy, sign_zone
 
 PARENT_DOMAIN = "nsec3-attack-lab.com"
 
+
+def attack_qname(kind, unique=""):
+    """FQDN to query for attack zone *kind* with a cache-busting label.
+
+    Module-level (no :class:`AttackZoneSet` required) so traffic
+    generators — the service-mode loadgen in particular — can build
+    attack streams against an already-deployed lab without holding zone
+    handles.
+    """
+    prefix = f"{unique}." if unique else ""
+    return f"{prefix}{kind}.{PARENT_DOMAIN}"
+
+
+def default_attack_kinds(encloser_iterations=None):
+    """The child-zone labels :func:`build_attack_zones` deploys by default."""
+    iterations = ENCLOSER_ITERATIONS if encloser_iterations is None else encloser_iterations
+    return [f"encloser-{min(int(i), RFC5155_MAX_ITERATIONS)}" for i in iterations] + [
+        "keytrap"
+    ]
+
 #: Iteration counts for the encloser-attack children (capped at the
 #: RFC 5155 ceiling — beyond it every resolver may answer insecurely
 #: without hashing, which defeats the attack).
@@ -73,8 +93,7 @@ class AttackZoneSet:
 
     def attack_name(self, kind, unique=""):
         """FQDN to query for attack zone *kind* with a cache-busting label."""
-        prefix = f"{unique}." if unique else ""
-        return f"{prefix}{kind}.{PARENT_DOMAIN}"
+        return attack_qname(kind, unique)
 
     def attack_kinds(self):
         """Child zone labels in deterministic probing order."""

@@ -1,0 +1,161 @@
+"""Circuit-breaker half-open edges and backoff jitter determinism.
+
+The breaker runs on an injected clock, so every timing edge here is
+exact: the recovery boundary, the single half-open probe, re-opening on
+a failed probe, and the no-wedge rule when a probe never reports back.
+"""
+
+import random
+
+import pytest
+
+from repro.net.resilience import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BackoffPolicy,
+    CircuitBreaker,
+)
+
+DST = "192.0.2.53"
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return _Clock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(clock, failure_threshold=3, recovery_ms=1500.0)
+
+
+def trip(breaker, dst=DST):
+    for __ in range(breaker.failure_threshold):
+        breaker.record_failure(dst)
+    assert breaker.state(dst) == OPEN
+
+
+class TestCircuitBreakerHalfOpen:
+    def test_recovery_boundary_is_inclusive(self, breaker, clock):
+        trip(breaker)
+        clock.now = 1499.999
+        assert not breaker.allow(DST)
+        assert breaker.state(DST) == OPEN
+        clock.now = 1500.0  # exactly recovery_ms: the probe goes out
+        assert breaker.allow(DST)
+        assert breaker.state(DST) == HALF_OPEN
+
+    def test_successful_probe_closes(self, breaker, clock):
+        trip(breaker)
+        clock.now = 2000.0
+        assert breaker.allow(DST)
+        breaker.record_success(DST)
+        assert breaker.state(DST) == CLOSED
+        # The failure evidence is gone: one new failure must not re-trip.
+        breaker.record_failure(DST)
+        assert breaker.state(DST) == CLOSED
+
+    def test_failed_probe_reopens_immediately(self, breaker, clock):
+        trip(breaker)
+        clock.now = 2000.0
+        assert breaker.allow(DST)
+        # One failure in half-open re-opens — no fresh threshold count.
+        breaker.record_failure(DST)
+        assert breaker.state(DST) == OPEN
+        # And the recovery window restarts from the probe's failure time.
+        clock.now = 3499.0
+        assert not breaker.allow(DST)
+        clock.now = 3500.0
+        assert breaker.allow(DST)
+        assert breaker.state(DST) == HALF_OPEN
+
+    def test_lost_probe_does_not_wedge(self, breaker, clock):
+        # A probe that never reports back (crashed session, dropped
+        # reply) must not leave the destination unreachable forever.
+        trip(breaker)
+        clock.now = 2000.0
+        assert breaker.allow(DST)
+        for __ in range(5):
+            assert breaker.allow(DST)
+        assert breaker.state(DST) == HALF_OPEN
+
+    def test_transitions_are_logged_in_order(self, breaker, clock):
+        trip(breaker)
+        clock.now = 1600.0
+        breaker.allow(DST)
+        breaker.record_failure(DST)
+        clock.now = 3200.0
+        breaker.allow(DST)
+        breaker.record_success(DST)
+        assert breaker.transitions == [
+            (DST, CLOSED, OPEN),
+            (DST, OPEN, HALF_OPEN),
+            (DST, HALF_OPEN, OPEN),
+            (DST, OPEN, HALF_OPEN),
+            (DST, HALF_OPEN, CLOSED),
+        ]
+
+    def test_quarantine_lists_only_cooling_circuits(self, breaker, clock):
+        trip(breaker)
+        breaker.record_failure("192.0.2.99")  # below threshold: closed
+        assert breaker.quarantined() == [DST]
+        clock.now = 1500.0  # window over: eligible for a probe again
+        assert breaker.quarantined() == []
+
+    def test_destinations_are_independent(self, breaker, clock):
+        trip(breaker)
+        other = "198.51.100.7"
+        assert breaker.allow(other)
+        breaker.record_failure(other)
+        assert breaker.state(other) == CLOSED
+        assert breaker.state(DST) == OPEN
+
+    def test_success_resets_consecutive_failure_count(self, breaker):
+        for __ in range(breaker.failure_threshold - 1):
+            breaker.record_failure(DST)
+        breaker.record_success(DST)
+        for __ in range(breaker.failure_threshold - 1):
+            breaker.record_failure(DST)
+        assert breaker.state(DST) == CLOSED
+
+
+class TestBackoffPolicy:
+    def test_seeded_jitter_is_deterministic(self):
+        policy = BackoffPolicy(base_ms=40.0, factor=2.0, max_ms=2000.0, jitter=0.5)
+        first = [policy.delay_ms(n, random.Random(99)) for n in range(1, 7)]
+        second = [policy.delay_ms(n, random.Random(99)) for n in range(1, 7)]
+        assert first == second
+        # Different seeds decorrelate retry storms.
+        other = [policy.delay_ms(n, random.Random(100)) for n in range(1, 7)]
+        assert other != first
+
+    def test_zero_jitter_is_exact_exponential(self):
+        policy = BackoffPolicy(base_ms=40.0, factor=2.0, max_ms=2000.0, jitter=0.0)
+        rng = random.Random(1)
+        assert [policy.delay_ms(n, rng) for n in range(1, 8)] == [
+            40.0,
+            80.0,
+            160.0,
+            320.0,
+            640.0,
+            1280.0,
+            2000.0,  # capped
+        ]
+
+    def test_jitter_bounds_hold_even_at_the_cap(self):
+        policy = BackoffPolicy(base_ms=40.0, factor=2.0, max_ms=2000.0, jitter=0.5)
+        rng = random.Random(7)
+        for attempt in range(1, 12):
+            raw = min(policy.max_ms, policy.base_ms * policy.factor ** (attempt - 1))
+            for __ in range(50):
+                delay = policy.delay_ms(attempt, rng)
+                assert raw <= delay <= raw * (1.0 + policy.jitter)

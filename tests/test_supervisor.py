@@ -469,3 +469,175 @@ class TestSupervisedAcceptance:
     def test_requires_at_least_two_workers(self, tmp_path):
         with pytest.raises(ValueError):
             run_supervised(_plan(workers=1, state_dir=str(tmp_path)))
+
+
+class TestOperatorShutdown:
+    """Graceful SIGTERM/SIGINT: journal flushed, no restart storm."""
+
+    class _FakeCheckpoint:
+        def __init__(self, log):
+            self.log = log
+
+        def flush(self):
+            self.log.append("flush")
+
+    class _FakeHeartbeat:
+        def __init__(self, log):
+            self.log = log
+
+        def advance(self, **kwargs):
+            self.log.append(("advance", kwargs))
+
+        def stop(self):
+            self.log.append("stop")
+
+    def _flag(self):
+        import signal as signal_module
+
+        from repro.scanner.supervisor import _ShutdownFlag
+
+        log = []
+        flag = _ShutdownFlag(
+            self._FakeCheckpoint(log), self._FakeHeartbeat(log)
+        )
+        return flag, log, signal_module
+
+    def test_inert_until_a_signal_arrives(self):
+        flag, log, __ = self._flag()
+        flag.check()
+        flag.check()
+        assert log == []
+
+    def test_check_flushes_says_goodbye_and_raises(self):
+        from repro.scanner.supervisor import OperatorShutdown
+
+        flag, log, signal_module = self._flag()
+        flag._handle(signal_module.SIGTERM, None)  # what the handler does
+        with pytest.raises(OperatorShutdown) as info:
+            flag.check()
+        assert info.value.signum == signal_module.SIGTERM
+        # Journal first (nothing resumable may be lost), then the final
+        # "terminated" heartbeat the supervisor recognises, then stop.
+        assert log == [
+            "flush",
+            ("advance", {"phase": "terminated"}),
+            "stop",
+        ]
+
+    def test_exit_code_encodes_the_signal(self):
+        import signal as signal_module
+
+        from repro.scanner.supervisor import OperatorShutdown
+
+        stop = OperatorShutdown(signal_module.SIGTERM)
+        assert 128 + stop.signum == 143
+        assert "signal" in str(stop)
+
+    def test_stopped_shard_merges_its_journal(self, tmp_path):
+        plan = _plan(
+            "scan", domains=8, tlds=6, resolvers=0, state_dir=str(tmp_path)
+        )
+        units, domain_specs, __ = plan_units(plan)
+        shard0 = _ShardState(0, len(shard_units(units, 0, 2)))
+        shard0.status = "done"
+        shard1 = _ShardState(1, len(shard_units(units, 1, 2)))
+        shard1.status = "stopped"
+
+        checkpoint0 = CampaignCheckpoint(
+            _checkpoint_path(str(tmp_path), 0), schema=WORKER_SCHEMA
+        )
+        for unit in shard_units(units, 0, 2):
+            checkpoint0.record(unit_key(unit), {"enabled": False})
+        checkpoint0.flush()
+        # The operator's SIGTERM landed after shard 1 journaled one unit.
+        salvaged = shard_units(units, 1, 2)[0]
+        checkpoint1 = CampaignCheckpoint(
+            _checkpoint_path(str(tmp_path), 1), schema=WORKER_SCHEMA
+        )
+        checkpoint1.record(unit_key(salvaged), {"enabled": False})
+        checkpoint1.flush()
+
+        outcome = merge_shards(plan, units, domain_specs, [shard0, shard1])
+        coverage = outcome.coverage
+        assert coverage.stopped_shards == [1]
+        assert coverage.lame_shards == []
+        # The flushed prefix made it into the merged report...
+        assert coverage.units_merged == len(shard_units(units, 0, 2)) + 1
+        # ...and the un-scanned tail is reported as missing, so a stop
+        # mid-campaign still reads as partial coverage.
+        assert not coverage.complete
+
+
+class TestCliExitCodes:
+    """Operator-facing CLI failures: one line on stderr, typed exit codes."""
+
+    def test_keyboard_interrupt_exits_130(self, monkeypatch, capsys):
+        import repro.__main__ as cli
+
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "cmd_guidance", interrupted)
+        assert cli.main(["guidance"]) == 130
+        captured = capsys.readouterr()
+        assert "repro: interrupted" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_campaign_error_exits_2_with_one_line(self, monkeypatch, capsys):
+        import repro.__main__ as cli
+
+        def failing(args):
+            raise CampaignError("state dir belongs to another campaign")
+
+        monkeypatch.setattr(cli, "cmd_guidance", failing)
+        assert cli.main(["guidance"]) == 2
+        captured = capsys.readouterr()
+        assert "repro: state dir belongs to another campaign" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_exit_code_on_partial_returns_4(self, monkeypatch, tmp_path, capsys):
+        import repro.__main__ as cli
+        import repro.scanner.supervisor as supervisor_module
+
+        coverage = Coverage(units_total=4, units_merged=3, missing=["d/x"])
+        outcome = SimpleNamespace(
+            domain_results=[], total_domains=2, coverage=coverage
+        )
+        monkeypatch.setattr(
+            supervisor_module, "run_supervised", lambda plan: outcome
+        )
+        monkeypatch.setattr(
+            supervisor_module.CampaignPlan,
+            "from_args",
+            classmethod(lambda cls, args, role: None),
+        )
+        args = SimpleNamespace(
+            state_dir=str(tmp_path),
+            metrics_out=None,
+            exit_code_on_partial=True,
+        )
+        assert cli._run_supervised_command(args, "scan") == 4
+        assert "exiting 4" in capsys.readouterr().err
+
+    def test_complete_coverage_returns_none(self, monkeypatch, tmp_path):
+        import repro.__main__ as cli
+        import repro.scanner.supervisor as supervisor_module
+
+        coverage = Coverage(units_total=4, units_merged=4)
+        outcome = SimpleNamespace(
+            domain_results=[], total_domains=2, coverage=coverage
+        )
+        monkeypatch.setattr(
+            supervisor_module, "run_supervised", lambda plan: outcome
+        )
+        monkeypatch.setattr(
+            supervisor_module.CampaignPlan,
+            "from_args",
+            classmethod(lambda cls, args, role: None),
+        )
+        args = SimpleNamespace(
+            state_dir=str(tmp_path),
+            metrics_out=None,
+            exit_code_on_partial=True,
+        )
+        assert cli._run_supervised_command(args, "scan") is None
