@@ -16,9 +16,13 @@ is asserted inline: both runs must classify every resolver identically.
 run single-process and under the crash-safe campaign supervisor
 (``--workers 4``), asserting the reports byte-identical and recording
 wall-clock for both, the per-shard build/measure split, and the fleet's
-critical path (what the wall-clock becomes once each worker has its own
-core — every worker pays the full testbed build, so on fewer cores than
-workers the duplicated builds contend and the fleet cannot win).
+critical path.  It also records ``BENCH_10.json``: the supervised fleet
+run cold (empty signed-zone build cache), warm (cache pre-populated by
+the cold run), and with ``--disable-fastpath build_cache``, under both a
+clean network and a chaos ``kill:`` fleet — asserting all reports
+byte-identical to the single-process run, that the warm fleet's
+cache-hit counter is nonzero, and recording per-shard build seconds for
+the cold/warm comparison against BENCH_7's duplicated-build baseline.
 
 ``--scale-bench`` records ``BENCH_8.json``: wall-clock and peak RSS of
 the streamed (constant-memory) study across population scales, asserting
@@ -189,8 +193,25 @@ WORKERS_BENCH_ARGS = [
 ]
 
 
+#: The chaos fleet used for the BENCH_10 equivalence runs: every shard
+#: takes one seeded SIGKILL a quarter of the way through its units.
+BENCH_10_FAULTS = ["--faults", "kill:1.0:1:0.25", "--stall-timeout", "30"]
+
+
+def _cpu_counts():
+    """Both CPU figures a speedup number needs: what the host has and
+    what this process may actually use (cgroup/affinity limited)."""
+    affinity = (
+        len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity")
+        else os.cpu_count()
+    )
+    return {"cpu_count": os.cpu_count(), "cpu_affinity": affinity}
+
+
 def workers_bench(workers=4):
-    """Record ``BENCH_7.json``: single-process vs supervised fleet."""
+    """Record ``BENCH_7.json`` (single vs fleet) and ``BENCH_10.json``
+    (the signed-zone build cache cold/warm/disabled, clean and chaos)."""
     import shutil
     import tempfile
 
@@ -208,20 +229,7 @@ def workers_bench(workers=4):
         )
         return proc.stdout, round(time.perf_counter() - start, 2)
 
-    print("measuring single-process (--workers 1) ...", flush=True)
-    single_stdout, single_seconds = run([])
-    print(f"  {single_seconds}s")
-    state_dir = tempfile.mkdtemp(prefix="repro-bench7-")
-    try:
-        print(f"measuring supervised fleet (--workers {workers}) ...", flush=True)
-        fleet_stdout, fleet_seconds = run(
-            ["--workers", str(workers), "--state-dir", state_dir]
-        )
-        print(f"  {fleet_seconds}s")
-        if fleet_stdout != single_stdout:
-            raise SystemExit(
-                "FATAL: supervised report differs from single-process"
-            )
+    def read_shards(state_dir):
         shard_reports = []
         for shard in range(workers):
             with open(
@@ -237,24 +245,106 @@ def workers_bench(workers=4):
                     "measure_seconds": report["measure_seconds"],
                     "build_cpu_seconds": report["build_cpu_seconds"],
                     "measure_cpu_seconds": report["measure_cpu_seconds"],
+                    "built": report.get("built"),
+                    "build_cache": report.get("build_cache"),
                 }
             )
-    finally:
-        shutil.rmtree(state_dir, ignore_errors=True)
+        return shard_reports
 
-    # The fleet's wall-clock floor with one core per worker: the slowest
-    # worker's build plus its share of the measurement, in CPU seconds
-    # (worker wall times are inflated by sibling contention when the
-    # host has fewer cores than workers).
+    def fleet_run(label, single_stdout, cache_from=None, extra=(), keep=False):
+        """One supervised run in a fresh state dir; returns its record.
+
+        *cache_from* seeds the new state dir's ``build-cache/`` with a
+        previous run's entries — the "warm" configuration. With *keep*
+        the state dir survives (the caller reuses its cache and removes
+        it); otherwise it is deleted here.
+        """
+        state_dir = tempfile.mkdtemp(prefix="repro-bench10-")
+        try:
+            if cache_from is not None:
+                shutil.copytree(
+                    os.path.join(cache_from, "build-cache"),
+                    os.path.join(state_dir, "build-cache"),
+                )
+            print(f"measuring fleet [{label}] ...", flush=True)
+            stdout, wall = run(
+                ["--workers", str(workers), "--state-dir", state_dir, *extra]
+            )
+            print(f"  {wall}s")
+            if stdout != single_stdout:
+                raise SystemExit(
+                    f"FATAL: supervised report [{label}] differs from "
+                    "single-process"
+                )
+            shards = read_shards(state_dir)
+            cache_events = {}
+            for shard in shards:
+                for event, count in (shard["build_cache"] or {}).items():
+                    cache_events[event] = cache_events.get(event, 0) + count
+            record = {
+                "wall_seconds": wall,
+                "shard_build_seconds": [s["build_seconds"] for s in shards],
+                "max_shard_build_seconds": max(
+                    s["build_seconds"] for s in shards
+                ),
+                "build_cache_events": cache_events,
+                "shards": shards,
+            }
+        except BaseException:
+            shutil.rmtree(state_dir, ignore_errors=True)
+            raise
+        if not keep:
+            shutil.rmtree(state_dir, ignore_errors=True)
+            return None, record
+        return state_dir, record
+
+    print("measuring single-process (--workers 1) ...", flush=True)
+    single_stdout, single_seconds = run([])
+    print(f"  {single_seconds}s")
+
+    cold_dir = None
+    try:
+        cold_dir, cold = fleet_run("clean/cold", single_stdout, keep=True)
+        __, warm = fleet_run("clean/warm", single_stdout, cache_from=cold_dir)
+        __, disabled = fleet_run(
+            "clean/disabled",
+            single_stdout,
+            extra=["--disable-fastpath", "build_cache"],
+        )
+        __, chaos_cold = fleet_run(
+            "chaos/cold", single_stdout, extra=BENCH_10_FAULTS
+        )
+        __, chaos_warm = fleet_run(
+            "chaos/warm",
+            single_stdout,
+            cache_from=cold_dir,
+            extra=BENCH_10_FAULTS,
+        )
+        __, chaos_disabled = fleet_run(
+            "chaos/disabled",
+            single_stdout,
+            extra=["--disable-fastpath", "build_cache", *BENCH_10_FAULTS],
+        )
+    finally:
+        if cold_dir is not None:
+            shutil.rmtree(cold_dir, ignore_errors=True)
+
+    warm_hits = warm["build_cache_events"].get("hit", 0)
+    if not warm_hits:
+        raise SystemExit("FATAL: warm fleet recorded zero cache hits")
+
+    # --- BENCH_7: single vs (cold) fleet, unchanged shape ------------
+    shard_reports = cold["shards"]
     critical_path = max(
         r["build_cpu_seconds"] + r["measure_cpu_seconds"]
         for r in shard_reports
     )
+    fleet_seconds = cold["wall_seconds"]
     record = {
         "bench": "supervised fleet vs single process "
                  "(headline study, survey-heavy scale)",
         "workload": " ".join(WORKERS_BENCH_ARGS),
-        "cpu_count": os.cpu_count(),
+        **_cpu_counts(),
         "workers_1": {"wall_seconds": single_seconds},
         f"workers_{workers}": {
             "wall_seconds": fleet_seconds,
@@ -270,9 +360,61 @@ def workers_bench(workers=4):
         json.dump(record, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(
-        f"wall speedup {record['speedup_wall']}x on {os.cpu_count()} cpu(s); "
+        f"wall speedup {record['speedup_wall']}x "
+        f"(host {record['cpu_count']} cpus, {record['cpu_affinity']} usable); "
         f"critical-path speedup {record['speedup_critical_path']}x; "
         f"reports identical; wrote {output}"
+    )
+
+    # --- BENCH_10: the build cache, cold/warm/disabled ----------------
+    build_speedup = (
+        cold["max_shard_build_seconds"] / warm["max_shard_build_seconds"]
+        if warm["max_shard_build_seconds"]
+        else None
+    )
+    record10 = {
+        "bench": "signed-zone build cache: supervised fleet cold vs warm "
+                 "vs --disable-fastpath build_cache, clean and chaos kill:",
+        "workload": " ".join(WORKERS_BENCH_ARGS),
+        "chaos_faults": " ".join(BENCH_10_FAULTS),
+        **_cpu_counts(),
+        "workers": workers,
+        "single": {"wall_seconds": single_seconds},
+        "clean": {"cold": cold, "warm": warm, "disabled": disabled},
+        "chaos": {
+            "cold": chaos_cold,
+            "warm": chaos_warm,
+            "disabled": chaos_disabled,
+        },
+        "warm_cache_hits": warm_hits,
+        "build_speedup_warm_vs_cold": (
+            round(build_speedup, 2) if build_speedup else None
+        ),
+        "build_speedup_warm_vs_disabled": round(
+            disabled["max_shard_build_seconds"]
+            / warm["max_shard_build_seconds"],
+            2,
+        ),
+        "fleet_beats_single": warm["wall_seconds"] < single_seconds,
+        "results_identical": True,
+        "note": "shard build seconds: disabled = every worker cold-signs"
+                " the whole testbed; cold = the fleet splits signing via"
+                " the cache (first needer signs, siblings load); warm ="
+                " pure loads. fleet_beats_single is only meaningful with"
+                " cpu_affinity >= workers — on fewer cores the fleet"
+                " serialises on one CPU and pays spawn overhead, and"
+                " BENCH_7's critical-path speedup is the multi-core"
+                " predictor.",
+    }
+    output10 = os.path.join(REPO_ROOT, "BENCH_10.json")
+    with open(output10, "w", encoding="utf-8") as handle:
+        json.dump(record10, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"build cache: cold max shard build {cold['max_shard_build_seconds']}s"
+        f" -> warm {warm['max_shard_build_seconds']}s"
+        f" ({record10['build_speedup_warm_vs_cold']}x), {warm_hits} hits; "
+        f"all six reports identical; wrote {output10}"
     )
 
 

@@ -57,6 +57,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 
@@ -78,6 +79,7 @@ from repro.scanner.engine import ScanEngine
 from repro.scanner.nsec3_scan import domain_rng, scan_domain, scan_tlds
 from repro.scanner.resolver_scan import ResolverSurvey, SurveyRetryPolicy
 from repro.testbed.internet import build_internet
+from repro.zone import build_cache
 from repro.scanner.supervisor import deployment_counts
 from repro.testbed.population import (
     Population,
@@ -100,6 +102,14 @@ def _build(args, with_probes):
     # campaign workers must derive the identical population.
     config = scaled_config(args.domains, args.tlds)
     tlds = generate_tlds(config)
+    # A --state-dir also hosts the cross-process signed-zone build
+    # cache: a second run (or a worker fleet pointed at the same dir)
+    # loads its DNSSEC artifacts instead of re-signing the testbed.
+    # ``--disable-fastpath build_cache`` makes active() return None,
+    # forcing the cold path while the summaries keep reporting.
+    state_dir = getattr(args, "state_dir", None)
+    if state_dir is not None:
+        build_cache.activate(os.path.join(state_dir, "build-cache"))
     started = time.perf_counter()
     if _streamed(args):
         # Streamed default: the population is an index-addressed stream
@@ -331,13 +341,27 @@ def _mem_summary(args):
     return f" peak_rss_bytes={peak_rss} tracemalloc_peak_bytes={traced_peak}"
 
 
+def _build_summary(inet):
+    """Build-cache and lazy-host fragments of the [sim] line, or ''."""
+    parts = ""
+    cache = build_cache.handle()
+    if cache is not None and cache.events:
+        parts += f" build_cache={cache.summary()}"
+    if inet.lazy_host is not None:
+        parts += (
+            f" lazy_zones=builds:{inet.lazy_host.builds}"
+            f",evictions:{inet.lazy_host.evictions}"
+        )
+    return parts
+
+
 def _sim_summary(args, inet):
     """One stderr line about the kernel run (stdout stays diffable)."""
     kernel = inet.network.kernel
     print(
         f"[sim] concurrency={getattr(args, 'concurrency', 1)} "
         f"clock_ms={kernel.now:.0f} events={kernel.events_run}"
-        f"{_mem_summary(args)}",
+        f"{_build_summary(inet)}{_mem_summary(args)}",
         file=sys.stderr,
     )
 
@@ -885,8 +909,9 @@ def _fleet_parent():
     group.add_argument(
         "--state-dir",
         metavar="DIR",
-        help="directory for shard checkpoints/heartbeats (default: a fresh "
-        "temp dir; pass the same DIR again to resume a killed campaign)",
+        help="directory for shard checkpoints/heartbeats and the shared "
+        "signed-zone build cache (default: a fresh temp dir; pass the "
+        "same DIR again to resume a killed campaign or reuse its cache)",
     )
     group.add_argument(
         "--discard-checkpoint",

@@ -78,6 +78,17 @@ class KeyPair:
             return self.private.sign(message)
         raise UnsupportedAlgorithm(f"algorithm {self.algorithm}")
 
+    def bulk_signer(self):
+        """A ``message -> signature`` closure for many-RRset signing loops.
+
+        For RSA keys this hoists the EMSA prefix and CRT context out of
+        the loop (see :meth:`RsaPrivateKey.signer`); ECDSA signing has no
+        per-key setup worth hoisting, so :meth:`sign` is returned as-is.
+        """
+        if self.algorithm in _RSA_HASH:
+            return self.private.signer(_RSA_HASH[self.algorithm])
+        return self.sign
+
 
 def generate_keypair(algorithm=ALG_ECDSAP256SHA256, ksk=False, rsa_bits=1024, rng=None):
     """Generate a signing key pair for the given DNSSEC algorithm.

@@ -83,6 +83,37 @@ class RsaPrivateKey:
             signature = pow(c, self.d, self.n)
         return signature.to_bytes(self.size, "big")
 
+    def signer(self, hash_name="sha256"):
+        """A ``message -> signature`` closure with per-key setup hoisted.
+
+        Zone signing calls :meth:`sign` once per RRset with the same key
+        and hash; the closure binds the EMSA head, the output size, and
+        the CRT (or plain-``d``) parameters once instead of re-deriving
+        them per record. The ``rsa_crt`` kill switch is honoured at
+        closure-creation time, matching a signing loop that checks it
+        per call — the switch never flips mid-zone.
+        """
+        head = _emsa_head(self.size, hash_name)
+        size = self.size
+        new = hashlib.new
+        if self.dp is not None and fastpath.enabled("rsa_crt"):
+            p, q, dp, dq, qinv = self.p, self.q, self.dp, self.dq, self.qinv
+
+            def sign(message):
+                c = int.from_bytes(head + new(hash_name, message).digest(), "big")
+                m1 = pow(c, dp, p)
+                m2 = pow(c, dq, q)
+                return (m2 + ((qinv * (m1 - m2)) % p) * q).to_bytes(size, "big")
+
+        else:
+            n, d = self.n, self.d
+
+            def sign(message):
+                c = int.from_bytes(head + new(hash_name, message).digest(), "big")
+                return pow(c, d, n).to_bytes(size, "big")
+
+        return sign
+
 
 class RsaPublicKey:
     """An RSA public key (n, e)."""

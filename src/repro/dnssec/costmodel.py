@@ -18,6 +18,7 @@ reset it around measured regions. Counters:
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 
@@ -104,6 +105,36 @@ class CostMeter:
         return CostSnapshot(
             self.sha1_compressions, self.nsec3_hashes, self.signature_verifications
         )
+
+    @contextmanager
+    def suspended(self):
+        """Charges inside the block leave no trace on the meter.
+
+        Used by the build-cache warm pass: it pre-computes signing work
+        the campaign will charge at query time (cold materialisation or
+        cache load — identical either way), so charging it at build time
+        too would double-count. Listener and recorder are detached for
+        the duration and the counters are restored on exit.
+        """
+        saved = (
+            self.sha1_compressions,
+            self.nsec3_hashes,
+            self.signature_verifications,
+            self.listener,
+            self.recorder,
+        )
+        self.listener = None
+        self.recorder = None
+        try:
+            yield self
+        finally:
+            (
+                self.sha1_compressions,
+                self.nsec3_hashes,
+                self.signature_verifications,
+                self.listener,
+                self.recorder,
+            ) = saved
 
     def reset(self):
         self.sha1_compressions = 0

@@ -89,13 +89,18 @@ def sign_rrset(
     inception=None,
     expiration=None,
     now=SIMULATION_NOW,
+    sign=None,
 ):
     """Produce an :class:`RRSIG` rdata over *rrset* with *keypair*.
 
     *signer* is the zone apex name owning the DNSKEY. By default the
     validity window is centred on the simulation clock; pass explicit
     *inception*/*expiration* to create expired or future signatures (the
-    ``expired`` control zones of the paper are made this way).
+    ``expired`` control zones of the paper are made this way). *sign*
+    optionally overrides the signing primitive with a pre-bound closure
+    (``KeyPair.bulk_signer``) so whole-zone loops skip the per-call
+    algorithm dispatch and RSA setup; it must produce byte-identical
+    signatures to ``keypair.sign``.
     """
     signer = Name.from_text(signer)
     if inception is None:
@@ -114,7 +119,7 @@ def sign_rrset(
         signature=b"",
     )
     signed = rrsig_signed_data(template, rrset)
-    signature = keypair.sign(signed)
+    signature = (sign or keypair.sign)(signed)
     return RRSIG(
         template.type_covered,
         template.algorithm,

@@ -30,12 +30,17 @@ from contextlib import contextmanager
 #: materialised SLD zones, incremental report aggregates); disabling it
 #: restores the materialise-everything path, whose report is
 #: byte-identical — that equivalence is what CI diffs.
+#: ``build_cache`` covers the cross-process signed-zone build cache plus
+#: the batched signing fast paths it rides with (chain-batched NSEC3
+#: hashing, hoisted per-zone RSA signing setup); disabling it forces
+#: every process to cold-rebuild and re-sign the full testbed.
 KNOWN_SWITCHES = (
     "validator_memo",
     "answer_cache",
     "nsec3_memo",
     "rsa_crt",
     "streamed_pipeline",
+    "build_cache",
 )
 
 _ENV_VAR = "REPRO_FASTPATH_DISABLE"

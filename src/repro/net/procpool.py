@@ -13,11 +13,11 @@ machinery, which knows nothing about DNS:
   daemon thread, so supervision needs no pipes that a SIGKILL could
   leave half-read;
 - :class:`Watchdog` — classifies a worker as making progress or stalled
-  by watching ``(phase, units)`` transitions on the wall clock. Build
-  phases are exempt from the progress deadline (signing a large testbed
-  legitimately produces no unit progress); a worker whose heartbeat
-  file itself goes stale is stalled regardless of phase, which catches
-  a process frozen hard enough to stop its heartbeat thread;
+  by watching ``(phase, units, built)`` transitions on the wall clock.
+  Build phases complete no units but report a monotonically increasing
+  ``built`` count (zones signed, construction milestones); the startup
+  exemption is granted only while that count advances, so a slow cold
+  build survives and a build hung mid-zone is condemned;
 - :func:`backoff_delay` — bounded exponential restart backoff.
 
 Heartbeats are ephemeral coordination state, not durable records: they
@@ -36,8 +36,8 @@ from dataclasses import dataclass
 #: How often a worker's heartbeat thread rewrites its file.
 HEARTBEAT_INTERVAL_S = 0.2
 
-#: Phases exempt from the progress deadline (no units complete during
-#: them, legitimately).
+#: Phases in which unit progress is legitimately zero; the watchdog
+#: instead demands that the ``built`` counter keeps advancing there.
 STARTUP_PHASES = ("init", "build")
 
 
@@ -50,6 +50,10 @@ class Heartbeat:
     attempt: int
     phase: str
     units_done: int
+    #: Monotonic build-phase progress: zones signed / construction
+    #: milestones passed. Lets the watchdog tell a slow cold build
+    #: (count advances) from a hung one (count freezes).
+    built: int = 0
 
 
 def write_heartbeat(path, beat):
@@ -64,6 +68,7 @@ def write_heartbeat(path, beat):
                 "attempt": beat.attempt,
                 "phase": beat.phase,
                 "units_done": beat.units_done,
+                "built": beat.built,
             },
             handle,
         )
@@ -82,6 +87,8 @@ def read_heartbeat(path):
             attempt=int(doc["attempt"]),
             phase=str(doc["phase"]),
             units_done=int(doc["units_done"]),
+            # Tolerated as absent: beats written by an older worker.
+            built=int(doc.get("built", 0)),
         )
     except (OSError, ValueError, KeyError, TypeError):
         return None
@@ -102,6 +109,7 @@ class HeartbeatWriter:
         self.interval_s = interval_s
         self.phase = "init"
         self.units_done = 0
+        self.built = 0
         self._stop = threading.Event()
         self._thread = None
         # The beating thread and the worker's advance() calls share one
@@ -119,6 +127,7 @@ class HeartbeatWriter:
                     attempt=self.attempt,
                     phase=self.phase,
                     units_done=self.units_done,
+                    built=self.built,
                 ),
             )
 
@@ -140,6 +149,16 @@ class HeartbeatWriter:
         if phase is not None:
             self.phase = phase
         self._beat()
+
+    def tick_built(self, n=1):
+        """Bump the build-progress counter without forcing a write.
+
+        Fired once per signed zone / construction milestone — far too
+        often to rewrite the file each time; the daemon beat publishes
+        the latest count within one interval, which is all the
+        watchdog's stall deadline needs.
+        """
+        self.built += n
 
     def stop(self):
         self._stop.set()
@@ -192,10 +211,12 @@ class Watchdog:
 
     ``observe`` feeds it the latest heartbeat; ``stalled`` is True when
     no progress transition has been seen for *stall_timeout_s*. Progress
-    means the ``(attempt, phase, units_done)`` triple changed — or, in a
-    startup phase, that the heartbeat's own timestamp is advancing (a
-    worker signing zones is alive but completes no units; only a frozen
-    heartbeat condemns it there).
+    means the ``(attempt, phase, units_done, built)`` tuple changed.
+    During startup phases units legitimately stay at zero, but the
+    worker reports every signed zone through ``built`` — the deadline is
+    extended only while that count advances, so a merely *beating* but
+    hung build (alive heartbeat thread, frozen main thread) is condemned
+    once the timeout elapses.
     """
 
     def __init__(self, stall_timeout_s, clock=time.time):
@@ -205,21 +226,16 @@ class Watchdog:
 
     def reset(self):
         self._last_progress = None
-        self._last_beat_t = None
         self._last_change = self._clock()
 
     def observe(self, beat):
         now = self._clock()
         if beat is None:
             return  # no file yet: the spawn itself is covered by the deadline
-        progress = (beat.attempt, beat.phase, beat.units_done)
+        progress = (beat.attempt, beat.phase, beat.units_done, beat.built)
         if progress != self._last_progress:
             self._last_progress = progress
             self._last_change = now
-        elif beat.phase in STARTUP_PHASES and beat.t != self._last_beat_t:
-            # Alive-but-building: the beating clock counts as progress.
-            self._last_change = now
-        self._last_beat_t = beat.t
 
     def stalled(self):
         return self._clock() - self._last_change > self.stall_timeout_s

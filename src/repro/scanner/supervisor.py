@@ -461,7 +461,7 @@ def _worker_run(spec):
     )
     from repro.dns.rcode import Rcode
     from repro.dns.types import RdataType
-    from repro.testbed.internet import build_internet
+    from repro.testbed.internet import BuildScope, build_internet
     from repro.testbed.resolvers import deploy_resolvers
     from repro.testbed.rfc9276_wild import (
         PROBE_ZONE_ITERATIONS,
@@ -473,6 +473,13 @@ def _worker_run(spec):
     attempt = spec["attempt"]
     if spec.get("fastpath_disable"):
         fastpath.disable(spec["fastpath_disable"])
+    # Every worker (and restart) shares one signed-zone build cache
+    # under the campaign's state dir: the first process to need a zone
+    # signs it, the rest load the artifacts. --disable-fastpath
+    # build_cache makes active() return None, forcing cold rebuilds.
+    from repro.zone import build_cache, signing
+
+    build_cache.activate(os.path.join(plan.state_dir, "build-cache"))
     build_start = time.perf_counter()
     build_start_cpu = time.process_time()
     if plan.collect_metrics:
@@ -480,6 +487,10 @@ def _worker_run(spec):
 
     heartbeat = HeartbeatWriter(spec["heartbeat_path"], attempt)
     heartbeat.start(phase="build")
+    # Every completed sign_zone — eager infra, probe zones, lazy SLD
+    # materialisations, warm-pass entries — ticks build progress so the
+    # watchdog can tell a slow cold build from a hung one.
+    signing.zone_signed_listener = lambda zone: heartbeat.tick_built()
     checkpoint = CampaignCheckpoint(
         spec["checkpoint_path"],
         flush_every=plan.flush_every,
@@ -502,11 +513,18 @@ def _worker_run(spec):
     # materialise lazily on first query, so the worker never holds the
     # whole population's zones — only the bounded working set its
     # shard sub-stream touches.
+    streamed = fastpath.enabled("streamed_pipeline")
     inet = build_internet(
         universe.population,
         tld_specs,
         seed=plan.seed,
-        lazy_domains=fastpath.enabled("streamed_pipeline"),
+        lazy_domains=streamed,
+        # Scoped construction only makes sense with lazy SLD hosting:
+        # TLD signing is deferred to first use (split across the fleet
+        # via the cache) and this shard's own SLD artifacts are
+        # pre-warmed into the cache during the build phase.
+        build_scope=BuildScope(shard, plan.workers) if streamed else None,
+        progress=heartbeat.tick_built,
     )
     inet.network.kernel.bind_obs()
     probes = (
@@ -785,11 +803,18 @@ def _worker_run(spec):
         # wall-clock floor with one core per worker.
         "build_cpu_seconds": round(measure_start_cpu - build_start_cpu, 3),
         "measure_cpu_seconds": round(time.process_time() - measure_start_cpu, 3),
+        "built": heartbeat.built,
+        "build_cache": (
+            dict(build_cache.handle().events)
+            if build_cache.handle() is not None
+            else None
+        ),
         "metrics": obs.registry.to_json() if obs.enabled else None,
     }
     _atomic_json(spec["done_path"], report)
     heartbeat.advance(phase="done")
     heartbeat.stop()
+    signing.zone_signed_listener = None
 
 
 # -- the supervisor ----------------------------------------------------------

@@ -16,17 +16,21 @@ import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
-from repro.crypto.keys import ALG_RSASHA256, generate_keypair, make_ds
+from repro import obs
+from repro.crypto.keys import ALG_RSASHA256, KeyPair, generate_keypair, make_ds
+from repro.crypto.rsa import RsaPrivateKey
 from repro.dns.name import Name
 from repro.dns.rdata import NS
 from repro.dns.rrset import RRset
 from repro.dns.types import RdataType
 from repro.net.address import AddressAllocator
 from repro.net.network import Network
+from repro.obs.metrics import ChildCache
 from repro.resolver.policy import Nsec3Policy
 from repro.resolver.validating import ValidatingResolver
 from repro.server.authoritative import AuthoritativeServer
 from repro.testbed.operators import OPERATORS_BY_KEY
+from repro.zone import build_cache
 from repro.zone.builder import ZoneBuilder
 from repro.zone.nsec3chain import Nsec3Params
 from repro.zone.signing import SigningPolicy, sign_zone
@@ -72,6 +76,81 @@ class KeyPool:
             self._ksks[index % len(self._ksks)],
             self._zsks[index % len(self._zsks)],
         )
+
+    def material(self):
+        """The pool's RSA key material as a JSON-serialisable document.
+
+        Only defined for RSA pools (the only kind the testbed uses);
+        CRT factors are included so a rebuilt pool signs at full speed.
+        """
+        return {
+            "ksks": [_key_material(key) for key in self._ksks],
+            "zsks": [_key_material(key) for key in self._zsks],
+        }
+
+    @classmethod
+    def from_material(cls, material):
+        """Rebuild a pool from :meth:`material` without any keygen."""
+        pool = cls.__new__(cls)
+        pool._ksks = [_key_from_material(doc) for doc in material["ksks"]]
+        pool._zsks = [_key_from_material(doc) for doc in material["zsks"]]
+        pool._index = 0
+        return pool
+
+
+def _key_material(key):
+    private = key.private
+    return [key.algorithm, key.flags, private.n, private.e, private.d, private.p, private.q]
+
+
+def _key_from_material(doc):
+    algorithm, flags, n, e, d, p, q = doc
+    return KeyPair(algorithm, flags, RsaPrivateKey(n, e, d, p=p, q=q))
+
+
+def _pooled_keys(seed, size=16, algorithm=ALG_RSASHA256, rsa_bits=512):
+    """A :class:`KeyPool`, via the build cache when one is active.
+
+    Generating the pool's RSA keys is the single largest fixed cost of a
+    worker's build phase (~0.7 s); the first process in a fleet pays it
+    and stores the material, everyone else rebuilds the pool from the
+    cached integers in milliseconds. Identical material → identical
+    signatures, so the cache is invisible to the wire.
+    """
+    cache = build_cache.active()
+    if cache is None or algorithm != ALG_RSASHA256:
+        return KeyPool(size=size, algorithm=algorithm, rsa_bits=rsa_bits, seed=seed)
+    fingerprint = cache.fingerprint(
+        "keypool", f"{size}|{algorithm}|{rsa_bits}|{seed}".encode("ascii")
+    )
+    material = cache.load("keypool", fingerprint)
+    if material is not None:
+        cache.count("hit")
+        return KeyPool.from_material(material)
+    with cache.lock("keypool", fingerprint):
+        material = cache.load("keypool", fingerprint)
+        if material is not None:
+            cache.count("hit")
+            return KeyPool.from_material(material)
+        cache.count("miss")
+        pool = KeyPool(size=size, algorithm=algorithm, rsa_bits=rsa_bits, seed=seed)
+        cache.store("keypool", fingerprint, pool.material())
+    return pool
+
+
+@dataclass(frozen=True)
+class BuildScope:
+    """Which slice of the fleet's work this process builds eagerly.
+
+    A scoped build signs shared infrastructure lazily-on-demand (TLD
+    zones) or once (root, operators, probe zones via their builders) and
+    pre-warms the build cache only for the SLD subtrees its own unit
+    sub-stream (``Population.iter_shard(shard, workers)``) resolves
+    through.
+    """
+
+    shard: int
+    workers: int
 
 
 @dataclass
@@ -231,11 +310,128 @@ class LazyZoneHost:
         server.host_lazily(zone)
         self._resident[zone.origin] = server
         self.builds += 1
+        _count_lazy_zone("build")
         while len(self._resident) > self.limit:
             origin, host = self._resident.popitem(last=False)
             host.evict_zone(origin)
             self.evictions += 1
+            _count_lazy_zone("eviction")
         return zone
+
+
+_lazy_zone_counter = ChildCache()
+
+
+def _count_lazy_zone(event):
+    if not obs.enabled:
+        return
+    child = _lazy_zone_counter.get(obs.registry, event)
+    if child is None:
+        child = _lazy_zone_counter.put(
+            event,
+            obs.registry.counter(
+                "repro_lazy_zone_builds_total",
+                "Lazy SLD zone host activity (builds and FIFO evictions).",
+                labelnames=("event",),
+            ).labels(event=event),
+        )
+    child.inc()
+
+
+class LazyTldZones(dict):
+    """TLD zones signed on first use instead of at build time.
+
+    Under a :class:`BuildScope` every worker would otherwise re-sign all
+    TLD zones up front. Instead the unsigned zones are parked here and
+    the dict materialises a zone — sign via the build cache, host on the
+    registry server — the first time anything looks it up: an
+    authoritative query (through the registry's ``zone_factory``), the
+    probe/adversary builders grabbing ``"com"``, or a data-source
+    collector. The first process in the fleet to touch a TLD signs it;
+    everyone else loads the cached entry. Lookup semantics (``in``,
+    ``len``, ``[]``, ``get``) match the eager dict exactly.
+    """
+
+    def __init__(self, force):
+        super().__init__()
+        self._pending = {}
+        self._force = force
+
+    def defer(self, label, zone, spec):
+        self._pending[label] = (zone, spec)
+
+    def __missing__(self, label):
+        pending = self._pending.pop(label, None)
+        if pending is None:
+            raise KeyError(label)
+        zone = self._force(*pending)
+        super().__setitem__(label, zone)
+        return zone
+
+    def get(self, label, default=None):
+        try:
+            return self[label]
+        except KeyError:
+            return default
+
+    def __contains__(self, label):
+        return super().__contains__(label) or label in self._pending
+
+    def __len__(self):
+        return super().__len__() + len(self._pending)
+
+    def __iter__(self):
+        yield from dict.__iter__(self)
+        yield from list(self._pending)
+
+    def keys(self):
+        return list(self)
+
+    def values(self):
+        return [self[label] for label in list(self)]
+
+    def items(self):
+        return [(label, self[label]) for label in list(self)]
+
+
+def _no_progress():
+    pass
+
+
+class _NullProfiler:
+    """Swallows profiler observations during the cache warm pass."""
+
+    @staticmethod
+    def observe_iterations(iterations):
+        pass
+
+
+def _warm_shard_cache(population, scope, seed, pool, ns_domains, progress):
+    """Pre-sign this shard's own DNSSEC SLD zones into the build cache.
+
+    The shard's unit sub-stream (``iter_shard(shard, workers)``) names
+    exactly the domains its measure phase will query, so the signed
+    artifacts are computed here — during the build phase, where the
+    heartbeat reports progress — and merely *loaded* when a query
+    materialises the zone. Cost accounting must not move: the campaign
+    charges a zone's chain hashing at query-time materialisation (cold
+    build or cache load, identical either way), so the meter is
+    suspended and the iteration profiler nulled for the duration; the
+    query-time charge stream is unchanged whether this pass ran or not.
+    Zones signed here are discarded — only the cache entries matter.
+    """
+    from repro.dnssec.costmodel import meter
+
+    saved_profiler = obs.profiler
+    obs.profiler = _NullProfiler()
+    try:
+        with meter.suspended():
+            for spec in population.iter_shard(scope.shard, scope.workers):
+                if spec.dnssec:
+                    build_domain_zone(spec, seed, pool, ns_domains[spec.operator])
+                progress()
+    finally:
+        obs.profiler = saved_profiler
 
 
 def build_internet(
@@ -247,6 +443,8 @@ def build_internet(
     domains_per_zone_extra=1,
     lazy_domains=False,
     lazy_zone_limit=256,
+    build_scope=None,
+    progress=None,
 ):
     """Build and wire up the whole simulated Internet.
 
@@ -265,14 +463,24 @@ def build_internet(
     first needs it, through a bounded :class:`LazyZoneHost`. Peak memory
     then stays flat in the number of domains while every datagram on the
     wire is byte-identical to the eager build's.
+
+    A :class:`BuildScope` (fleet workers pass one) additionally defers
+    TLD-zone signing to first use via :class:`LazyTldZones` — split
+    across the fleet by the build cache — and, when both a cache and
+    ``lazy_domains`` are active, pre-warms the cache with the signed
+    artifacts of this shard's own SLD sub-stream. *progress* is an
+    optional zero-arg callback ticked as construction advances (the
+    supervised worker feeds it into its heartbeat).
     """
     from repro.testbed.population import Population
 
     network = network or Network(seed=seed)
     allocator = AddressAllocator()
-    pool = KeyPool(seed=seed + 1)
+    pool = _pooled_keys(seed + 1)
     if lazy_domains and not isinstance(domain_specs, Population):
         raise TypeError("lazy_domains=True needs a streaming Population")
+    if progress is None:
+        progress = _no_progress
 
     # --- servers -----------------------------------------------------------
     root_server = AuthoritativeServer("root-servers", network)
@@ -357,7 +565,7 @@ def build_internet(
             key: (NS(f"ns1.{domain}."), NS(f"ns2.{domain}."))
             for key, domain in ns_domains.items()
         }
-        for spec in domain_specs:
+        for index, spec in enumerate(domain_specs):
             ds_records = domain_ds_records(spec, pool)
             if not lazy_domains:
                 zone = build_domain_zone(
@@ -372,6 +580,8 @@ def build_internet(
                     *ns_rdata[spec.operator],
                     ds=ds_records,
                 )
+            if not (index + 1) % 1024:
+                progress()
         if lazy_domains:
             lazy_host = LazyZoneHost(
                 domain_specs, ns_domains, seed, pool, limit=lazy_zone_limit
@@ -388,18 +598,51 @@ def build_internet(
         .a("a.root-servers.net.", root_v4)
         .aaaa("a.root-servers.net.", root_v6)
     )
-    for label, builder in tld_builders.items():
-        spec = tld_spec_by_label[label]
-        zone = builder.build()
-        ds_records = None
-        if spec.dnssec:
-            _sign_from_spec(zone, spec, pool, zone_rng(seed, label), label)
-            ds_records = [make_ds(label, zone.keys[0].dnskey)]
-        registry_server.add_zone(zone)
-        tld_zones[label] = zone
-        root_builder.delegate(Name.from_text(label), f"a.nic.{label}.", ds=ds_records)
-        root_builder.a(f"a.nic.{label}.", registry_v4)
-        root_builder.aaaa(f"a.nic.{label}.", registry_v6)
+    if build_scope is not None:
+        # Scoped (fleet) build: park the unsigned TLD zones and let the
+        # first toucher — fleet-wide, thanks to the build cache — sign
+        # each one. The parent-side DS needs only the KSK, which
+        # ``pair_for`` yields without signing, so the root zone is
+        # byte-identical to the eager build's.
+        def _force_tld(zone, spec):
+            if spec.dnssec:
+                _sign_from_spec(zone, spec, pool, zone_rng(seed, spec.label), spec.label)
+            registry_server.host_lazily(zone)
+            return zone
+
+        tld_zones = LazyTldZones(_force_tld)
+
+        def _registry_factory(qname):
+            labels = str(qname).rstrip(".").lower().split(".")
+            if labels and labels[-1] in tld_zones._pending:
+                return tld_zones[labels[-1]]
+            return None
+
+        registry_server.zone_factory = _registry_factory
+        for label, builder in tld_builders.items():
+            spec = tld_spec_by_label[label]
+            tld_zones.defer(label, builder.build(), spec)
+            ds_records = None
+            if spec.dnssec:
+                ds_records = [make_ds(label, pool.pair_for(label)[0].dnskey)]
+            root_builder.delegate(Name.from_text(label), f"a.nic.{label}.", ds=ds_records)
+            root_builder.a(f"a.nic.{label}.", registry_v4)
+            root_builder.aaaa(f"a.nic.{label}.", registry_v6)
+            progress()
+    else:
+        for label, builder in tld_builders.items():
+            spec = tld_spec_by_label[label]
+            zone = builder.build()
+            ds_records = None
+            if spec.dnssec:
+                _sign_from_spec(zone, spec, pool, zone_rng(seed, label), label)
+                ds_records = [make_ds(label, zone.keys[0].dnskey)]
+            registry_server.add_zone(zone)
+            tld_zones[label] = zone
+            root_builder.delegate(Name.from_text(label), f"a.nic.{label}.", ds=ds_records)
+            root_builder.a(f"a.nic.{label}.", registry_v4)
+            root_builder.aaaa(f"a.nic.{label}.", registry_v6)
+            progress()
 
     # --- root zone (NSEC-signed, like the real root) ------------------------------------
     root_zone = root_builder.build()
@@ -407,6 +650,15 @@ def build_internet(
     sign_zone(root_zone, SigningPolicy(nsec3=None), ksk=ksk, zsk=zsk)
     root_server.add_zone(root_zone)
     trust_anchor = RRset(".", RdataType.DS, 3600, [make_ds(".", ksk.dnskey)])
+
+    # --- scoped cache warm-up -----------------------------------------------------------
+    if (
+        build_scope is not None
+        and lazy_domains
+        and host_domains
+        and build_cache.active() is not None
+    ):
+        _warm_shard_cache(domain_specs, build_scope, seed, pool, ns_domains, progress)
 
     return Internet(
         network=network,

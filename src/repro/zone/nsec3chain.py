@@ -12,12 +12,13 @@ from __future__ import annotations
 import bisect
 from dataclasses import dataclass, field
 
+from repro import fastpath, obs
 from repro.dns.base32 import b32hex_encode
 from repro.dns.name import Name
 from repro.dns.rdata.nsec3 import NSEC3, NSEC3PARAM, NSEC3_FLAG_OPTOUT, NSEC3_HASH_SHA1
 from repro.dns.rrset import RRset
 from repro.dns.types import RdataType
-from repro.dnssec.nsec3hash import nsec3_hash
+from repro.dnssec.nsec3hash import nsec3_hash, nsec3_hash_batch
 
 
 @dataclass(frozen=True)
@@ -132,11 +133,26 @@ def build_nsec3_chain(zone, params):
             secure.add(name)
         names = secure
 
-    entries = []
-    for name in names:
-        digest = nsec3_hash(
-            name.canonical_wire(), params.salt, params.iterations, params.hash_algorithm
+    ordered = list(names)
+    if fastpath.enabled("build_cache") and not obs.tracing:
+        digests = nsec3_hash_batch(
+            [name.canonical_wire() for name in ordered],
+            params.salt,
+            params.iterations,
+            params.hash_algorithm,
         )
+    else:
+        digests = [
+            nsec3_hash(
+                name.canonical_wire(),
+                params.salt,
+                params.iterations,
+                params.hash_algorithm,
+            )
+            for name in ordered
+        ]
+    entries = []
+    for name, digest in zip(ordered, digests):
         owner = apex.prepend(b32hex_encode(digest).encode("ascii"))
         entries.append(Nsec3Entry(digest, owner, name))
     entries.sort(key=lambda entry: entry.owner_hash)

@@ -15,18 +15,31 @@ policy can mark the whole zone — or only the NSEC3 records — as expired.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass
 
+from repro import fastpath, obs
 from repro.crypto.keys import ALG_ECDSAP256SHA256, generate_keypair
+from repro.dns.base32 import b32hex_encode
+from repro.dns.rdata import parse_rdata
 from repro.dns.rrset import RRset
 from repro.dns.types import RdataType
-from repro.dnssec.signer import SIMULATION_NOW, sign_rrset
-from repro.zone.nsec3chain import Nsec3Params, build_nsec3_chain
-from repro.zone.nsecchain import build_nsec_chain
+from repro.dns.wire import Reader
+from repro.dnssec.costmodel import meter
+from repro.dnssec.signer import SIMULATION_NOW, canonical_rrset_wire, sign_rrset
+from repro.zone import build_cache
+from repro.zone.nsec3chain import Nsec3Chain, Nsec3Entry, Nsec3Params, build_nsec3_chain
+from repro.zone.nsecchain import NsecChain, NsecEntry, build_nsec_chain
 
 #: TTL given to generated DNSKEY / NSEC / NSEC3 / NSEC3PARAM RRsets.
 DNSSEC_TTL = 3600
+
+#: Optional hook fired with the zone after every completed
+#: :func:`sign_zone` — cold sign or cache load alike. The supervised
+#: worker installs one to tick build progress into its heartbeat so the
+#: watchdog can tell a slow build from a hung one.
+zone_signed_listener = None
 
 
 @dataclass
@@ -60,6 +73,14 @@ def sign_zone(zone, policy=None, ksk=None, zsk=None, rng=None):
     Generates an ECDSA KSK/ZSK pair when none is supplied (a seeded *rng*
     makes the zone reproducible). Repeat signing replaces previous DNSSEC
     material.
+
+    When a :mod:`repro.zone.build_cache` is active, the signing work is
+    content-addressed: the first process to sign a given (zone content,
+    policy, keys) combination stores the resulting DNSSEC artifacts, and
+    every later call — in this process, a sibling worker, or a restart
+    after a crash — loads them instead of redoing the bignum work.
+    Loads charge the cost model and mutate the zone exactly as a cold
+    sign would, so downstream reports stay byte-identical.
     """
     policy = policy or SigningPolicy()
     rng = rng or random
@@ -72,6 +93,34 @@ def sign_zone(zone, policy=None, ksk=None, zsk=None, rng=None):
 
     _strip_dnssec(zone)
 
+    cache = build_cache.active()
+    if cache is None:
+        _sign_stripped(zone, policy, ksk, zsk)
+    else:
+        fingerprint = _zone_fingerprint(zone, policy, ksk, zsk)
+        payload = cache.load("zone", fingerprint)
+        if payload is not None:
+            cache.count("hit")
+            _install_entry(zone, policy, ksk, zsk, payload)
+        else:
+            with cache.lock("zone", fingerprint):
+                # A sibling worker may have signed and stored this very
+                # zone while we waited on the lock.
+                payload = cache.load("zone", fingerprint)
+                if payload is not None:
+                    cache.count("hit")
+                    _install_entry(zone, policy, ksk, zsk, payload)
+                else:
+                    cache.count("miss")
+                    _sign_stripped(zone, policy, ksk, zsk)
+                    cache.store("zone", fingerprint, _entry_payload(zone))
+    if zone_signed_listener is not None:
+        zone_signed_listener(zone)
+    return zone
+
+
+def _sign_stripped(zone, policy, ksk, zsk):
+    """The cold signing pass over an already-stripped zone."""
     apex = zone.origin
     dnskey_rrset = RRset(apex, RdataType.DNSKEY, DNSSEC_TTL, [ksk.dnskey, zsk.dnskey])
     zone.add_rrset(dnskey_rrset)
@@ -97,7 +146,135 @@ def sign_zone(zone, policy=None, ksk=None, zsk=None, rng=None):
     zone.signed = True
     # _sign_all writes zone.rrsigs directly; let generation-keyed caches know.
     zone.touch()
-    return zone
+
+
+def _zone_fingerprint(zone, policy, ksk, zsk):
+    """Content-addressed cache key for signing *zone* under *policy*.
+
+    Covers the cache schema version (via
+    :meth:`ZoneBuildCache.fingerprint`), the stripped zone content (the
+    seed and spec reach the key through the rng-drawn records and
+    salts), the signing-policy digest, and the key material (DNSKEY wire
+    forms — public halves determine the signatures for both RSA and the
+    deterministic RFC 6979 ECDSA used here).
+    """
+    digest = hashlib.sha256()
+    digest.update(zone.origin.canonical_wire())
+    for rrset in zone.all_rrsets():
+        digest.update(canonical_rrset_wire(rrset))
+    if policy.nsec3 is not None:
+        params = policy.nsec3
+        denial = (
+            f"nsec3/{params.hash_algorithm}/{params.iterations}"
+            f"/{params.salt.hex()}/{int(params.opt_out)}"
+        )
+    else:
+        denial = "nsec"
+    digest.update(
+        (
+            f"|{denial}|alg={policy.algorithm}|expired={int(policy.expired)}"
+            f"|expired_nsec3={int(policy.expired_nsec3_only)}|now={policy.now}|"
+        ).encode("ascii")
+    )
+    for key in (ksk, zsk):
+        digest.update(key.dnskey.to_wire())
+        digest.update(b"|")
+    return build_cache.ZoneBuildCache.fingerprint("zone", digest.digest())
+
+
+def _entry_payload(zone):
+    """Serialise a freshly signed zone's DNSSEC artifacts for the cache."""
+    if zone.nsec3_chain is not None:
+        denial = "nsec3"
+        chain = [
+            [
+                entry.owner_hash.hex(),
+                entry.source_name.to_wire().hex(),
+                entry.rdata.to_wire().hex(),
+            ]
+            for entry in zone.nsec3_chain.entries
+        ]
+    else:
+        denial = "nsec"
+        chain = [
+            [entry.owner_name.to_wire().hex(), entry.rdata.to_wire().hex()]
+            for entry in zone.nsec_chain.entries
+        ]
+    rrsigs = [
+        [name.to_wire().hex(), covered, rrset.ttl, [r.to_wire().hex() for r in rrset.rdatas]]
+        for (name, covered), rrset in zone.rrsigs.items()
+    ]
+    return {"denial": denial, "chain": chain, "rrsigs": rrsigs}
+
+
+def _wire_name(hex_string):
+    return Reader(bytes.fromhex(hex_string)).read_name()
+
+
+def _wire_rdata(rrtype, hex_string):
+    wire = bytes.fromhex(hex_string)
+    return parse_rdata(rrtype, Reader(wire), len(wire))
+
+
+def _install_entry(zone, policy, ksk, zsk, payload):
+    """Rebuild the DNSSEC state of *zone* from a cache entry.
+
+    Must mirror :func:`_sign_stripped` observably: the same RRsets in
+    the same insertion order (zone generation and node iteration order
+    feed packed-answer cache keys), the same chain objects, the same
+    ``zone.rrsigs`` contents — and the same CostMeter charges, because a
+    load stands in for a rebuild that would have hashed every chain
+    member. Signature bytes come from the entry; everything cheap is
+    recomputed.
+    """
+    apex = zone.origin
+    zone.add_rrset(RRset(apex, RdataType.DNSKEY, DNSSEC_TTL, [ksk.dnskey, zsk.dnskey]))
+    if payload["denial"] == "nsec3":
+        params = policy.nsec3
+        zone.add_rrset(
+            RRset(apex, RdataType.NSEC3PARAM, DNSSEC_TTL, [params.to_nsec3param()])
+        )
+        iterations = params.iterations
+        salt_length = len(params.salt)
+        observe = obs.profiler.observe_iterations if obs.enabled else None
+        entries = []
+        for owner_hex, source_hex, rdata_hex in payload["chain"]:
+            owner_hash = bytes.fromhex(owner_hex)
+            source = _wire_name(source_hex)
+            owner = apex.prepend(b32hex_encode(owner_hash).encode("ascii"))
+            entries.append(
+                Nsec3Entry(
+                    owner_hash, owner, source, _wire_rdata(RdataType.NSEC3, rdata_hex)
+                )
+            )
+            # The cost model describes a signer that hashes every chain
+            # member; charge the load like the rebuild it replaces.
+            meter.charge_nsec3(iterations, len(source.canonical_wire()), salt_length)
+            if observe is not None:
+                observe(iterations)
+        chain = Nsec3Chain(params, entries)
+        zone.nsec3_chain = chain
+        zone.nsec_chain = None
+    else:
+        entries = [
+            NsecEntry(_wire_name(owner_hex), _wire_rdata(RdataType.NSEC, rdata_hex))
+            for owner_hex, rdata_hex in payload["chain"]
+        ]
+        chain = NsecChain(entries)
+        zone.nsec_chain = chain
+        zone.nsec3_chain = None
+    for rrset in chain.rrsets(DNSSEC_TTL):
+        zone.add_rrset(rrset)
+    for name_hex, covered, ttl, wires in payload["rrsigs"]:
+        name = _wire_name(name_hex)
+        zone.rrsigs[(name, int(covered))] = RRset(
+            name,
+            RdataType.RRSIG,
+            ttl,
+            [_wire_rdata(RdataType.RRSIG, wire) for wire in wires],
+        )
+    zone.signed = True
+    zone.touch()
 
 
 def _strip_dnssec(zone):
@@ -135,6 +312,12 @@ def _should_sign(zone, rrset):
 
 
 def _sign_all(zone, policy, ksk, zsk):
+    if fastpath.enabled("build_cache"):
+        # Hoist the per-key signing setup (EMSA prefix, CRT context for
+        # RSA) out of the per-RRset loop; same signature bytes.
+        sign_with = {id(ksk): ksk.bulk_signer(), id(zsk): zsk.bulk_signer()}
+    else:
+        sign_with = {}
     for rrset in list(zone.all_rrsets()):
         if int(rrset.rrtype) == int(RdataType.RRSIG):
             continue
@@ -152,6 +335,7 @@ def _sign_all(zone, policy, ksk, zsk):
                 inception=inception,
                 expiration=expiration,
                 now=policy.now,
+                sign=sign_with.get(id(key)),
             )
             for key in signers
         ]

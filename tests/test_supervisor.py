@@ -197,10 +197,22 @@ class TestProcpool:
 
     def test_heartbeat_roundtrip(self, tmp_path):
         path = tmp_path / "w.hb"
-        beat = Heartbeat(t=12.5, pid=42, attempt=1, phase="scan", units_done=7)
+        beat = Heartbeat(
+            t=12.5, pid=42, attempt=1, phase="scan", units_done=7, built=31
+        )
         write_heartbeat(path, beat)
         assert read_heartbeat(path) == beat
         assert not (tmp_path / "w.hb.tmp").exists()
+
+    def test_read_heartbeat_defaults_missing_built(self, tmp_path):
+        # Beats written by an older worker carry no built counter.
+        path = tmp_path / "old.hb"
+        path.write_text(
+            '{"t": 1.0, "pid": 9, "attempt": 0, "phase": "build", '
+            '"units_done": 0}'
+        )
+        beat = read_heartbeat(path)
+        assert beat is not None and beat.built == 0
 
     def test_read_heartbeat_tolerates_garbage(self, tmp_path):
         assert read_heartbeat(tmp_path / "missing.hb") is None
@@ -261,24 +273,49 @@ class TestProcpool:
             pytest.fail("a hung worker was never declared stalled")
         assert clock[0] > 5.0
 
-    def test_watchdog_build_phase_is_exempt(self):
-        # A worker signing zones beats without unit progress; only a
-        # frozen heartbeat clock condemns it during startup phases.
+    def test_watchdog_build_phase_exempt_while_built_advances(self):
+        # A worker signing zones completes no units, but it reports every
+        # signed zone through the ``built`` counter; the deadline extends
+        # only while that count moves.
         clock = [0.0]
         watchdog = Watchdog(stall_timeout_s=5.0, clock=lambda: clock[0])
         for step in range(1, 40):
             clock[0] = step * 0.5
             watchdog.observe(
                 Heartbeat(
-                    t=clock[0], pid=1, attempt=0, phase="build", units_done=0
+                    t=clock[0],
+                    pid=1,
+                    attempt=0,
+                    phase="build",
+                    units_done=0,
+                    built=step,
                 )
             )
         assert not watchdog.stalled()
-        clock[0] += 6.0  # now the beat itself freezes
-        watchdog.observe(
-            Heartbeat(t=19.5, pid=1, attempt=0, phase="build", units_done=0)
-        )
-        assert watchdog.stalled()
+
+    def test_watchdog_frozen_built_stalls_build_phase(self):
+        # The beating thread stays alive (t advances) but the main thread
+        # hangs mid-zone (built freezes): condemned after the timeout —
+        # a live heartbeat clock alone no longer buys an exemption.
+        clock = [0.0]
+        watchdog = Watchdog(stall_timeout_s=5.0, clock=lambda: clock[0])
+        for step in range(1, 30):
+            clock[0] = step * 0.5
+            watchdog.observe(
+                Heartbeat(
+                    t=clock[0],
+                    pid=1,
+                    attempt=0,
+                    phase="build",
+                    units_done=0,
+                    built=3,
+                )
+            )
+            if watchdog.stalled():
+                break
+        else:
+            pytest.fail("a build hung mid-zone was never declared stalled")
+        assert clock[0] > 5.0
 
 
 class TestObservationRecords:
